@@ -1,0 +1,19 @@
+//! # pochoir-analysis
+//!
+//! Work/span analysis for trapezoidal-decomposition stencil algorithms — the
+//! reproduction's substitute for the Cilkview scalability analyzer used in Figure 9 of
+//! *"The Pochoir Stencil Compiler"* (SPAA 2011) — together with the closed-form bounds of
+//! the paper's Lemmas 2/4 and Theorems 3/5.
+//!
+//! * [`Analyzer`] / [`parallelism_of`] — exact work/span of the TRAP, STRAP or loop
+//!   decompositions on a given grid, memoized on zoid shapes so paper-scale grids are
+//!   analyzed in milliseconds.
+//! * [`model`] — the asymptotic formulas, used to cross-check the measured exponents.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod model;
+mod workspan;
+
+pub use workspan::{parallelism_of, Algorithm, Analyzer, WorkSpan};

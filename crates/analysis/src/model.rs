@@ -1,0 +1,120 @@
+//! Closed-form performance models from the paper's Section 3: the span and parallelism
+//! bounds of Lemma 2 / Theorem 3 (TRAP) and Lemma 4 / Theorem 5 (STRAP), and the cache
+//! complexity bound shared by both algorithms.
+
+/// Span bound of TRAP on a minimal `(d+1)`-zoid of height `h` (Lemma 2):
+/// `Θ(d · h^{lg(d+2)})`.
+pub fn trap_span(h: f64, d: u32) -> f64 {
+    let d_f = d as f64;
+    d_f * h.powf(((d_f) + 2.0).log2())
+}
+
+/// Span bound of STRAP on a minimal `(d+1)`-zoid of height `h` (Lemma 4):
+/// `Θ(h^{lg(2d+1)})`.
+pub fn strap_span(h: f64, d: u32) -> f64 {
+    let d_f = d as f64;
+    h.powf((2.0 * d_f + 1.0).log2())
+}
+
+/// Parallelism bound of TRAP on a grid of normalized width `w` in `d` dimensions
+/// (Theorem 3): `Θ(w^{d − lg(d+2) + 1} / d²)`.
+pub fn trap_parallelism(w: f64, d: u32) -> f64 {
+    let d_f = d as f64;
+    w.powf(d_f - (d_f + 2.0).log2() + 1.0) / (d_f * d_f)
+}
+
+/// Parallelism bound of STRAP on a grid of normalized width `w` in `d` dimensions
+/// (Theorem 5): `Θ(w^{d − lg(2d+1) + 1} / 2d)`.
+pub fn strap_parallelism(w: f64, d: u32) -> f64 {
+    let d_f = d as f64;
+    w.powf(d_f - (2.0 * d_f + 1.0).log2() + 1.0) / (2.0 * d_f)
+}
+
+/// The exponent of `w` in TRAP's parallelism bound.
+pub fn trap_parallelism_exponent(d: u32) -> f64 {
+    let d_f = d as f64;
+    d_f - (d_f + 2.0).log2() + 1.0
+}
+
+/// The exponent of `w` in STRAP's parallelism bound.
+pub fn strap_parallelism_exponent(d: u32) -> f64 {
+    let d_f = d as f64;
+    d_f - (2.0 * d_f + 1.0).log2() + 1.0
+}
+
+/// Cache-miss bound shared by TRAP and STRAP (Section 3): `Θ(h·wᵈ / (M^{1/d}·B))` for a
+/// grid of width `w`, height `h`, cache of `m_lines · b_elems` grid points in lines of
+/// `b_elems` points.  Returned as an absolute number of misses (the constant is 1).
+pub fn cache_oblivious_misses(h: f64, w: f64, d: u32, cache_points: f64, line_points: f64) -> f64 {
+    h * w.powi(d as i32) / (cache_points.powf(1.0 / d as f64) * line_points)
+}
+
+/// Cache-miss bound of the loop nest (Section 1): `Θ(T·wᵈ / B)` when the grid does not
+/// fit in cache.
+pub fn loops_misses(h: f64, w: f64, d: u32, line_points: f64) -> f64 {
+    h * w.powi(d as i32) / line_points
+}
+
+/// Fits the exponent `b` of a power law `y = a·x^b` through two measurements.
+/// Useful for checking measured parallelism growth against the theorems' exponents.
+pub fn fitted_exponent(x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+    (y1 / y0).ln() / (x1 / x0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponents_match_the_paper_discussion() {
+        // Section 3 discussion: for d = 1 both are Θ(w^{2 − lg 3}); for d = 2 STRAP has
+        // Θ(w^{3 − lg 5}) while TRAP's Theorem-3 exponent is d − lg(d+2) + 1 = 1 (the
+        // discussion's "Θ(w²)" does not follow from Theorem 3's formula; we follow the
+        // theorem).
+        assert!((trap_parallelism_exponent(1) - (2.0 - 3.0f64.log2())).abs() < 1e-12);
+        assert!((strap_parallelism_exponent(1) - (2.0 - 3.0f64.log2())).abs() < 1e-12);
+        assert!((trap_parallelism_exponent(2) - 1.0).abs() < 1e-12);
+        assert!((strap_parallelism_exponent(2) - (3.0 - 5.0f64.log2())).abs() < 1e-12);
+        // The gap grows with dimension.
+        for d in 2..6 {
+            assert!(trap_parallelism_exponent(d) > strap_parallelism_exponent(d));
+            assert!(
+                trap_parallelism_exponent(d + 1) - strap_parallelism_exponent(d + 1)
+                    > trap_parallelism_exponent(d) - strap_parallelism_exponent(d)
+            );
+        }
+    }
+
+    #[test]
+    fn trap_beats_strap_for_large_w_in_2d() {
+        // Ratio grows like w^{lg 5 − 2} ≈ w^0.32: about 9x at w = 1000, 19x at w = 10,000.
+        assert!(trap_parallelism(1000.0, 2) > strap_parallelism(1000.0, 2) * 5.0);
+        assert!(trap_parallelism(10_000.0, 2) > strap_parallelism(10_000.0, 2) * 15.0);
+    }
+
+    #[test]
+    fn span_models_grow_polylog() {
+        assert!(trap_span(1024.0, 2) > trap_span(512.0, 2));
+        assert!(strap_span(1024.0, 2) > strap_span(512.0, 2));
+        // STRAP's span grows faster in 2D: lg 5 > lg 4.
+        let r_trap = trap_span(2048.0, 2) / trap_span(1024.0, 2);
+        let r_strap = strap_span(2048.0, 2) / strap_span(1024.0, 2);
+        assert!(r_strap > r_trap);
+    }
+
+    #[test]
+    fn cache_model_prefers_cache_oblivious_algorithms() {
+        let h = 1000.0;
+        let w = 5000.0;
+        let co = cache_oblivious_misses(h, w, 2, 4096.0, 8.0);
+        let lo = loops_misses(h, w, 2, 8.0);
+        assert!(co < lo / 10.0);
+    }
+
+    #[test]
+    fn fitted_exponent_recovers_power_laws() {
+        let f = |x: f64| 3.0 * x.powf(1.7);
+        let b = fitted_exponent(10.0, f(10.0), 1000.0, f(1000.0));
+        assert!((b - 1.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Work/span analysis of the trapezoidal-decomposition algorithms — the reproduction's
+//! stand-in for the Cilkview scalability analyzer used in the paper's Figure 9.
+//!
+//! The analyzer walks exactly the decomposition the engines perform (same cuts, same
+//! coarsening, same unified-torus top level) but instead of executing kernels it computes
+//!
+//! * **work** `T₁` — the number of kernel invocations (each costs Θ(1), as assumed in
+//!   Lemma 2), plus one unit per recursion node, and
+//! * **span** `T_∞` — composed per the algorithm's control structure: time cuts and
+//!   serial levels add spans; the subzoids within one dependency level contribute the
+//!   *maximum* of their spans plus a Θ(lg r) spawn overhead for a parallel loop over `r`
+//!   subzoids (exactly the accounting used in the proof of Lemma 2).
+//!
+//! Parallelism is the ratio `T₁ / T_∞`.  Because the decomposition of a zoid depends only
+//! on its *shape* (height, per-dimension base lengths and side slopes) and not on its
+//! absolute position, results are memoized on that shape signature; grids of the paper's
+//! full 16,000² scale are analyzed in milliseconds.
+
+use pochoir_core::hyperspace::{hyperspace_cut_params, single_space_cut_params, CutParams};
+use pochoir_core::zoid::Zoid;
+use std::collections::HashMap;
+
+/// Work and span of a (sub)computation, in units of kernel invocations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkSpan {
+    /// Total operations (`T₁`).
+    pub work: u128,
+    /// Critical-path length (`T_∞`).
+    pub span: u128,
+}
+
+impl WorkSpan {
+    /// Parallelism `T₁ / T_∞`.
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+}
+
+/// Which decomposition to analyze.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// TRAP: hyperspace cuts (simultaneous parallel space cuts).
+    Trap,
+    /// STRAP: one space cut at a time (Frigo–Strumpen style).
+    Strap,
+    /// The parallel loop nest of Figure 1 (each time step is a parallel loop over rows).
+    Loops,
+}
+
+/// Shape signature of a zoid for memoization: absolute position is irrelevant to its
+/// work/span, but the full-torus flags (which depend on position) must be part of the key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ShapeKey<const D: usize> {
+    height: i64,
+    dims: [(i64, i64, i64, bool); D], // (bottom width, dx0, dx1, spans_full_torus)
+}
+
+fn shape_key<const D: usize>(z: &Zoid<D>, params: &CutParams<D>) -> ShapeKey<D> {
+    let mut dims = [(0i64, 0i64, 0i64, false); D];
+    for i in 0..D {
+        let torus = match params.torus[i] {
+            Some(n) => z.spans_full_torus(i, n),
+            None => false,
+        };
+        dims[i] = (z.bottom_width(i), z.dx0[i], z.dx1[i], torus);
+    }
+    ShapeKey {
+        height: z.height(),
+        dims,
+    }
+}
+
+/// The work/span analyzer.
+pub struct Analyzer<const D: usize> {
+    params: CutParams<D>,
+    max_height: i64,
+    algorithm: Algorithm,
+    memo: HashMap<ShapeKey<D>, WorkSpan>,
+}
+
+/// Integer ⌈log₂ n⌉ used for the spawn overhead of a parallel loop over `n` items.
+fn ceil_log2(n: usize) -> u128 {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u128
+    }
+}
+
+impl<const D: usize> Analyzer<D> {
+    /// Creates an analyzer.
+    ///
+    /// * `params` — the same cut parameters the engine would use (slopes, coarsening
+    ///   widths, torus flags).
+    /// * `max_height` — the base-case coarsening height (`Coarsening::dt`); Figure 9 uses
+    ///   the uncoarsened algorithms, i.e. `1`.
+    pub fn new(params: CutParams<D>, max_height: i64, algorithm: Algorithm) -> Self {
+        Analyzer {
+            params,
+            max_height,
+            algorithm,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Analyzes the full computation over a `sizes` grid for `time_steps` kernel steps.
+    pub fn analyze_grid(&mut self, sizes: [i64; D], time_steps: i64) -> WorkSpan {
+        let zoid = Zoid::full_grid(sizes, 0, time_steps);
+        match self.algorithm {
+            Algorithm::Loops => self.analyze_loops(sizes, time_steps),
+            _ => self.analyze(&zoid),
+        }
+    }
+
+    /// Analyzes one zoid.
+    pub fn analyze(&mut self, zoid: &Zoid<D>) -> WorkSpan {
+        if zoid.volume() == 0 {
+            return WorkSpan { work: 0, span: 0 };
+        }
+        let key = shape_key(zoid, &self.params);
+        if let Some(ws) = self.memo.get(&key) {
+            return *ws;
+        }
+        let cut = match self.algorithm {
+            Algorithm::Trap => hyperspace_cut_params(zoid, &self.params),
+            Algorithm::Strap => single_space_cut_params(zoid, &self.params),
+            Algorithm::Loops => unreachable!("loops handled in analyze_grid"),
+        };
+        let result = if let Some(cut) = cut {
+            let mut work: u128 = 1;
+            let mut span: u128 = 1;
+            for level in &cut.levels {
+                if level.is_empty() {
+                    continue;
+                }
+                let mut level_span_max: u128 = 0;
+                for sub in level {
+                    let ws = self.analyze(sub);
+                    work += ws.work;
+                    level_span_max = level_span_max.max(ws.span);
+                }
+                // A parallel loop over r subzoids adds Θ(lg r) to the span (Lemma 2).
+                span += level_span_max + ceil_log2(level.len());
+            }
+            WorkSpan { work, span }
+        } else if zoid.height() > self.max_height {
+            let (lower, upper) = zoid.time_cut();
+            let a = self.analyze(&lower);
+            let b = self.analyze(&upper);
+            WorkSpan {
+                work: a.work + b.work + 1,
+                span: a.span + b.span + 1,
+            }
+        } else {
+            // Base case: executed serially.
+            let v = zoid.volume();
+            WorkSpan { work: v, span: v }
+        };
+        self.memo.insert(key, result);
+        result
+    }
+
+    /// Work/span of the parallel loop nest (Figure 1): each of the `T` time steps is a
+    /// parallel loop over the outer spatial dimension whose rows are processed serially.
+    fn analyze_loops(&mut self, sizes: [i64; D], time_steps: i64) -> WorkSpan {
+        let row_points: u128 = sizes.iter().skip(1).map(|&s| s as u128).product();
+        let rows = sizes[0] as usize;
+        let per_step_span = row_points + ceil_log2(rows);
+        let per_step_work: u128 = row_points * rows as u128;
+        WorkSpan {
+            work: per_step_work * time_steps as u128,
+            span: (per_step_span + 1) * time_steps as u128,
+        }
+    }
+
+    /// Number of distinct zoid shapes analyzed (useful for diagnostics and tests).
+    pub fn memo_size(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+/// Convenience: analyze a square/cubic grid of side `n` for `t` steps with unit slopes
+/// and no coarsening (the configuration of Figure 9), under the unified torus scheme.
+pub fn parallelism_of<const D: usize>(algorithm: Algorithm, n: i64, t: i64) -> WorkSpan {
+    let sizes = [n; D];
+    let params = CutParams::unified([1; D], [1; D], sizes);
+    let mut analyzer = Analyzer::new(params, 1, algorithm);
+    analyzer.analyze_grid(sizes, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn work_equals_space_time_volume() {
+        // Work must count every kernel invocation exactly once (plus small recursion
+        // overhead), independent of the algorithm.
+        for algorithm in [Algorithm::Trap, Algorithm::Strap] {
+            let ws = parallelism_of::<2>(algorithm, 64, 32);
+            let volume = 64u128 * 64 * 32;
+            assert!(ws.work >= volume);
+            assert!(
+                ws.work < volume + volume / 2,
+                "{algorithm:?}: recursion overhead too large: {} vs volume {volume}",
+                ws.work
+            );
+        }
+        let loops = parallelism_of::<2>(Algorithm::Loops, 64, 32);
+        assert_eq!(loops.work, 64 * 64 * 32);
+    }
+
+    #[test]
+    fn trap_has_more_parallelism_than_strap_in_2d() {
+        let trap = parallelism_of::<2>(Algorithm::Trap, 256, 64);
+        let strap = parallelism_of::<2>(Algorithm::Strap, 256, 64);
+        assert!(
+            trap.parallelism() > strap.parallelism(),
+            "TRAP {} vs STRAP {}",
+            trap.parallelism(),
+            strap.parallelism()
+        );
+    }
+
+    #[test]
+    fn trap_advantage_grows_with_grid_size() {
+        // Theorems 3 and 5 compare grids whose height is a power-of-two multiple of the
+        // width; in that regime TRAP's parallelism exponent exceeds STRAP's by
+        // lg 5 − lg 4 ≈ 0.32 in 2D, so the TRAP/STRAP ratio must grow with N.
+        let ratio = |n: i64| {
+            let trap = parallelism_of::<2>(Algorithm::Trap, n, n).parallelism();
+            let strap = parallelism_of::<2>(Algorithm::Strap, n, n).parallelism();
+            trap / strap
+        };
+        let r_small = ratio(64);
+        let r_large = ratio(512);
+        assert!(
+            r_large > r_small * 1.3,
+            "advantage should grow: {r_small:.2} -> {r_large:.2}"
+        );
+    }
+
+    #[test]
+    fn one_dimensional_trap_and_strap_are_equivalent() {
+        // With a single spatial dimension a hyperspace cut *is* a single space cut.
+        let trap = parallelism_of::<1>(Algorithm::Trap, 4096, 64);
+        let strap = parallelism_of::<1>(Algorithm::Strap, 4096, 64);
+        assert_eq!(trap, strap);
+    }
+
+    #[test]
+    fn memoization_keeps_analysis_cheap() {
+        let sizes = [4096i64, 4096];
+        let params = CutParams::unified([1, 1], [1, 1], sizes);
+        let mut analyzer = Analyzer::new(params, 1, Algorithm::Trap);
+        let ws = analyzer.analyze_grid(sizes, 256);
+        assert!(ws.work > 0);
+        // The recursion visits billions of points but only a modest number of shapes.
+        assert!(
+            analyzer.memo_size() < 2_000_000,
+            "memo exploded: {}",
+            analyzer.memo_size()
+        );
+    }
+
+    #[test]
+    fn parallelism_increases_with_n_for_trap() {
+        let p1 = parallelism_of::<2>(Algorithm::Trap, 64, 64).parallelism();
+        let p2 = parallelism_of::<2>(Algorithm::Trap, 256, 64).parallelism();
+        assert!(p2 > p1 * 2.0, "expected growth, got {p1} -> {p2}");
+    }
+
+    #[test]
+    fn loops_parallelism_is_bounded_by_rows() {
+        let ws = parallelism_of::<2>(Algorithm::Loops, 128, 16);
+        // The loop nest's parallelism is at most the number of rows.
+        assert!(ws.parallelism() <= 128.0 + 1e-9);
+        assert!(ws.parallelism() > 64.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion micro-benchmarks of every Figure-3 application under TRAP (tiny scale):
+//! a continuously-tracked counterpart of the full `fig3_table` harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pochoir_bench::{Fig3Config, FIG3_ROWS};
+use pochoir_stencils::ProblemScale;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_apps_trap_tiny");
+    group.sample_size(10);
+    for row in FIG3_ROWS {
+        let id = format!("{}_{}", row.name, row.dims);
+        group.bench_with_input(BenchmarkId::from_parameter(id), row, |b, row| {
+            b.iter(|| (row.run)(ProblemScale::Tiny, Fig3Config::PochoirSerial));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

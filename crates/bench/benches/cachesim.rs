@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the cache-simulator substrate (throughput of the LRU and
+//! set-associative models), ensuring the Figure-10 harness stays tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pochoir_cachesim::{IdealCache, SetAssocCache};
+
+fn bench_cachesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    group.sample_size(20);
+
+    group.bench_function("ideal_lru_sequential_64k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = IdealCache::new(32 * 1024, 64);
+            for i in 0..65_536usize {
+                cache.access(i * 8 % (1 << 20), 8);
+            }
+            cache.stats().misses
+        });
+    });
+
+    group.bench_function("setassoc_l1d_sequential_64k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::l1d();
+            for i in 0..65_536usize {
+                cache.access(i * 8 % (1 << 20), 8);
+            }
+            cache.stats().misses
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

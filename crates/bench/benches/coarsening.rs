@@ -1,0 +1,43 @@
+//! Criterion counterpart of the Section-4 coarsening ablation: uncoarsened vs heuristic
+//! vs hand-picked base-case sizes for the TRAP recursion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pochoir_bench::apps::time_with_plan;
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{Coarsening, ExecutionPlan};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::heat;
+
+fn bench_coarsening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsening_ablation");
+    group.sample_size(10);
+    let n = 160usize;
+    let steps = 16i64;
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let kernel = heat::HeatKernel::<2>::default();
+    let cases: [(&str, Coarsening<2>); 4] = [
+        ("uncoarsened", Coarsening::none()),
+        ("dt4_dx16", Coarsening::new(4, [16, 16])),
+        ("dt8_dx64", Coarsening::new(8, [64, 64])),
+        ("heuristic_100x100x5", Coarsening::heuristic()),
+    ];
+    for (name, coarsening) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &coarsening, |b, &co| {
+            b.iter(|| {
+                let plan = ExecutionPlan::trap().with_coarsening(co);
+                time_with_plan(
+                    heat::build([n, n], Boundary::Constant(0.0)),
+                    &spec,
+                    &kernel,
+                    steps,
+                    &plan,
+                    false,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening);
+criterion_main!(benches);

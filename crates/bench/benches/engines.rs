@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the execution engines on the 2D heat equation — the
+//! micro-scale counterpart of Figure 3's Heat rows and the Section-1 comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pochoir_bench::apps::time_with_plan;
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{EngineKind, ExecutionPlan};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::heat;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heat2d_engines");
+    group.sample_size(10);
+    let n = 128usize;
+    let steps = 16i64;
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let kernel = heat::HeatKernel::<2>::default();
+    for engine in [
+        EngineKind::Trap,
+        EngineKind::Strap,
+        EngineKind::LoopsSerial,
+        EngineKind::LoopsParallel,
+        EngineKind::LoopsBlocked,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{engine:?}")),
+            &engine,
+            |b, &engine| {
+                b.iter(|| {
+                    let plan = ExecutionPlan::new(engine);
+                    time_with_plan(
+                        heat::build([n, n], Boundary::Periodic),
+                        &spec,
+                        &kernel,
+                        steps,
+                        &plan,
+                        false,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

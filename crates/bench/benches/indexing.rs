@@ -1,0 +1,58 @@
+//! Criterion counterpart of Figure 13: unchecked (`--split-pointer`) versus checked
+//! (`--split-macro-shadow`) interior-clone indexing, plus the Section-4 cloning ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pochoir_bench::apps::time_with_plan;
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{CloneMode, ExecutionPlan, IndexMode};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::heat;
+
+fn bench_indexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_indexing");
+    group.sample_size(10);
+    let n = 160usize;
+    let steps = 12i64;
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let kernel = heat::HeatKernel::<2>::default();
+    let cases = [
+        (
+            "split_pointer_unchecked",
+            IndexMode::Unchecked,
+            CloneMode::InteriorAndBoundary,
+        ),
+        (
+            "split_macro_shadow_checked",
+            IndexMode::Checked,
+            CloneMode::InteriorAndBoundary,
+        ),
+        (
+            "modular_indexing_everywhere",
+            IndexMode::Unchecked,
+            CloneMode::AlwaysBoundary,
+        ),
+    ];
+    for (name, index_mode, clone_mode) in cases {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(index_mode, clone_mode),
+            |b, &(im, cm)| {
+                b.iter(|| {
+                    let plan = ExecutionPlan::trap().with_index_mode(im).with_clone_mode(cm);
+                    time_with_plan(
+                        heat::build([n, n], Boundary::Periodic),
+                        &spec,
+                        &kernel,
+                        steps,
+                        &plan,
+                        false,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

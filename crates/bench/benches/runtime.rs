@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the Cilk-like work-stealing runtime itself: join and
+//! parallel_for overheads, which bound the spawn term in the span analysis of Lemma 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pochoir_runtime::{Parallelism, Runtime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fib(par: &impl Parallelism, n: u64, cutoff: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        return fib_serial(n);
+    }
+    let (a, b) = par.join(|| fib(par, n - 1, cutoff), || fib(par, n - 2, cutoff));
+    a + b
+}
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let rt = Runtime::with_default_threads();
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+
+    group.bench_function("join_fib20_cutoff10", |b| {
+        b.iter(|| fib(&rt, 20, 10));
+    });
+    group.bench_function("serial_fib20", |b| {
+        b.iter(|| fib_serial(20));
+    });
+    group.bench_function("parallel_for_10k_grain64", |b| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            rt.parallel_for(10_000, 64, |i| {
+                acc.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            acc.load(Ordering::Relaxed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates the paper's **Figure 10**: cache-miss ratios of the hyperspace-cut
+//! algorithm (TRAP), serial space cuts (STRAP) and the parallel loop nest, measured here
+//! with the ideal-cache simulator fed by the engines' actual memory reference streams
+//! (the paper used Linux `perf` hardware counters).
+//!
+//! Paper reference series: both cache-oblivious algorithms stay at a low, essentially
+//! identical miss ratio while the loop nest saturates near 0.86 (2D heat) / 0.99 (3D
+//! wave) once the grid exceeds the cache.
+
+use pochoir_bench::{scale_from_args, Table};
+use pochoir_cachesim::IdealCacheTracer;
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{run_traced, Coarsening, EngineKind, ExecutionPlan};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::{heat, wave, ProblemScale};
+
+/// Simulated cache: scaled down from the 32 KiB L1 of the paper's machines so that the
+/// "grid ≫ cache" regime is reached at laptop-scale grid sizes.
+const CACHE_BYTES: usize = 16 * 1024;
+const LINE_BYTES: usize = 64;
+
+fn miss_ratio_heat(engine: EngineKind, n: usize, steps: i64) -> f64 {
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let mut a = heat::build([n, n], Boundary::Constant(0.0));
+    let tracer = IdealCacheTracer::new(CACHE_BYTES, LINE_BYTES);
+    let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
+    run_traced(&mut a, &spec, &heat::HeatKernel::<2>::default(), 0, steps, &plan, &tracer);
+    tracer.miss_ratio()
+}
+
+fn miss_ratio_wave(engine: EngineKind, n: usize, steps: i64) -> f64 {
+    let spec = StencilSpec::new(wave::shape());
+    let mut a = wave::build([n, n, n]);
+    let tracer = IdealCacheTracer::new(CACHE_BYTES, LINE_BYTES);
+    let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
+    let t0 = spec.shape().first_step();
+    run_traced(&mut a, &spec, &wave::WaveKernel::default(), t0, t0 + steps, &plan, &tracer);
+    tracer.miss_ratio()
+}
+
+fn main() {
+    let scale = scale_from_args("fig10_cachemiss: simulated cache-miss ratios of TRAP / STRAP / loops");
+    let (ns_2d, steps_2d, ns_3d, steps_3d) = match scale {
+        ProblemScale::Tiny => (vec![32usize, 64], 8i64, vec![12usize, 16], 4i64),
+        ProblemScale::Small => (vec![32, 64, 128, 256], 16, vec![16, 24, 32], 8),
+        ProblemScale::Medium | ProblemScale::Paper => {
+            (vec![64, 128, 256, 512, 1024], 32, vec![16, 32, 48, 64], 12)
+        }
+    };
+
+    println!(
+        "Figure 10 (scaled: {scale:?}) — ideal cache of {} KiB, {LINE_BYTES}-byte lines, uncoarsened\n",
+        CACHE_BYTES / 1024
+    );
+
+    println!("Figure 10(a): 2D nonperiodic heat, {steps_2d} steps\n");
+    let mut ta = Table::new(["N", "TRAP (hyperspace)", "STRAP (space cut)", "loops"]);
+    for &n in &ns_2d {
+        let trap = miss_ratio_heat(EngineKind::Trap, n, steps_2d);
+        let strap = miss_ratio_heat(EngineKind::Strap, n, steps_2d);
+        let loops = miss_ratio_heat(EngineKind::LoopsSerial, n, steps_2d);
+        ta.row([
+            n.to_string(),
+            format!("{trap:.4}"),
+            format!("{strap:.4}"),
+            format!("{loops:.4}"),
+        ]);
+        eprintln!("  2D N={n} done");
+    }
+    println!("{ta}");
+
+    println!("Figure 10(b): 3D nonperiodic wave, {steps_3d} steps\n");
+    let mut tb = Table::new(["N", "TRAP (hyperspace)", "STRAP (space cut)", "loops"]);
+    for &n in &ns_3d {
+        let trap = miss_ratio_wave(EngineKind::Trap, n, steps_3d);
+        let strap = miss_ratio_wave(EngineKind::Strap, n, steps_3d);
+        let loops = miss_ratio_wave(EngineKind::LoopsSerial, n, steps_3d);
+        tb.row([
+            n.to_string(),
+            format!("{trap:.4}"),
+            format!("{strap:.4}"),
+            format!("{loops:.4}"),
+        ]);
+        eprintln!("  3D N={n} done");
+    }
+    println!("{tb}");
+    println!(
+        "Shape to check against the paper: TRAP and STRAP have nearly identical miss ratios\n\
+         at every N (hyperspace cuts cost no cache efficiency), and both stay far below the\n\
+         loop nest once the grid no longer fits in the simulated cache."
+    );
+}

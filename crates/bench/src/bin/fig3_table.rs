@@ -1,0 +1,52 @@
+//! Regenerates the paper's **Figure 3**: the ten-benchmark table comparing Pochoir (TRAP)
+//! on one core and on all cores against serial and parallel loop nests, including the
+//! "ratio" columns (how much slower each loop variant is than parallel Pochoir).
+//!
+//! Run with `cargo run --release -p pochoir-bench --bin fig3_table [--scale small]`.
+
+use pochoir_bench::{fmt_ratio, fmt_seconds, scale_from_args, Fig3Config, Table, FIG3_ROWS};
+
+fn main() {
+    let scale = scale_from_args("fig3_table: regenerate the Figure 3 benchmark table");
+    let threads = pochoir_runtime::Runtime::global().num_threads();
+    println!("Figure 3 (scaled: {scale:?}), {threads} worker thread(s) available");
+    println!("Columns mirror the paper: Pochoir on 1 core and on all cores, serial loops, parallel loops.");
+    println!("'ratio' = loop time / parallel-Pochoir time (the paper's ratio columns).\n");
+
+    let mut table = Table::new([
+        "benchmark",
+        "dims",
+        "pochoir-1",
+        "pochoir-P",
+        "speedup",
+        "loops-serial",
+        "ratio(paper)",
+        "loops-P",
+        "ratio(paper)",
+    ]);
+
+    for row in FIG3_ROWS {
+        let p1 = (row.run)(scale, Fig3Config::PochoirSerial);
+        let pp = (row.run)(scale, Fig3Config::PochoirParallel);
+        let ls = (row.run)(scale, Fig3Config::LoopsSerial);
+        let lp = (row.run)(scale, Fig3Config::LoopsParallel);
+        table.row([
+            row.name.to_string(),
+            row.dims.to_string(),
+            fmt_seconds(p1.seconds),
+            fmt_seconds(pp.seconds),
+            fmt_ratio(p1.seconds, pp.seconds),
+            format!("{} {}x", fmt_seconds(ls.seconds), fmt_ratio(ls.seconds, pp.seconds)),
+            format!("{:.1}x", row.paper_serial_loop_ratio),
+            format!("{} {}x", fmt_seconds(lp.seconds), fmt_ratio(lp.seconds, pp.seconds)),
+            format!("{:.1}x", row.paper_parallel_loop_ratio),
+        ]);
+        eprintln!("  finished {} {}", row.name, row.dims);
+    }
+    println!("{table}");
+    println!(
+        "Note: on a single-core host the pochoir-P and speedup columns cannot exceed 1x;\n\
+         the work/span parallelism the paper's 12-core speedups derive from is reported by\n\
+         the fig9_parallelism harness."
+    );
+}

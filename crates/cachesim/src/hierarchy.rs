@@ -1,0 +1,97 @@
+//! A small multi-level cache hierarchy (L1 → L2 → … → memory) built from
+//! [`SetAssocCache`] levels, mirroring the private L1/L2 of the paper's test machines.
+
+use crate::setassoc::SetAssocCache;
+use crate::stats::CacheStats;
+
+/// A stack of inclusive-ish cache levels: an access that misses level *i* is forwarded to
+/// level *i+1*.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    levels: Vec<SetAssocCache>,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from individual levels, ordered from closest (L1) to farthest.
+    pub fn new(levels: Vec<SetAssocCache>) -> Self {
+        assert!(!levels.is_empty());
+        CacheHierarchy { levels }
+    }
+
+    /// The paper's per-core hierarchy: 32 KiB 8-way L1 and 256 KiB 8-way L2, 64-byte lines.
+    pub fn nehalem_core() -> Self {
+        Self::new(vec![
+            SetAssocCache::new(32 * 1024, 64, 8),
+            SetAssocCache::new(256 * 1024, 64, 8),
+        ])
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Simulates an access: each level is consulted in turn until one hits.
+    pub fn access(&mut self, addr: usize, bytes: usize) {
+        for level in &mut self.levels {
+            if level.access(addr, bytes) {
+                return;
+            }
+        }
+    }
+
+    /// Statistics of level `i` (0 = L1).
+    pub fn level_stats(&self, i: usize) -> CacheStats {
+        self.levels[i].stats()
+    }
+
+    /// Resets every level.
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_absorbs_l1_capacity_misses() {
+        let mut h = CacheHierarchy::new(vec![
+            SetAssocCache::new(256, 64, 4),  // 4 lines
+            SetAssocCache::new(4096, 64, 8), // 64 lines
+        ]);
+        // Working set of 16 lines: misses in L1 on every cyclic pass, hits in L2 after
+        // the first pass.
+        for _ in 0..4 {
+            for line in 0..16 {
+                h.access(line * 64, 8);
+            }
+        }
+        let l1 = h.level_stats(0);
+        let l2 = h.level_stats(1);
+        assert_eq!(l1.misses, 64, "L1 thrashes");
+        assert_eq!(l2.misses, 16, "L2 only sees compulsory misses");
+        assert_eq!(l2.accesses, 64, "L2 sees exactly the L1 misses");
+    }
+
+    #[test]
+    fn hit_in_l1_never_reaches_l2() {
+        let mut h = CacheHierarchy::nehalem_core();
+        h.access(0, 8);
+        h.access(0, 8);
+        assert_eq!(h.level_stats(0).hits, 1);
+        assert_eq!(h.level_stats(1).accesses, 1);
+    }
+
+    #[test]
+    fn clear_resets_all_levels() {
+        let mut h = CacheHierarchy::nehalem_core();
+        h.access(0, 8);
+        h.clear();
+        assert_eq!(h.level_stats(0), CacheStats::default());
+        assert_eq!(h.level_stats(1), CacheStats::default());
+    }
+}

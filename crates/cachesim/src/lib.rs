@@ -1,0 +1,34 @@
+//! # pochoir-cachesim
+//!
+//! Cache simulators used to reproduce the cache-behaviour experiments of *"The Pochoir
+//! Stencil Compiler"* (SPAA 2011).
+//!
+//! The paper verifies with Linux `perf` hardware counters that TRAP (hyperspace cuts)
+//! loses no cache efficiency relative to STRAP (serial space cuts), and that both enjoy a
+//! far lower cache-miss ratio than parallel loops (Figure 10).  Hardware counters are not
+//! portable or deterministic, so this reproduction measures the same quantity — the cache
+//! miss *ratio* — against software cache models fed with the engines' actual memory
+//! reference streams (`pochoir_core::engine::run_traced`):
+//!
+//! * [`IdealCache`] — fully-associative LRU: the ideal-cache model of the cache-oblivious
+//!   analysis in Section 3.
+//! * [`SetAssocCache`] / [`CacheHierarchy`] — set-associative levels that mirror the
+//!   Nehalem/Westmere private caches of the paper's machines.
+//! * [`IdealCacheTracer`] / [`SetAssocTracer`] / [`AccessCounter`] — adapters implementing
+//!   `pochoir_core::view::AccessTracer` so an engine run can be traced directly into a
+//!   simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod hierarchy;
+mod lru;
+mod setassoc;
+mod stats;
+mod tracer;
+
+pub use hierarchy::CacheHierarchy;
+pub use lru::IdealCache;
+pub use setassoc::SetAssocCache;
+pub use stats::CacheStats;
+pub use tracer::{AccessCounter, IdealCacheTracer, SetAssocTracer};

@@ -1,0 +1,89 @@
+//! Cache statistics shared by every simulator flavour.
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total line accesses.
+    pub accesses: u64,
+    /// Accesses served by the cache.
+    pub hits: u64,
+    /// Accesses that had to go to the next level / memory.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Misses divided by accesses — the quantity plotted in the paper's Figure 10.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hits divided by accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Adds another set of counters (e.g. across simulation phases).
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + other.accesses,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+        };
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = CacheStats {
+            accesses: 5,
+            hits: 3,
+            misses: 2,
+            evictions: 0,
+        };
+        let b = CacheStats {
+            accesses: 10,
+            hits: 4,
+            misses: 6,
+            evictions: 2,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.accesses, 15);
+        assert_eq!(m.hits, 7);
+        assert_eq!(m.misses, 8);
+        assert_eq!(m.evictions, 2);
+    }
+}

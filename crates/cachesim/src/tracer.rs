@@ -1,0 +1,160 @@
+//! Adapters that plug the cache simulators into the stencil engines' traced execution
+//! mode (`pochoir_core::engine::run_traced`), reproducing the measurement setup behind
+//! the paper's Figure 10.
+
+use crate::lru::IdealCache;
+use crate::setassoc::SetAssocCache;
+use crate::stats::CacheStats;
+use pochoir_core::view::AccessTracer;
+use std::cell::RefCell;
+
+/// Counts reads and writes without simulating any cache (useful as a baseline and for
+/// computing the denominator of the miss ratio independently).
+#[derive(Debug, Default)]
+pub struct AccessCounter {
+    reads: std::cell::Cell<u64>,
+    writes: std::cell::Cell<u64>,
+}
+
+impl AccessCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of reads observed.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Number of writes observed.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total memory references observed.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+}
+
+impl AccessTracer for AccessCounter {
+    fn on_read(&self, _addr: usize, _bytes: usize) {
+        self.reads.set(self.reads.get() + 1);
+    }
+    fn on_write(&self, _addr: usize, _bytes: usize) {
+        self.writes.set(self.writes.get() + 1);
+    }
+}
+
+/// Feeds every traced access into an [`IdealCache`] (the ideal-cache model of the paper's
+/// analysis).
+#[derive(Debug)]
+pub struct IdealCacheTracer {
+    cache: RefCell<IdealCache>,
+}
+
+impl IdealCacheTracer {
+    /// Wraps a fresh ideal cache of the given geometry.
+    pub fn new(capacity_bytes: usize, line_bytes: usize) -> Self {
+        IdealCacheTracer {
+            cache: RefCell::new(IdealCache::new(capacity_bytes, line_bytes)),
+        }
+    }
+
+    /// The simulated cache's statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// The miss ratio (Figure 10's y-axis).
+    pub fn miss_ratio(&self) -> f64 {
+        self.stats().miss_ratio()
+    }
+}
+
+impl AccessTracer for IdealCacheTracer {
+    fn on_read(&self, addr: usize, bytes: usize) {
+        self.cache.borrow_mut().access(addr, bytes);
+    }
+    fn on_write(&self, addr: usize, bytes: usize) {
+        self.cache.borrow_mut().access(addr, bytes);
+    }
+}
+
+/// Feeds every traced access into a [`SetAssocCache`].
+#[derive(Debug)]
+pub struct SetAssocTracer {
+    cache: RefCell<SetAssocCache>,
+}
+
+impl SetAssocTracer {
+    /// Wraps a set-associative cache.
+    pub fn new(capacity_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
+        SetAssocTracer {
+            cache: RefCell::new(SetAssocCache::new(capacity_bytes, line_bytes, associativity)),
+        }
+    }
+
+    /// A 32 KiB 8-way L1 data cache with 64-byte lines (the paper's machines).
+    pub fn l1d() -> Self {
+        SetAssocTracer {
+            cache: RefCell::new(SetAssocCache::l1d()),
+        }
+    }
+
+    /// The simulated cache's statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// The miss ratio (Figure 10's y-axis).
+    pub fn miss_ratio(&self) -> f64 {
+        self.stats().miss_ratio()
+    }
+}
+
+impl AccessTracer for SetAssocTracer {
+    fn on_read(&self, addr: usize, bytes: usize) {
+        self.cache.borrow_mut().access(addr, bytes);
+    }
+    fn on_write(&self, addr: usize, bytes: usize) {
+        self.cache.borrow_mut().access(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = AccessCounter::new();
+        c.on_read(0, 8);
+        c.on_read(8, 8);
+        c.on_write(16, 8);
+        assert_eq!(c.reads(), 2);
+        assert_eq!(c.writes(), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn ideal_tracer_accumulates_stats() {
+        let t = IdealCacheTracer::new(1024, 64);
+        for i in 0..64 {
+            t.on_read(i * 8, 8);
+        }
+        assert_eq!(t.stats().accesses, 64);
+        assert_eq!(t.stats().misses, 8);
+        assert!(t.miss_ratio() < 0.2);
+    }
+
+    #[test]
+    fn setassoc_tracer_accumulates_stats() {
+        let t = SetAssocTracer::l1d();
+        t.on_write(0, 8);
+        t.on_read(0, 8);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+}

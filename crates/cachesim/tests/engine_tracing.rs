@@ -1,0 +1,94 @@
+//! End-to-end cache-behaviour test: the cache-oblivious engines must incur a
+//! substantially lower miss ratio than the loop nest once the grid exceeds the simulated
+//! cache — the qualitative claim of the paper's Figure 10.
+
+use pochoir_cachesim::{AccessCounter, IdealCacheTracer};
+use pochoir_core::prelude::*;
+
+struct Heat2D;
+impl StencilKernel<f64, 2> for Heat2D {
+    fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let c = g.get(t, x);
+        let v = c
+            + 0.1 * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+            + 0.1 * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+        g.set(t + 1, x, v);
+    }
+}
+
+fn miss_ratio(engine: EngineKind, n: usize, steps: i64, cache_bytes: usize) -> f64 {
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let mut a: PochoirArray<f64, 2> = PochoirArray::new([n, n]);
+    a.register_boundary(Boundary::Constant(0.0));
+    a.fill_time_slice(0, |x| (x[0] + x[1]) as f64);
+    let tracer = IdealCacheTracer::new(cache_bytes, 64);
+    let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
+    run_traced(&mut a, &spec, &Heat2D, 0, steps, &plan, &tracer);
+    tracer.miss_ratio()
+}
+
+#[test]
+fn trapezoidal_engines_beat_loops_on_miss_ratio() {
+    // 64x64 doubles = 2 slices * 32 KiB >> the simulated 4 KiB cache.
+    let n = 64;
+    let steps = 16;
+    let cache = 4 * 1024;
+    let loops = miss_ratio(EngineKind::LoopsSerial, n, steps, cache);
+    let trap = miss_ratio(EngineKind::Trap, n, steps, cache);
+    let strap = miss_ratio(EngineKind::Strap, n, steps, cache);
+    assert!(
+        trap < loops * 0.6,
+        "TRAP miss ratio {trap:.4} should be well below loops {loops:.4}"
+    );
+    assert!(
+        strap < loops * 0.6,
+        "STRAP miss ratio {strap:.4} should be well below loops {loops:.4}"
+    );
+    // TRAP and STRAP have the same asymptotic cache complexity (paper, Section 3
+    // discussion): allow a modest constant-factor band.
+    assert!(
+        trap < strap * 1.5 && strap < trap * 1.5,
+        "TRAP ({trap:.4}) and STRAP ({strap:.4}) should be comparable"
+    );
+}
+
+#[test]
+fn loops_miss_ratio_matches_compulsory_model_when_grid_exceeds_cache() {
+    // With the cache smaller than the three-row working window of the sweep, the loop
+    // nest misses on (roughly) every cache line it touches; the ratio is bounded below by
+    // about one miss per line-of-8-points per row of the 5-point footprint.  (The paper's
+    // Figure 10 shows the same qualitative saturation at large N.)
+    let loops = miss_ratio(EngineKind::LoopsSerial, 128, 8, 1024);
+    assert!(loops > 0.08, "loop miss ratio unexpectedly low: {loops}");
+}
+
+#[test]
+fn access_counter_matches_kernel_arithmetic() {
+    let n = 32usize;
+    let steps = 5i64;
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let mut a: PochoirArray<f64, 2> = PochoirArray::new([n, n]);
+    a.register_boundary(Boundary::Periodic);
+    a.fill_time_slice(0, |_| 1.0);
+    let counter = AccessCounter::new();
+    run_traced(
+        &mut a,
+        &spec,
+        &Heat2D,
+        0,
+        steps,
+        &ExecutionPlan::trap(),
+        &counter,
+    );
+    let points = (n * n) as u64 * steps as u64;
+    assert_eq!(counter.writes(), points);
+    assert_eq!(counter.reads(), 5 * points);
+}
+
+#[test]
+fn small_grids_fit_in_cache_and_barely_miss() {
+    // When both time slices fit in the simulated cache, every engine's miss ratio is tiny
+    // after compulsory misses are amortized over many time steps.
+    let r = miss_ratio(EngineKind::LoopsSerial, 24, 64, 64 * 1024);
+    assert!(r < 0.02, "in-cache run should have near-zero miss ratio, got {r}");
+}

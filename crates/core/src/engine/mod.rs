@@ -1,0 +1,474 @@
+//! The stencil execution engines: TRAP (hyperspace cuts), STRAP (single space cuts), and
+//! the loop baselines, plus the traced execution mode used by the cache experiments.
+
+pub mod base;
+pub mod loops;
+pub mod plan;
+pub mod walker;
+
+pub use plan::{CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode};
+pub use walker::CutStrategy;
+
+use crate::grid::{PochoirArray, RawGrid};
+use crate::kernel::{StencilKernel, StencilSpec};
+use crate::view::{AccessTracer, BoundaryView, CheckedInteriorView, InteriorView, TracingView};
+use crate::zoid::Zoid;
+use pochoir_runtime::{Parallelism, Serial};
+use walker::Walker;
+
+/// Runs the stencil described by `spec`/`kernel` over kernel-invocation times `[t0, t1)`
+/// on `array`, using the engine selected by `plan` and the parallelism provider `par`.
+///
+/// This is the operation behind the paper's `name.Run(T, kern)`.
+pub fn run<T, K, P, const D: usize>(
+    array: &mut PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+    plan: &ExecutionPlan<D>,
+    par: &P,
+) where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+    P: Parallelism,
+{
+    assert!(
+        array.time_slices() >= spec.shape().time_slices(),
+        "array holds {} time slices but the stencil shape has depth {} and needs {}",
+        array.time_slices(),
+        spec.depth(),
+        spec.shape().time_slices()
+    );
+    if t1 <= t0 {
+        return;
+    }
+    let grid = array.raw();
+    match plan.engine {
+        EngineKind::Trap => run_recursive(
+            grid,
+            spec,
+            kernel,
+            t0,
+            t1,
+            plan,
+            par,
+            CutStrategy::Hyperspace,
+        ),
+        EngineKind::Strap => run_recursive(
+            grid,
+            spec,
+            kernel,
+            t0,
+            t1,
+            plan,
+            par,
+            CutStrategy::SingleDimension,
+        ),
+        EngineKind::LoopsSerial => {
+            loops::run_loops(grid, spec, kernel, t0, t1, plan, &Serial, false)
+        }
+        EngineKind::LoopsParallel => loops::run_loops(grid, spec, kernel, t0, t1, plan, par, false),
+        EngineKind::LoopsBlocked => loops::run_loops(grid, spec, kernel, t0, t1, plan, par, true),
+    }
+}
+
+/// Convenience wrapper over [`run`] using the process-global work-stealing runtime.
+pub fn run_with_global_runtime<T, K, const D: usize>(
+    array: &mut PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+    plan: &ExecutionPlan<D>,
+) where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+{
+    run(array, spec, kernel, t0, t1, plan, pochoir_runtime::Runtime::global());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_recursive<T, K, P, const D: usize>(
+    grid: RawGrid<'_, T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+    plan: &ExecutionPlan<D>,
+    par: &P,
+    strategy: CutStrategy,
+) where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+    P: Parallelism,
+{
+    let sizes = grid.sizes();
+    let reach = spec.reach();
+    let force_boundary = plan.clone_mode == CloneMode::AlwaysBoundary;
+    let index_mode = plan.index_mode;
+
+    // The base-case callback implements the *code cloning* of Section 4: interior zoids
+    // run the fast interior clone (monomorphized over `InteriorView`), everything else
+    // runs the boundary clone (monomorphized over `BoundaryView`).
+    let base = move |z: &Zoid<D>| {
+        if !force_boundary && z.is_interior(sizes, reach) {
+            match index_mode {
+                IndexMode::Unchecked => {
+                    let view = InteriorView::new(grid);
+                    base::execute_zoid(z, kernel, &view, None);
+                }
+                IndexMode::Checked => {
+                    let view = CheckedInteriorView::new(grid);
+                    base::execute_zoid(z, kernel, &view, None);
+                }
+            }
+        } else {
+            let view = BoundaryView::new(grid);
+            base::execute_zoid(z, kernel, &view, Some(sizes));
+        }
+    };
+
+    // The unified periodic/nonperiodic scheme (Section 4): the decomposition always
+    // treats every dimension as a torus, so wraparound data dependencies — present
+    // whenever the boundary function reads wrapped interior values — are respected by the
+    // processing order.  Nonperiodic boundary conditions are recovered in the boundary
+    // clone's base case.
+    let params =
+        crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
+    let walker = Walker::with_params(params, plan.coarsening.dt, strategy, par, base);
+    walker.walk(&Zoid::full_grid(sizes, t0, t1));
+}
+
+/// Runs the stencil single-threaded while reporting every grid access to `tracer`.
+///
+/// This mode reproduces the instrumentation behind Figure 10: the same decomposition the
+/// selected engine would perform, with every read and write forwarded to a cache
+/// simulator (or any other [`AccessTracer`]).
+pub fn run_traced<T, K, C, const D: usize>(
+    array: &mut PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+    plan: &ExecutionPlan<D>,
+    tracer: &C,
+) where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+    C: AccessTracer,
+{
+    if t1 <= t0 {
+        return;
+    }
+    let grid = array.raw();
+    let sizes = grid.sizes();
+    match plan.engine {
+        EngineKind::Trap | EngineKind::Strap => {
+            let strategy = if plan.engine == EngineKind::Trap {
+                CutStrategy::Hyperspace
+            } else {
+                CutStrategy::SingleDimension
+            };
+            let view = TracingView::new(grid, tracer);
+            let base = |z: &Zoid<D>| base::execute_zoid(z, kernel, &view, Some(sizes));
+            let params =
+                crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
+            walk_serial(
+                &Zoid::full_grid(sizes, t0, t1),
+                &params,
+                plan.coarsening.dt,
+                strategy,
+                &base,
+            );
+        }
+        EngineKind::LoopsSerial | EngineKind::LoopsParallel | EngineKind::LoopsBlocked => {
+            let view = TracingView::new(grid, tracer);
+            loops::run_loops_with_view(&view, sizes, kernel, t0, t1);
+        }
+    }
+}
+
+/// Serial recursion mirroring [`walker::Walker::walk`] without `Sync` bounds on the base
+/// callback; used by the traced execution mode, whose tracers typically use plain `Cell`
+/// state and never leave the calling thread.
+fn walk_serial<B, const D: usize>(
+    zoid: &Zoid<D>,
+    params: &crate::hyperspace::CutParams<D>,
+    max_height: i64,
+    strategy: CutStrategy,
+    base: &B,
+) where
+    B: Fn(&Zoid<D>),
+{
+    if zoid.volume() == 0 {
+        return;
+    }
+    let cut = match strategy {
+        CutStrategy::Hyperspace => crate::hyperspace::hyperspace_cut_params(zoid, params),
+        CutStrategy::SingleDimension => crate::hyperspace::single_space_cut_params(zoid, params),
+    };
+    if let Some(cut) = cut {
+        for level in &cut.levels {
+            for sub in level {
+                walk_serial(sub, params, max_height, strategy, base);
+            }
+        }
+    } else if zoid.height() > max_height {
+        let (lower, upper) = zoid.time_cut();
+        walk_serial(&lower, params, max_height, strategy, base);
+        walk_serial(&upper, params, max_height, strategy, base);
+    } else {
+        base(zoid);
+    }
+}
+
+/// Runs every engine on identical copies of the initial state and asserts they produce
+/// identical results; returns the reference result.  Exposed for integration tests and
+/// examples that want to demonstrate the Pochoir Guarantee at the engine level.
+pub fn assert_engines_agree<T, K, const D: usize>(
+    make_array: impl Fn() -> PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+    plans: &[ExecutionPlan<D>],
+) -> Vec<T>
+where
+    T: Copy + Send + Sync + PartialEq + std::fmt::Debug,
+    K: StencilKernel<T, D>,
+{
+    assert!(!plans.is_empty());
+    let rt = pochoir_runtime::Runtime::global();
+    let mut reference: Option<Vec<T>> = None;
+    for plan in plans {
+        let mut array = make_array();
+        run(&mut array, spec, kernel, t0, t1, plan, rt);
+        let snap = array.snapshot(t1 - 1 + spec.shape().home_dt() as i64);
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert_eq!(r, &snap, "engine {:?} disagrees with reference", plan.engine),
+        }
+    }
+    reference.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::Boundary;
+    use crate::shape::star_shape;
+    use crate::view::GridAccess;
+
+    struct Heat2D {
+        cx: f64,
+        cy: f64,
+    }
+
+    impl StencilKernel<f64, 2> for Heat2D {
+        fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+            let c = g.get(t, x);
+            let v = c
+                + self.cx * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+                + self.cy * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+            g.set(t + 1, x, v);
+        }
+    }
+
+    fn make_heat_array(n: usize, boundary: Boundary<f64, 2>) -> PochoirArray<f64, 2> {
+        let mut a = PochoirArray::new([n, n]);
+        a.register_boundary(boundary);
+        a.fill_time_slice(0, |x| ((x[0] * 37 + x[1] * 11) % 29) as f64);
+        a
+    }
+
+    fn reference_heat(n: usize, steps: i64, periodic: bool) -> Vec<f64> {
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let mut a = make_heat_array(
+            n,
+            if periodic {
+                Boundary::Periodic
+            } else {
+                Boundary::Constant(0.0)
+            },
+        );
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        run(
+            &mut a,
+            &spec,
+            &k,
+            0,
+            steps,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
+        a.snapshot(steps)
+    }
+
+    #[test]
+    fn trap_matches_loops_nonperiodic() {
+        let n = 40;
+        let steps = 12;
+        let reference = reference_heat(n, steps, false);
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let mut a = make_heat_array(n, Boundary::Constant(0.0));
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [8, 8]));
+        run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+        assert_eq!(a.snapshot(steps), reference);
+    }
+
+    #[test]
+    fn trap_matches_loops_periodic() {
+        let n = 32;
+        let steps = 10;
+        let reference = reference_heat(n, steps, true);
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let mut a = make_heat_array(n, Boundary::Periodic);
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(3, [6, 6]));
+        run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+        assert_eq!(a.snapshot(steps), reference);
+    }
+
+    #[test]
+    fn strap_matches_loops() {
+        let n = 32;
+        let steps = 9;
+        let reference = reference_heat(n, steps, false);
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let mut a = make_heat_array(n, Boundary::Constant(0.0));
+        let plan = ExecutionPlan::strap().with_coarsening(Coarsening::new(2, [5, 5]));
+        run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+        assert_eq!(a.snapshot(steps), reference);
+    }
+
+    #[test]
+    fn trap_parallel_matches_serial() {
+        let n = 48;
+        let steps = 16;
+        let k = Heat2D { cx: 0.12, cy: 0.08 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+
+        let mut serial = make_heat_array(n, Boundary::Periodic);
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [8, 8]));
+        run(&mut serial, &spec, &k, 0, steps, &plan, &Serial);
+
+        let rt = pochoir_runtime::Runtime::new(3);
+        let mut parallel = make_heat_array(n, Boundary::Periodic);
+        run(&mut parallel, &spec, &k, 0, steps, &plan, &rt);
+
+        assert_eq!(serial.snapshot(steps), parallel.snapshot(steps));
+    }
+
+    #[test]
+    fn uncoarsened_trap_is_still_correct() {
+        let n = 20;
+        let steps = 6;
+        let reference = reference_heat(n, steps, false);
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let mut a = make_heat_array(n, Boundary::Constant(0.0));
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::none());
+        run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+        assert_eq!(a.snapshot(steps), reference);
+    }
+
+    #[test]
+    fn always_boundary_clone_matches_cloned_execution() {
+        let n = 28;
+        let steps = 8;
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+
+        let mut cloned = make_heat_array(n, Boundary::Periodic);
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6]));
+        run(&mut cloned, &spec, &k, 0, steps, &plan, &Serial);
+
+        let mut modular = make_heat_array(n, Boundary::Periodic);
+        let plan_b = plan.with_clone_mode(CloneMode::AlwaysBoundary);
+        run(&mut modular, &spec, &k, 0, steps, &plan_b, &Serial);
+
+        assert_eq!(cloned.snapshot(steps), modular.snapshot(steps));
+    }
+
+    #[test]
+    fn assert_engines_agree_runs_all_plans() {
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let plans = [
+            ExecutionPlan::loops_serial(),
+            ExecutionPlan::loops_parallel(),
+            ExecutionPlan::loops_blocked([8, 8]),
+            ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [8, 8])),
+            ExecutionPlan::strap().with_coarsening(Coarsening::new(2, [8, 8])),
+        ];
+        let result = assert_engines_agree(
+            || make_heat_array(24, Boundary::Clamp),
+            &spec,
+            &k,
+            0,
+            6,
+            &plans,
+        );
+        assert_eq!(result.len(), 24 * 24);
+    }
+
+    #[test]
+    fn traced_run_counts_every_access() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct Counter {
+            reads: AtomicU64,
+            writes: AtomicU64,
+        }
+        impl AccessTracer for Counter {
+            fn on_read(&self, _addr: usize, _bytes: usize) {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_write(&self, _addr: usize, _bytes: usize) {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let n = 16usize;
+        let steps = 4i64;
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            let mut a = make_heat_array(n, Boundary::Periodic);
+            let counter = Counter::default();
+            let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [4, 4]));
+            run_traced(&mut a, &spec, &k, 0, steps, &plan, &counter);
+            let points = (n * n) as u64 * steps as u64;
+            assert_eq!(counter.writes.load(Ordering::Relaxed), points);
+            // The heat kernel reads 5 points per update.
+            assert_eq!(counter.reads.load(Ordering::Relaxed), 5 * points);
+        }
+    }
+
+    #[test]
+    fn empty_time_range_is_a_no_op() {
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let mut a = make_heat_array(8, Boundary::Periodic);
+        let before = a.snapshot(0);
+        run(&mut a, &spec, &k, 5, 5, &ExecutionPlan::trap(), &Serial);
+        assert_eq!(a.snapshot(0), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "time slices")]
+    fn depth_mismatch_is_rejected() {
+        // A depth-2 shape needs 3 slices; this array only has 2.
+        let shape = crate::shape::Shape::must(vec![
+            crate::shape::ShapeCell::new(1, [0, 0]),
+            crate::shape::ShapeCell::new(0, [0, 0]),
+            crate::shape::ShapeCell::new(-1, [0, 0]),
+        ]);
+        let spec = StencilSpec::new(shape);
+        let k = Heat2D { cx: 0.1, cy: 0.1 };
+        let mut a = make_heat_array(8, Boundary::Periodic);
+        run(&mut a, &spec, &k, 1, 3, &ExecutionPlan::trap(), &Serial);
+    }
+}

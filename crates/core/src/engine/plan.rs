@@ -1,0 +1,236 @@
+//! Execution plans: which engine to run, how to coarsen the base case, and which of the
+//! compiler's code-generation choices (Section 4) to emulate.
+
+/// Which algorithm executes the stencil.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The paper's TRAP: trapezoidal decomposition with hyperspace cuts (Section 3).
+    Trap,
+    /// STRAP: Frigo–Strumpen-style decomposition with one space cut at a time
+    /// (the comparator of Theorem 5 and Figures 9/10).
+    Strap,
+    /// The naive serial triply-nested loop of Figure 1, one core.
+    LoopsSerial,
+    /// Figure 1 with the outer spatial loop parallelized (`cilk_for` / `parallel_for`).
+    LoopsParallel,
+    /// Space-blocked (tiled) parallel loops — the Berkeley-autotuner-style baseline used
+    /// for the Figure 5 comparison.
+    LoopsBlocked,
+}
+
+/// Address-computation style of the interior clone (the paper's `--split-pointer` vs.
+/// `--split-macro-shadow` command-line options, Figure 12/13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum IndexMode {
+    /// Unchecked raw stride arithmetic (the `--split-pointer` analog).  Default.
+    #[default]
+    Unchecked,
+    /// Bounds-checked address computation (the `--split-macro-shadow` analog).
+    Checked,
+}
+
+/// Kernel-clone selection policy (Section 4, "handling boundary conditions by code
+/// cloning").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CloneMode {
+    /// Interior zoids run the fast interior clone; boundary zoids run the boundary clone.
+    #[default]
+    InteriorAndBoundary,
+    /// Every zoid runs the boundary clone (every access pays the boundary/modulo check);
+    /// this reproduces the "modular indexing" ablation of Section 4 (≈2.3× slowdown).
+    AlwaysBoundary,
+}
+
+/// Base-case coarsening thresholds (Section 4, "coarsening of base cases").
+///
+/// Recursion stops splitting a dimension once its width is at or below `dx[i]`, and stops
+/// time-cutting once the height is at or below `dt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Coarsening<const D: usize> {
+    /// Maximum base-case height (time steps).
+    pub dt: i64,
+    /// Maximum base-case width per spatial dimension.
+    pub dx: [i64; D],
+}
+
+impl<const D: usize> Coarsening<D> {
+    /// No coarsening: recurse all the way down (used by the Figure 9/10 experiments,
+    /// which measure the uncoarsened algorithms).
+    pub fn none() -> Self {
+        Coarsening { dt: 1, dx: [1; D] }
+    }
+
+    /// The paper's heuristic coarsening (Section 4): roughly 100×100×5 base cases in 2D;
+    /// in three or more dimensions never cut the unit-stride dimension and keep the
+    /// others small (1000×3×3 with 3 time steps in 3D).
+    pub fn heuristic() -> Self {
+        let mut dx = [3i64; D];
+        match D {
+            1 => {
+                dx[0] = 1000;
+                Coarsening { dt: 100, dx }
+            }
+            2 => {
+                dx = [100i64; D];
+                Coarsening { dt: 5, dx }
+            }
+            _ => {
+                dx[D - 1] = 1000; // never cut the unit-stride dimension
+                Coarsening { dt: 3, dx }
+            }
+        }
+    }
+
+    /// Explicit thresholds.
+    pub fn new(dt: i64, dx: [i64; D]) -> Self {
+        assert!(dt >= 1, "coarsening dt must be at least 1");
+        assert!(dx.iter().all(|&w| w >= 1), "coarsening widths must be at least 1");
+        Coarsening { dt, dx }
+    }
+}
+
+impl<const D: usize> Default for Coarsening<D> {
+    fn default() -> Self {
+        Self::heuristic()
+    }
+}
+
+/// A complete description of how to execute a stencil computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutionPlan<const D: usize> {
+    /// Which engine runs.
+    pub engine: EngineKind,
+    /// Base-case coarsening for the recursive engines.
+    pub coarsening: Coarsening<D>,
+    /// Interior-clone indexing style.
+    pub index_mode: IndexMode,
+    /// Kernel-clone selection policy.
+    pub clone_mode: CloneMode,
+    /// Spatial block edge lengths for [`EngineKind::LoopsBlocked`].
+    pub block: [usize; D],
+    /// `parallel_for` grain (outer-dimension rows per task) for the loop engines.
+    pub grain: usize,
+}
+
+impl<const D: usize> ExecutionPlan<D> {
+    /// The default plan for the given engine.
+    pub fn new(engine: EngineKind) -> Self {
+        ExecutionPlan {
+            engine,
+            coarsening: Coarsening::heuristic(),
+            index_mode: IndexMode::Unchecked,
+            clone_mode: CloneMode::InteriorAndBoundary,
+            block: [64; D],
+            grain: 1,
+        }
+    }
+
+    /// TRAP with the paper's heuristic coarsening — the configuration the Pochoir
+    /// compiler emits by default.
+    pub fn trap() -> Self {
+        Self::new(EngineKind::Trap)
+    }
+
+    /// STRAP (serial space cuts) with heuristic coarsening.
+    pub fn strap() -> Self {
+        Self::new(EngineKind::Strap)
+    }
+
+    /// The serial loop nest of Figure 1.
+    pub fn loops_serial() -> Self {
+        Self::new(EngineKind::LoopsSerial)
+    }
+
+    /// Figure 1 with the outer loop parallelized.
+    pub fn loops_parallel() -> Self {
+        Self::new(EngineKind::LoopsParallel)
+    }
+
+    /// Space-blocked parallel loops.
+    pub fn loops_blocked(block: [usize; D]) -> Self {
+        let mut plan = Self::new(EngineKind::LoopsBlocked);
+        plan.block = block;
+        plan
+    }
+
+    /// Builder-style override of the coarsening thresholds.
+    pub fn with_coarsening(mut self, coarsening: Coarsening<D>) -> Self {
+        self.coarsening = coarsening;
+        self
+    }
+
+    /// Builder-style override of the indexing mode.
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.index_mode = mode;
+        self
+    }
+
+    /// Builder-style override of the clone policy.
+    pub fn with_clone_mode(mut self, mode: CloneMode) -> Self {
+        self.clone_mode = mode;
+        self
+    }
+
+    /// Builder-style override of the loop grain.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+}
+
+impl<const D: usize> Default for ExecutionPlan<D> {
+    fn default() -> Self {
+        Self::trap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_coarsening_matches_paper_guidance() {
+        let c1: Coarsening<1> = Coarsening::heuristic();
+        assert_eq!(c1.dx, [1000]);
+        let c2: Coarsening<2> = Coarsening::heuristic();
+        assert_eq!(c2.dt, 5);
+        assert_eq!(c2.dx, [100, 100]);
+        let c3: Coarsening<3> = Coarsening::heuristic();
+        assert_eq!(c3.dt, 3);
+        assert_eq!(c3.dx, [3, 3, 1000]);
+        let c4: Coarsening<4> = Coarsening::heuristic();
+        assert_eq!(c4.dx, [3, 3, 3, 1000]);
+    }
+
+    #[test]
+    fn none_coarsening_recurses_to_unit_cells() {
+        let c: Coarsening<2> = Coarsening::none();
+        assert_eq!(c.dt, 1);
+        assert_eq!(c.dx, [1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_dt_rejected() {
+        let _ = Coarsening::<2>::new(0, [1, 1]);
+    }
+
+    #[test]
+    fn plan_builders() {
+        let plan = ExecutionPlan::<2>::trap()
+            .with_coarsening(Coarsening::new(4, [32, 32]))
+            .with_index_mode(IndexMode::Checked)
+            .with_clone_mode(CloneMode::AlwaysBoundary)
+            .with_grain(0);
+        assert_eq!(plan.engine, EngineKind::Trap);
+        assert_eq!(plan.coarsening.dt, 4);
+        assert_eq!(plan.index_mode, IndexMode::Checked);
+        assert_eq!(plan.clone_mode, CloneMode::AlwaysBoundary);
+        assert_eq!(plan.grain, 1);
+        assert_eq!(ExecutionPlan::<3>::default().engine, EngineKind::Trap);
+        assert_eq!(
+            ExecutionPlan::<2>::loops_blocked([16, 16]).block,
+            [16, 16]
+        );
+    }
+}

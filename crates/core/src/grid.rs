@@ -1,0 +1,538 @@
+//! The Pochoir array (`Pochoir_Array` in the paper, Section 2): a d-dimensional spatial
+//! grid with a small circular buffer of time slices.
+//!
+//! A stencil of depth *k* needs `k + 1` time slices, reused modulo `k + 1` as the
+//! computation proceeds — exactly the storage discipline of the paper.  The user never
+//! obtains an alias into the array (copy-in / copy-out), which leaves the layout under
+//! the library's control.
+
+use crate::boundary::Boundary;
+use std::marker::PhantomData;
+
+/// A dense, row-major, d-dimensional spatial grid with `depth + 1` time slices.
+///
+/// Coordinates are `i64`; the last spatial dimension is the unit-stride dimension.
+/// Reads through [`PochoirArray::get`] outside the spatial domain are resolved by the
+/// array's [`Boundary`]; writes must be in-domain.
+pub struct PochoirArray<T, const D: usize> {
+    sizes: [usize; D],
+    strides: [usize; D],
+    slice_len: usize,
+    time_slices: usize,
+    data: Vec<T>,
+    boundary: Boundary<T, D>,
+}
+
+impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
+    /// Creates an array for a depth-1 stencil (two time slices), filled with `T::default()`.
+    pub fn new(sizes: [usize; D]) -> Self {
+        Self::with_depth(sizes, 1)
+    }
+
+    /// Creates an array with `depth + 1` time slices, filled with `T::default()`.
+    pub fn with_depth(sizes: [usize; D], depth: usize) -> Self {
+        assert!(D > 0, "PochoirArray requires at least one spatial dimension");
+        assert!(sizes.iter().all(|&s| s > 0), "every spatial extent must be positive");
+        let mut strides = [0usize; D];
+        let mut acc = 1usize;
+        for d in (0..D).rev() {
+            strides[d] = acc;
+            acc = acc
+                .checked_mul(sizes[d])
+                .expect("grid too large: stride overflow");
+        }
+        let slice_len = acc;
+        let time_slices = depth + 1;
+        let total = slice_len
+            .checked_mul(time_slices)
+            .expect("grid too large: total size overflow");
+        PochoirArray {
+            sizes,
+            strides,
+            slice_len,
+            time_slices,
+            data: vec![T::default(); total],
+            boundary: Boundary::Constant(T::default()),
+        }
+    }
+}
+
+impl<T: Copy, const D: usize> PochoirArray<T, D> {
+    /// The spatial extent along `dim`.
+    pub fn size(&self, dim: usize) -> usize {
+        self.sizes[dim]
+    }
+
+    /// All spatial extents.
+    pub fn sizes(&self) -> [usize; D] {
+        self.sizes
+    }
+
+    /// Spatial extents as `i64` (the coordinate type used by kernels).
+    pub fn sizes_i64(&self) -> [i64; D] {
+        let mut out = [0i64; D];
+        for d in 0..D {
+            out[d] = self.sizes[d] as i64;
+        }
+        out
+    }
+
+    /// Number of grid points in one time slice.
+    pub fn slice_len(&self) -> usize {
+        self.slice_len
+    }
+
+    /// Number of time slices kept (stencil depth + 1).
+    pub fn time_slices(&self) -> usize {
+        self.time_slices
+    }
+
+    /// Row-major strides of the spatial dimensions.
+    pub fn strides(&self) -> [usize; D] {
+        self.strides
+    }
+
+    /// Registers the boundary function of this array (`Register_Boundary` in the paper).
+    pub fn register_boundary(&mut self, boundary: Boundary<T, D>) {
+        self.boundary = boundary;
+    }
+
+    /// The currently registered boundary function.
+    pub fn boundary(&self) -> &Boundary<T, D> {
+        &self.boundary
+    }
+
+    /// True if `x` lies inside the spatial domain.
+    pub fn in_domain(&self, x: [i64; D]) -> bool {
+        (0..D).all(|d| x[d] >= 0 && x[d] < self.sizes[d] as i64)
+    }
+
+    #[inline]
+    fn slice_index(&self, t: i64) -> usize {
+        (t.rem_euclid(self.time_slices as i64)) as usize
+    }
+
+    #[inline]
+    fn spatial_offset(&self, x: [i64; D]) -> usize {
+        let mut off = 0usize;
+        for d in 0..D {
+            debug_assert!(
+                x[d] >= 0 && (x[d] as usize) < self.sizes[d],
+                "coordinate {} out of range on axis {d} (size {})",
+                x[d],
+                self.sizes[d]
+            );
+            off += (x[d] as usize) * self.strides[d];
+        }
+        off
+    }
+
+    /// Linear offset of `(t, x)` within the backing storage.
+    pub fn offset(&self, t: i64, x: [i64; D]) -> usize {
+        self.slice_index(t) * self.slice_len + self.spatial_offset(x)
+    }
+
+    /// Reads the value at `(t, x)`.  Out-of-domain coordinates are resolved through the
+    /// registered boundary function, as in the paper's Phase-1 template library.
+    pub fn get(&self, t: i64, x: [i64; D]) -> T {
+        if self.in_domain(x) {
+            self.data[self.offset(t, x)]
+        } else {
+            let read = |tt: i64, xx: [i64; D]| self.data[self.offset(tt, xx)];
+            self.boundary.resolve(&read, self.sizes_i64(), t, x)
+        }
+    }
+
+    /// Reads an in-domain value without boundary handling (bounds checked in debug builds).
+    #[inline]
+    pub fn get_interior(&self, t: i64, x: [i64; D]) -> T {
+        self.data[self.offset(t, x)]
+    }
+
+    /// Writes the value at `(t, x)`.  Panics when `x` is outside the domain.
+    pub fn set(&mut self, t: i64, x: [i64; D], value: T) {
+        assert!(
+            self.in_domain(x),
+            "cannot write outside the computing domain: {x:?}"
+        );
+        let off = self.offset(t, x);
+        self.data[off] = value;
+    }
+
+    /// Fills time slice `t` from a function of the spatial coordinates.
+    pub fn fill_time_slice(&mut self, t: i64, mut f: impl FnMut([i64; D]) -> T) {
+        let sizes = self.sizes_i64();
+        let mut x = [0i64; D];
+        loop {
+            let off = self.offset(t, x);
+            self.data[off] = f(x);
+            // Odometer increment over the spatial coordinates, last dimension fastest.
+            let mut d = D;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                x[d] += 1;
+                if x[d] < sizes[d] {
+                    break;
+                }
+                x[d] = 0;
+                if d == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Iterates over every spatial coordinate of the grid in row-major order.
+    pub fn iter_space(&self) -> SpaceIter<D> {
+        SpaceIter::new(self.sizes_i64())
+    }
+
+    /// Copies time slice `t` into a flat `Vec` in row-major order (useful for comparing
+    /// results between engines).
+    pub fn snapshot(&self, t: i64) -> Vec<T> {
+        let base = self.slice_index(t) * self.slice_len;
+        self.data[base..base + self.slice_len].to_vec()
+    }
+
+    /// Raw engine-facing handle.  Only the engines use this; user code goes through
+    /// `get`/`set`.
+    pub(crate) fn raw(&mut self) -> RawGrid<'_, T, D> {
+        RawGrid {
+            ptr: self.data.as_mut_ptr(),
+            sizes: self.sizes_i64(),
+            strides: self.strides,
+            slice_len: self.slice_len,
+            time_slices: self.time_slices,
+            boundary: &self.boundary,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Clone, const D: usize> Clone for PochoirArray<T, D> {
+    fn clone(&self) -> Self {
+        PochoirArray {
+            sizes: self.sizes,
+            strides: self.strides,
+            slice_len: self.slice_len,
+            time_slices: self.time_slices,
+            data: self.data.clone(),
+            boundary: self.boundary.clone(),
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Display, const D: usize> std::fmt::Display for PochoirArray<T, D> {
+    /// Pretty-prints the *latest written* content of every time slice (mirrors the
+    /// paper's overloaded `<<` operator).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for slice in 0..self.time_slices {
+            writeln!(f, "-- time slice {slice} --")?;
+            let mut it = SpaceIter::new(self.sizes_i64());
+            let mut count = 0usize;
+            while let Some(x) = it.next_point() {
+                let off = slice * self.slice_len + self.spatial_offset(x);
+                write!(f, "{} ", self.data[off])?;
+                count += 1;
+                if D >= 1 && count % self.sizes[D - 1] == 0 {
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Row-major iterator over all coordinates of a box `[0, sizes)`.
+#[derive(Debug, Clone)]
+pub struct SpaceIter<const D: usize> {
+    sizes: [i64; D],
+    next: Option<[i64; D]>,
+}
+
+impl<const D: usize> SpaceIter<D> {
+    /// Iterates `[0, sizes)` in row-major order.
+    pub fn new(sizes: [i64; D]) -> Self {
+        let start = if sizes.iter().all(|&s| s > 0) {
+            Some([0i64; D])
+        } else {
+            None
+        };
+        SpaceIter { sizes, next: start }
+    }
+
+    /// Returns the next coordinate, or `None` when exhausted.
+    pub fn next_point(&mut self) -> Option<[i64; D]> {
+        let current = self.next?;
+        // Advance the odometer.
+        let mut x = current;
+        let mut d = D;
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            x[d] += 1;
+            if x[d] < self.sizes[d] {
+                self.next = Some(x);
+                break;
+            }
+            x[d] = 0;
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+impl<const D: usize> Iterator for SpaceIter<D> {
+    type Item = [i64; D];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_point()
+    }
+}
+
+/// An engine-facing raw handle to a Pochoir array.
+///
+/// The pointer allows concurrent writes from multiple worker threads.  Safety rests on
+/// the trapezoidal decomposition's guarantee that concurrently processed subzoids touch
+/// disjoint space-time points (Lemma 1 of the paper); the `verify` test engine checks the
+/// write-once property explicitly.
+pub struct RawGrid<'a, T, const D: usize> {
+    ptr: *mut T,
+    sizes: [i64; D],
+    strides: [usize; D],
+    slice_len: usize,
+    time_slices: usize,
+    boundary: &'a Boundary<T, D>,
+    _marker: PhantomData<&'a mut T>,
+}
+
+impl<'a, T, const D: usize> Clone for RawGrid<'a, T, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, T, const D: usize> Copy for RawGrid<'a, T, D> {}
+
+// Safety: see the type-level comment; concurrent access is coordinated by the engines.
+unsafe impl<'a, T: Send + Sync, const D: usize> Send for RawGrid<'a, T, D> {}
+unsafe impl<'a, T: Send + Sync, const D: usize> Sync for RawGrid<'a, T, D> {}
+
+impl<'a, T: Copy, const D: usize> RawGrid<'a, T, D> {
+    /// Spatial extents.
+    #[inline]
+    pub fn sizes(&self) -> [i64; D] {
+        self.sizes
+    }
+
+    /// The boundary function registered on the underlying array.
+    #[inline]
+    pub fn boundary(&self) -> &'a Boundary<T, D> {
+        self.boundary
+    }
+
+    /// Number of time slices.
+    #[inline]
+    pub fn time_slices(&self) -> usize {
+        self.time_slices
+    }
+
+    /// Number of points per time slice.
+    #[inline]
+    pub fn slice_len(&self) -> usize {
+        self.slice_len
+    }
+
+    /// Size in bytes of one grid element (used by the cache tracer).
+    #[inline]
+    pub fn element_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+
+    /// Linear element offset of `(t, x)`; `x` must be in-domain.
+    #[inline]
+    pub fn offset(&self, t: i64, x: [i64; D]) -> usize {
+        let slice = (t.rem_euclid(self.time_slices as i64)) as usize;
+        let mut off = slice * self.slice_len;
+        for d in 0..D {
+            debug_assert!(
+                x[d] >= 0 && x[d] < self.sizes[d],
+                "raw access out of range: axis {d}, coordinate {}, size {}",
+                x[d],
+                self.sizes[d]
+            );
+            off += (x[d] as usize) * self.strides[d];
+        }
+        off
+    }
+
+    /// True if `x` lies inside the spatial domain.
+    #[inline]
+    pub fn in_domain(&self, x: [i64; D]) -> bool {
+        (0..D).all(|d| x[d] >= 0 && x[d] < self.sizes[d])
+    }
+
+    /// Unchecked read of an in-domain point.
+    ///
+    /// # Safety-related behaviour
+    ///
+    /// Debug builds assert the coordinate is in-domain; release builds rely on the
+    /// decomposition guaranteeing it.
+    #[inline]
+    pub fn read(&self, t: i64, x: [i64; D]) -> T {
+        let off = self.offset(t, x);
+        unsafe { *self.ptr.add(off) }
+    }
+
+    /// Unchecked write of an in-domain point.
+    #[inline]
+    pub fn write(&self, t: i64, x: [i64; D], value: T) {
+        let off = self.offset(t, x);
+        unsafe {
+            *self.ptr.add(off) = value;
+        }
+    }
+
+    /// Read with boundary resolution: out-of-domain coordinates go through the boundary
+    /// function, exactly like `PochoirArray::get`.
+    pub fn read_with_boundary(&self, t: i64, x: [i64; D]) -> T {
+        if self.in_domain(x) {
+            self.read(t, x)
+        } else {
+            let read = |tt: i64, xx: [i64; D]| self.read(tt, xx);
+            self.boundary.resolve(&read, self.sizes, t, x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::AxisRule;
+
+    #[test]
+    fn strides_are_row_major() {
+        let a: PochoirArray<f64, 3> = PochoirArray::new([4, 5, 6]);
+        assert_eq!(a.strides(), [30, 6, 1]);
+        assert_eq!(a.slice_len(), 120);
+        assert_eq!(a.time_slices(), 2);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 4]);
+        a.set(0, [1, 2], 42.0);
+        assert_eq!(a.get(0, [1, 2]), 42.0);
+        assert_eq!(a.get(0, [0, 0]), 0.0);
+    }
+
+    #[test]
+    fn time_slices_wrap_modulo_depth_plus_one() {
+        let mut a: PochoirArray<f64, 1> = PochoirArray::with_depth([4], 1);
+        a.set(0, [1], 1.0);
+        a.set(1, [1], 2.0);
+        // Time 2 aliases slice 0.
+        assert_eq!(a.get(2, [1]), 1.0);
+        a.set(2, [1], 3.0);
+        assert_eq!(a.get(0, [1]), 3.0);
+        // Depth-2 arrays have three slices.
+        let b: PochoirArray<f64, 1> = PochoirArray::with_depth([4], 2);
+        assert_eq!(b.time_slices(), 3);
+    }
+
+    #[test]
+    fn out_of_domain_reads_use_boundary() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 3]);
+        a.register_boundary(Boundary::Constant(-5.0));
+        assert_eq!(a.get(0, [-1, 0]), -5.0);
+        assert_eq!(a.get(0, [0, 3]), -5.0);
+        a.register_boundary(Boundary::Periodic);
+        a.set(0, [2, 1], 9.0);
+        assert_eq!(a.get(0, [-1, 1]), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the computing domain")]
+    fn out_of_domain_write_panics() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 3]);
+        a.set(0, [3, 0], 1.0);
+    }
+
+    #[test]
+    fn fill_time_slice_visits_every_point() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 4]);
+        a.fill_time_slice(0, |x| (x[0] * 10 + x[1]) as f64);
+        for x0 in 0..3 {
+            for x1 in 0..4 {
+                assert_eq!(a.get(0, [x0, x1]), (x0 * 10 + x1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn space_iter_counts_and_order() {
+        let pts: Vec<[i64; 2]> = SpaceIter::new([2, 3]).collect();
+        assert_eq!(
+            pts,
+            vec![[0, 0], [0, 1], [0, 2], [1, 0], [1, 1], [1, 2]]
+        );
+        let pts3: Vec<[i64; 3]> = SpaceIter::new([2, 2, 2]).collect();
+        assert_eq!(pts3.len(), 8);
+    }
+
+    #[test]
+    fn snapshot_reflects_slice_content() {
+        let mut a: PochoirArray<i64, 1> = PochoirArray::new([4]);
+        a.fill_time_slice(1, |x| x[0] * 2);
+        assert_eq!(a.snapshot(1), vec![0, 2, 4, 6]);
+        assert_eq!(a.snapshot(0), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn raw_grid_reads_and_writes() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([4, 4]);
+        a.register_boundary(Boundary::Mixed([AxisRule::Clamp, AxisRule::Periodic]));
+        {
+            let raw = a.raw();
+            raw.write(1, [2, 3], 8.0);
+            assert_eq!(raw.read(1, [2, 3]), 8.0);
+            // Clamped on axis 0, wrapped on axis 1.
+            raw.write(0, [0, 0], 3.0);
+            assert_eq!(raw.read_with_boundary(0, [-1, 4]), 3.0);
+        }
+        assert_eq!(a.get(1, [2, 3]), 8.0);
+    }
+
+    #[test]
+    fn display_prints_without_panicking() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([2, 2]);
+        a.set(0, [0, 0], 1.5);
+        let s = format!("{a}");
+        assert!(s.contains("time slice 0"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn one_dimensional_grid_works() {
+        let mut a: PochoirArray<u32, 1> = PochoirArray::new([10]);
+        a.fill_time_slice(0, |x| x[0] as u32);
+        assert_eq!(a.get(0, [9]), 9);
+        assert_eq!(a.size(0), 10);
+    }
+
+    #[test]
+    fn four_dimensional_grid_works() {
+        let mut a: PochoirArray<f32, 4> = PochoirArray::new([3, 3, 3, 3]);
+        a.set(0, [1, 2, 0, 1], 4.5);
+        assert_eq!(a.get(0, [1, 2, 0, 1]), 4.5);
+        assert_eq!(a.strides(), [27, 9, 3, 1]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the zoid geometry and the hyperspace cut (Lemma 1).
+
+use pochoir_core::hyperspace::{hyperspace_cut_params, CutParams};
+use pochoir_core::zoid::Zoid;
+use proptest::prelude::*;
+
+/// Strategy producing well-defined 1D zoids with slopes in {-s, 0, +s} that are
+/// representative of what the recursion generates.
+fn zoid1(slope: i64) -> impl Strategy<Value = Zoid<1>> {
+    (1i64..6, 0i64..40, 1i64..60, -1i64..=1, -1i64..=1).prop_filter_map(
+        "well-defined",
+        move |(h, x0, w, s0, s1)| {
+            let z = Zoid::<1> {
+                t0: 0,
+                t1: h,
+                x0: [x0],
+                dx0: [s0 * slope],
+                x1: [x0 + w],
+                dx1: [s1 * slope],
+            };
+            if z.well_defined() {
+                Some(z)
+            } else {
+                None
+            }
+        },
+    )
+}
+
+fn zoid2(slope: i64) -> impl Strategy<Value = Zoid<2>> {
+    (zoid1(slope), zoid1(slope)).prop_map(|(a, b)| Zoid::<2> {
+        t0: 0,
+        t1: a.t1.min(b.t1),
+        x0: [a.x0[0], b.x0[0]],
+        dx0: [a.dx0[0], b.dx0[0]],
+        x1: [a.x1[0], b.x1[0]],
+        dx1: [a.dx1[0], b.dx1[0]],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A space cut produces well-defined subzoids that exactly partition the parent.
+    #[test]
+    fn space_cut_partitions_parent(z in zoid1(1)) {
+        prop_assume!(z.can_space_cut(0, 1));
+        let cut = z.space_cut(0, 1);
+        for piece in [&cut.black[0], &cut.black[1], &cut.gray] {
+            prop_assert!(piece.well_defined() || piece.volume() == 0, "piece {piece:?}");
+        }
+        let total: u128 = cut.black[0].volume() + cut.black[1].volume() + cut.gray.volume();
+        prop_assert_eq!(total, z.volume());
+        // Ownership is exclusive.
+        for t in z.t0..z.t1 {
+            for x in z.lower_at(0, t)..z.upper_at(0, t) {
+                let owners = [&cut.black[0], &cut.black[1], &cut.gray]
+                    .iter()
+                    .filter(|p| p.contains(t, [x]))
+                    .count();
+                prop_assert_eq!(owners, 1);
+            }
+        }
+    }
+
+    /// Space cuts with slope 2 stencils are also sound.
+    #[test]
+    fn space_cut_partitions_parent_slope2(z in zoid1(2)) {
+        prop_assume!(z.can_space_cut(0, 2));
+        let cut = z.space_cut(0, 2);
+        let total: u128 = cut.black[0].volume() + cut.black[1].volume() + cut.gray.volume();
+        prop_assert_eq!(total, z.volume());
+        for piece in [&cut.black[0], &cut.black[1], &cut.gray] {
+            prop_assert!(piece.well_defined() || piece.volume() == 0);
+        }
+    }
+
+    /// The two black subzoids of a space cut never read each other's freshly written
+    /// values (the independence underlying Lemma 1).
+    #[test]
+    fn black_subzoids_independent(z in zoid1(1)) {
+        prop_assume!(z.can_space_cut(0, 1));
+        let slope = 1;
+        let cut = z.space_cut(0, slope);
+        let (a, b) = (cut.black[0], cut.black[1]);
+        for t in (z.t0 + 1)..z.t1 {
+            for (p, q) in [(&a, &b), (&b, &a)] {
+                if p.upper_at(0, t) <= p.lower_at(0, t) || q.upper_at(0, t - 1) <= q.lower_at(0, t - 1) {
+                    continue;
+                }
+                let read_lo = p.lower_at(0, t) - slope;
+                let read_hi = p.upper_at(0, t) - 1 + slope;
+                let q_lo = q.lower_at(0, t - 1);
+                let q_hi = q.upper_at(0, t - 1) - 1;
+                prop_assert!(
+                    read_hi < q_lo || read_lo > q_hi,
+                    "black piece reads its sibling: t={t} {p:?} {q:?}"
+                );
+            }
+        }
+    }
+
+    /// A time cut partitions the parent and keeps both halves well-defined.
+    #[test]
+    fn time_cut_partitions_parent(z in zoid2(1)) {
+        prop_assume!(z.height() >= 2);
+        let (lo, hi) = z.time_cut();
+        prop_assert_eq!(lo.volume() + hi.volume(), z.volume());
+        prop_assert!(lo.well_defined() || lo.volume() == 0);
+        prop_assert!(hi.well_defined() || hi.volume() == 0);
+        prop_assert_eq!(lo.t1, hi.t0);
+    }
+
+    /// A hyperspace cut on a 2-D zoid produces at most k+1 levels, well-defined pieces,
+    /// and preserves the total volume (Lemma 1 bookkeeping).
+    #[test]
+    fn hyperspace_cut_volume_and_levels(z in zoid2(1)) {
+        let params = CutParams::open([1, 1], [1, 1]);
+        if let Some(cut) = hyperspace_cut_params(&z, &params) {
+            prop_assert!(cut.levels.len() == cut.num_cut_dims() + 1);
+            let total: u128 = cut.all_subzoids().map(|s| s.volume()).sum();
+            prop_assert_eq!(total, z.volume());
+            for sub in cut.all_subzoids() {
+                prop_assert!(sub.volume() > 0);
+            }
+        }
+    }
+
+    /// The torus cut partitions the full-width zoid (after folding virtual coordinates)
+    /// and its core piece never wraps.
+    #[test]
+    fn torus_cut_covers_circumference(n in 4i64..64, h in 1i64..8) {
+        prop_assume!(n >= 2 * h);
+        let z = Zoid::<1>::full_grid([n], 0, h);
+        prop_assert!(z.can_torus_cut(0, 1, n));
+        let (core, wrapped) = z.torus_cut(0, 1, n);
+        // Volumes add up to the full space-time volume.
+        prop_assert_eq!(core.volume() + wrapped.volume(), z.volume());
+        // The core stays inside the true domain; the wrapped piece may exceed it.
+        prop_assert!(core.min_lower(0) >= 0 && core.max_upper(0) <= n);
+        // At every time step, the folded wrapped row plus the core row covers 0..n
+        // exactly once.
+        for t in 0..h {
+            let mut covered = vec![0u32; n as usize];
+            for x in core.lower_at(0, t)..core.upper_at(0, t) {
+                covered[x as usize] += 1;
+            }
+            for x in wrapped.lower_at(0, t)..wrapped.upper_at(0, t) {
+                covered[(x.rem_euclid(n)) as usize] += 1;
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1), "t={t}: {covered:?}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # pochoir-dsl
+//!
+//! The Pochoir stencil specification language embedded in Rust, reproducing Section 2 of
+//! *"The Pochoir Stencil Compiler"* (SPAA 2011) and its two-phase compilation strategy.
+//!
+//! | Paper construct | This crate |
+//! |---|---|
+//! | `Pochoir_Shape_dimD name[] = {…}` | [`pochoir_shape!`] → [`Shape`](pochoir_core::shape::Shape) |
+//! | `Pochoir_Array_dimD(type) name(sizes…)` | [`PochoirArray`](pochoir_core::grid::PochoirArray) |
+//! | `Pochoir_Boundary_dimD … Pochoir_Boundary_End` | [`pochoir_boundary!`] → [`Boundary`](pochoir_core::boundary::Boundary) |
+//! | `Pochoir_Kernel_dimD … Pochoir_Kernel_End` | [`pochoir_kernel!`] → a [`StencilKernel`](pochoir_core::kernel::StencilKernel) type |
+//! | `Pochoir_dimD name(shape)` | [`Pochoir::new`] |
+//! | `name.Register_Array(array)` | [`Pochoir::register_array`] |
+//! | `array.Register_Boundary(bdry)` | [`Pochoir::register_boundary`] |
+//! | `name.Run(T, kernel)` | [`Pochoir::run`] (Phase 2) |
+//! | Phase-1 template-library execution | [`Pochoir::run_phase1`] / [`Pochoir::check`] |
+//!
+//! **The Pochoir Guarantee.**  The paper promises that a program that compiles and runs
+//! with the Phase-1 template library will not fail when compiled by the Pochoir compiler
+//! and run optimized.  In this reproduction the same promise reads: a kernel accepted by
+//! the Phase-1 interpreter ([`Pochoir::check`]) produces identical results under every
+//! optimized engine, which [`Pochoir::run_guaranteed`] enforces and the crate's tests
+//! verify property-style.
+//!
+//! In place of source-to-source translation, "compilation" is monomorphization: the same
+//! kernel written once against `GridAccess` is instantiated as the interior clone, the
+//! boundary clone, the checking interpreter's view, and the cache-tracing view.
+//!
+//! ## Example (the paper's Figure 6 program)
+//!
+//! ```
+//! use pochoir_dsl::{pochoir_kernel, pochoir_shape, Pochoir};
+//! use pochoir_core::boundary::Boundary;
+//!
+//! const CX: f64 = 0.1;
+//! const CY: f64 = 0.1;
+//!
+//! pochoir_kernel!(
+//!     /// 2D heat kernel (Figure 6, lines 12–14).
+//!     pub struct HeatFn<f64, 2> {}
+//!     |_this, u, t, (x, y)| {
+//!         let c = u.get(t, [x, y]);
+//!         u.set(t + 1, [x, y],
+//!             CX * (u.get(t, [x + 1, y]) - 2.0 * c + u.get(t, [x - 1, y]))
+//!             + CY * (u.get(t, [x, y + 1]) - 2.0 * c + u.get(t, [x, y - 1]))
+//!             + c);
+//!     }
+//! );
+//!
+//! let shape = pochoir_shape![(1,0,0), (0,0,0), (0,1,0), (0,-1,0), (0,0,-1), (0,0,1)];
+//! let mut heat = Pochoir::<f64, 2>::with_array(shape, [64, 64]);
+//! heat.register_boundary(Boundary::Periodic).unwrap();
+//! heat.array_mut().unwrap().fill_time_slice(0, |x| (x[0] * x[1]) as f64);
+//! heat.run_guaranteed(10, &HeatFn {}).unwrap();
+//! let result = heat.array().unwrap().snapshot(heat.result_time());
+//! assert_eq!(result.len(), 64 * 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod macros;
+mod pochoir;
+mod speccheck;
+
+/// Re-export of `pochoir_core` used by the macros (and convenient for downstream users).
+pub use pochoir_core as core;
+
+pub use pochoir::{serial, Pochoir, PochoirError};
+pub use speccheck::{run_checked, SpecViolation};

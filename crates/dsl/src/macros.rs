@@ -1,0 +1,185 @@
+//! Surface syntax: macros that mirror the paper's `Pochoir_Shape`, `Pochoir_Kernel` and
+//! `Pochoir_Boundary` constructs (Figure 6 and Section 2).
+
+/// Declares a stencil shape from its cells, mirroring `Pochoir_Shape_dimD`.
+///
+/// ```
+/// use pochoir_dsl::pochoir_shape;
+/// use pochoir_core::shape::Shape;
+///
+/// // Figure 6: Pochoir_Shape_2D 2D_five_pt[] = {{1,0,0},{0,0,0},{0,1,0},{0,-1,0},{0,0,-1},{0,0,1}};
+/// let five_pt: Shape<2> = pochoir_shape![
+///     (1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)
+/// ];
+/// assert_eq!(five_pt.depth(), 1);
+/// ```
+#[macro_export]
+macro_rules! pochoir_shape {
+    [ $( ( $dt:expr $(, $dx:expr)* ) ),+ $(,)? ] => {
+        $crate::core::shape::Shape::must(vec![
+            $( $crate::core::shape::ShapeCell::new($dt, [ $( $dx ),* ]) ),+
+        ])
+    };
+}
+
+/// Declares a stencil kernel type, mirroring `Pochoir_Kernel_dimD … Pochoir_Kernel_End`.
+///
+/// The kernel may carry named fields (the constants of the update equation); inside the
+/// body they are reached through the first closure-style binder (here `this`).
+///
+/// ```
+/// use pochoir_dsl::pochoir_kernel;
+///
+/// pochoir_kernel!(
+///     /// The 2D heat kernel of Figure 6.
+///     pub struct HeatKernel<f64, 2> { cx: f64, cy: f64 }
+///     |this, a, t, (x, y)| {
+///         let c = a.get(t, [x, y]);
+///         a.set(t + 1, [x, y], c
+///             + this.cx * (a.get(t, [x + 1, y]) - 2.0 * c + a.get(t, [x - 1, y]))
+///             + this.cy * (a.get(t, [x, y + 1]) - 2.0 * c + a.get(t, [x, y - 1])));
+///     }
+/// );
+///
+/// let k = HeatKernel { cx: 0.1, cy: 0.1 };
+/// let _ = &k;
+/// ```
+#[macro_export]
+macro_rules! pochoir_kernel {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident<$t:ty, $d:literal> { $($field:ident : $fty:ty),* $(,)? }
+        |$this:ident, $a:ident, $tvar:ident, ( $($coord:ident),+ $(,)? )| $body:block
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        $vis struct $name {
+            $( #[allow(missing_docs)] pub $field: $fty ),*
+        }
+
+        impl $crate::core::kernel::StencilKernel<$t, $d> for $name {
+            #[inline]
+            fn update<A: $crate::core::view::GridAccess<$t, $d>>(
+                &self,
+                $a: &A,
+                $tvar: i64,
+                __x: [i64; $d],
+            ) {
+                let $this = self;
+                let _ = $this;
+                let [ $($coord),+ ] = __x;
+                $body
+            }
+        }
+    };
+}
+
+/// Declares a boundary function, mirroring `Pochoir_Boundary_dimD … Pochoir_Boundary_End`.
+///
+/// The binder receives a probe (for reading in-domain values and querying sizes), the
+/// access time, and the destructured out-of-domain coordinates; the body's value supplies
+/// the boundary value.
+///
+/// ```
+/// use pochoir_dsl::pochoir_boundary;
+/// use pochoir_core::boundary::Boundary;
+///
+/// // Figure 11(a): Dirichlet value 100 + 0.2 t.
+/// let dirichlet: Boundary<f64, 2> = pochoir_boundary!(|_probe, t, (_x, _y)| 100.0 + 0.2 * t as f64);
+/// ```
+#[macro_export]
+macro_rules! pochoir_boundary {
+    ( |$probe:pat_param, $tvar:pat_param, ( $($coord:pat_param),+ $(,)? )| $body:expr ) => {
+        $crate::core::boundary::Boundary::custom(
+            move |$probe, $tvar, __x| {
+                let [ $($coord),+ ] = __x;
+                $body
+            },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use pochoir_core::boundary::Boundary;
+    use pochoir_core::engine::{run, ExecutionPlan};
+    use pochoir_core::grid::PochoirArray;
+    use pochoir_core::kernel::StencilSpec;
+    use pochoir_core::shape::{star_shape, Shape};
+    use pochoir_runtime::Serial;
+
+    #[test]
+    fn shape_macro_builds_heat_shape() {
+        let s: Shape<2> = pochoir_shape![
+            (1, 0, 0),
+            (0, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, -1),
+            (0, 0, 1)
+        ];
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.slopes(), [1, 1]);
+        assert_eq!(s.cells().len(), 6);
+    }
+
+    #[test]
+    fn shape_macro_one_dimensional() {
+        let s: Shape<1> = pochoir_shape![(1, 0), (0, -1), (0, 0), (0, 1)];
+        assert_eq!(s.slopes(), [1]);
+    }
+
+    pochoir_kernel!(
+        /// Test kernel: 1D three-point average with a tunable centre weight.
+        pub struct Avg<f64, 1> { center: f64 }
+        |this, a, t, (x,)| {
+            let side = (1.0 - this.center) / 2.0;
+            let v = side * a.get(t, [x - 1]) + this.center * a.get(t, [x]) + side * a.get(t, [x + 1]);
+            a.set(t + 1, [x], v);
+        }
+    );
+
+    #[test]
+    fn kernel_macro_produces_working_kernel() {
+        let mut arr: PochoirArray<f64, 1> = PochoirArray::new([8]);
+        arr.register_boundary(Boundary::Clamp);
+        arr.fill_time_slice(0, |x| x[0] as f64);
+        let spec = StencilSpec::new(star_shape::<1>(1));
+        let k = Avg { center: 0.5 };
+        run(&mut arr, &spec, &k, 0, 1, &ExecutionPlan::loops_serial(), &Serial);
+        // Interior points of a linear ramp are preserved by the averaging kernel.
+        assert_eq!(arr.get(1, [4]), 4.0);
+    }
+
+    pochoir_kernel!(
+        struct NoFields<u32, 2> {}
+        |_this, a, t, (x, y)| {
+            a.set(t + 1, [x, y], a.get(t, [x, y]) + 1);
+        }
+    );
+
+    #[test]
+    fn kernel_macro_without_fields() {
+        let mut arr: PochoirArray<u32, 2> = PochoirArray::new([4, 4]);
+        arr.register_boundary(Boundary::Periodic);
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        run(&mut arr, &spec, &NoFields {}, 0, 3, &ExecutionPlan::trap(), &Serial);
+        assert_eq!(arr.get(3, [1, 1]), 3);
+    }
+
+    #[test]
+    fn boundary_macro_dirichlet_and_wrapping() {
+        let dirichlet: Boundary<f64, 2> =
+            pochoir_boundary!(|_probe, t, (_x, _y)| 100.0 + 0.2 * t as f64);
+        let read = |t: i64, x: [i64; 2]| (t + x[0] + x[1]) as f64;
+        assert_eq!(dirichlet.resolve(&read, [4, 4], 10, [-1, 0]), 102.0);
+
+        // Figure 6's periodic boundary written as a custom function.
+        let periodic: Boundary<f64, 2> = pochoir_boundary!(|probe, t, (x, y)| {
+            let xs = probe.size(0);
+            let ys = probe.size(1);
+            probe.get(t, [x.rem_euclid(xs), y.rem_euclid(ys)])
+        });
+        assert_eq!(periodic.resolve(&read, [4, 4], 2, [-1, 5]), read(2, [3, 1]));
+    }
+}

@@ -1,0 +1,390 @@
+//! The `Pochoir` object: the embedded-language entry point mirroring the paper's
+//! Section 2 API (`Pochoir_2D heat(shape)`, `Register_Array`, `Register_Boundary`,
+//! `Run(T, kernel)`), including the *two-phase* execution strategy and the *Pochoir
+//! Guarantee*.
+
+use crate::speccheck::{run_checked, SpecViolation};
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{run, ExecutionPlan};
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::{StencilKernel, StencilSpec};
+use pochoir_core::shape::Shape;
+use pochoir_runtime::{Parallelism, Runtime, Serial};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors reported by the `Pochoir` object.
+#[derive(Debug)]
+pub enum PochoirError {
+    /// No array has been registered yet (`Register_Array` was never called).
+    NoArrayRegistered,
+    /// The registered array does not hold enough time slices for the stencil depth.
+    DepthMismatch {
+        /// Slices the array holds.
+        have: usize,
+        /// Slices the shape requires.
+        need: usize,
+    },
+    /// Phase 1 found the specification non-compliant.
+    SpecViolations(Vec<SpecViolation>),
+}
+
+impl fmt::Display for PochoirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PochoirError::NoArrayRegistered => {
+                write!(f, "no Pochoir array registered; call register_array first")
+            }
+            PochoirError::DepthMismatch { have, need } => write!(
+                f,
+                "registered array holds {have} time slices but the stencil shape needs {need}"
+            ),
+            PochoirError::SpecViolations(v) => {
+                writeln!(f, "the stencil specification violates its declared shape:")?;
+                for violation in v {
+                    writeln!(f, "  - {violation}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PochoirError {}
+
+/// A stencil computation object (the paper's `Pochoir_dimD`).
+///
+/// Holds the static information of the computation — the shape, the registered array and
+/// its boundary function, the execution plan — and drives both execution phases:
+///
+/// * [`Pochoir::run_phase1`] executes the specification under the checking interpreter
+///   (the paper's "Pochoir template library"), reporting any shape violations;
+/// * [`Pochoir::run`] executes the optimized TRAP algorithm (the paper's Phase 2);
+/// * [`Pochoir::run_guaranteed`] chains the two, which is the operational statement of
+///   the **Pochoir Guarantee**: a specification accepted by Phase 1 runs without error
+///   under Phase 2 and produces the same results.
+pub struct Pochoir<T, const D: usize> {
+    spec: StencilSpec<D>,
+    array: Option<PochoirArray<T, D>>,
+    plan: ExecutionPlan<D>,
+    runtime: Option<Arc<Runtime>>,
+    steps_run: i64,
+}
+
+impl<T, const D: usize> Pochoir<T, D>
+where
+    T: Copy + Send + Sync,
+{
+    /// Creates a Pochoir object with the given stencil shape
+    /// (`Pochoir_2D heat(2D_five_pt)` in Figure 6).
+    pub fn new(shape: Shape<D>) -> Self {
+        Pochoir {
+            spec: StencilSpec::new(shape),
+            array: None,
+            plan: ExecutionPlan::trap(),
+            runtime: None,
+            steps_run: 0,
+        }
+    }
+
+    /// The stencil specification (shape, slopes, depth).
+    pub fn spec(&self) -> &StencilSpec<D> {
+        &self.spec
+    }
+
+    /// Overrides the execution plan (engine, coarsening, indexing mode).
+    pub fn set_plan(&mut self, plan: ExecutionPlan<D>) {
+        self.plan = plan;
+    }
+
+    /// Builder-style plan override.
+    pub fn with_plan(mut self, plan: ExecutionPlan<D>) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Uses a dedicated work-stealing runtime instead of the process-global one.
+    pub fn set_runtime(&mut self, runtime: Arc<Runtime>) {
+        self.runtime = Some(runtime);
+    }
+
+    /// Registers the spatial array participating in the computation
+    /// (`heat.Register_Array(u)` in Figure 6).  The array's boundary function should
+    /// already have been registered on the array itself.
+    pub fn register_array(&mut self, array: PochoirArray<T, D>) -> Result<(), PochoirError> {
+        let need = self.spec.shape().time_slices();
+        if array.time_slices() < need {
+            return Err(PochoirError::DepthMismatch {
+                have: array.time_slices(),
+                need,
+            });
+        }
+        self.array = Some(array);
+        self.steps_run = 0;
+        Ok(())
+    }
+
+    /// Registers (or replaces) the boundary function of the registered array
+    /// (`u.Register_Boundary(heat_bv)` in Figure 6).
+    pub fn register_boundary(&mut self, boundary: Boundary<T, D>) -> Result<(), PochoirError> {
+        match &mut self.array {
+            Some(a) => {
+                a.register_boundary(boundary);
+                Ok(())
+            }
+            None => Err(PochoirError::NoArrayRegistered),
+        }
+    }
+
+    /// Shared access to the registered array.
+    pub fn array(&self) -> Result<&PochoirArray<T, D>, PochoirError> {
+        self.array.as_ref().ok_or(PochoirError::NoArrayRegistered)
+    }
+
+    /// Mutable access to the registered array (e.g. for initializing time slices
+    /// `0 .. depth`).
+    pub fn array_mut(&mut self) -> Result<&mut PochoirArray<T, D>, PochoirError> {
+        self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)
+    }
+
+    /// Removes and returns the registered array.
+    pub fn take_array(&mut self) -> Result<PochoirArray<T, D>, PochoirError> {
+        self.array.take().ok_or(PochoirError::NoArrayRegistered)
+    }
+
+    /// The time index at which the results of the computation live after the steps run so
+    /// far: `T + k − 1` for `T` executed steps of a depth-`k` stencil (paper, Section 2).
+    pub fn result_time(&self) -> i64 {
+        self.steps_run + self.spec.depth() as i64 - 1
+    }
+
+    /// Total kernel steps executed so far (across resumed runs).
+    pub fn steps_run(&self) -> i64 {
+        self.steps_run
+    }
+
+    fn invocation_range(&self, steps: i64) -> (i64, i64) {
+        let t0 = self.spec.shape().first_step() + self.steps_run;
+        (t0, t0 + steps)
+    }
+
+    /// **Phase 2**: runs the optimized engine (TRAP by default) for `steps` further time
+    /// steps with the given kernel (`heat.Run(T, heat_fn)` in Figure 6).  Runs may be
+    /// resumed: a second call continues from where the first one stopped.
+    pub fn run<K>(&mut self, steps: i64, kernel: &K) -> Result<(), PochoirError>
+    where
+        K: StencilKernel<T, D>,
+    {
+        let (t0, t1) = self.invocation_range(steps);
+        let plan = self.plan;
+        let spec = self.spec.clone();
+        let runtime = self.runtime.clone();
+        let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
+        match runtime {
+            Some(rt) => run(array, &spec, kernel, t0, t1, &plan, rt.as_ref()),
+            None => run(array, &spec, kernel, t0, t1, &plan, Runtime::global()),
+        }
+        self.steps_run += steps;
+        Ok(())
+    }
+
+    /// Phase 2 with an explicit parallelism provider (useful for deterministic serial
+    /// runs in tests).
+    pub fn run_with<K, P>(&mut self, steps: i64, kernel: &K, par: &P) -> Result<(), PochoirError>
+    where
+        K: StencilKernel<T, D>,
+        P: Parallelism,
+    {
+        let (t0, t1) = self.invocation_range(steps);
+        let plan = self.plan;
+        let spec = self.spec.clone();
+        let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
+        run(array, &spec, kernel, t0, t1, &plan, par);
+        self.steps_run += steps;
+        Ok(())
+    }
+
+    /// **Phase 1**: runs `steps` time steps under the checking interpreter (the paper's
+    /// template-library execution).  On success the array contains the same results the
+    /// optimized engine would produce; on failure the violations are reported.
+    pub fn run_phase1<K>(&mut self, steps: i64, kernel: &K) -> Result<(), PochoirError>
+    where
+        K: StencilKernel<T, D>,
+    {
+        let (t0, t1) = self.invocation_range(steps);
+        let spec = self.spec.clone();
+        let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
+        let violations = run_checked(array, &spec, kernel, t0, t1);
+        if violations.is_empty() {
+            self.steps_run += steps;
+            Ok(())
+        } else {
+            Err(PochoirError::SpecViolations(violations))
+        }
+    }
+
+    /// Checks compliance of the kernel on a **copy** of the current state without
+    /// advancing the computation: the cheap way to exercise Phase 1 before a long
+    /// optimized run.
+    pub fn check<K>(&self, steps: i64, kernel: &K) -> Result<(), PochoirError>
+    where
+        K: StencilKernel<T, D>,
+    {
+        let array = self.array.as_ref().ok_or(PochoirError::NoArrayRegistered)?;
+        let mut copy = array.clone();
+        let (t0, t1) = self.invocation_range(steps);
+        let violations = run_checked(&mut copy, &self.spec, kernel, t0, t1);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(PochoirError::SpecViolations(violations))
+        }
+    }
+
+    /// The **Pochoir Guarantee** in executable form: Phase 1 validates the specification
+    /// on a copy of the state (a few `check_steps` suffice to exercise every clone), and
+    /// only then does Phase 2 run the optimized engine for the requested `steps`.
+    pub fn run_guaranteed<K>(&mut self, steps: i64, kernel: &K) -> Result<(), PochoirError>
+    where
+        K: StencilKernel<T, D>,
+    {
+        let check_steps = steps.min(2 + self.spec.depth() as i64);
+        self.check(check_steps, kernel)?;
+        self.run(steps, kernel)
+    }
+}
+
+impl<T: Copy + Send + Sync + Default, const D: usize> Pochoir<T, D> {
+    /// Convenience constructor: creates the Pochoir object *and* a registered array of
+    /// the given spatial extents with the shape-implied number of time slices.
+    pub fn with_array(shape: Shape<D>, sizes: [usize; D]) -> Self {
+        let depth = shape.depth() as usize;
+        let mut p = Self::new(shape);
+        let array = PochoirArray::with_depth(sizes, depth);
+        p.register_array(array).expect("depth is consistent by construction");
+        p
+    }
+}
+
+/// Deterministic serial executor re-exported for tests and examples.
+pub fn serial() -> Serial {
+    Serial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::boundary::Boundary;
+    use pochoir_core::shape::star_shape;
+    use pochoir_core::view::GridAccess;
+
+    struct Heat1D;
+    impl StencilKernel<f64, 1> for Heat1D {
+        fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+            let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+            g.set(t + 1, x, v);
+        }
+    }
+
+    struct BadKernel;
+    impl StencilKernel<f64, 1> for BadKernel {
+        fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+            g.set(t + 1, x, g.get(t, [x[0] - 3]));
+        }
+    }
+
+    fn heat_object(n: usize) -> Pochoir<f64, 1> {
+        let mut p = Pochoir::with_array(star_shape::<1>(1), [n]);
+        p.register_boundary(Boundary::Periodic).unwrap();
+        p.array_mut()
+            .unwrap()
+            .fill_time_slice(0, |x| ((x[0] * 13) % 7) as f64);
+        p
+    }
+
+    #[test]
+    fn run_advances_result_time_per_paper() {
+        let mut p = heat_object(32);
+        assert_eq!(p.result_time(), 0); // nothing run yet: the initialized slice(s)
+        p.run(10, &Heat1D).unwrap();
+        // Depth 1: results at time T + k - 1 = 10.
+        assert_eq!(p.result_time(), 10);
+        p.run(5, &Heat1D).unwrap();
+        assert_eq!(p.result_time(), 15);
+        assert_eq!(p.steps_run(), 15);
+    }
+
+    #[test]
+    fn phase1_and_phase2_agree() {
+        let kernel = Heat1D;
+        let mut a = heat_object(40);
+        let mut b = heat_object(40);
+        a.run_phase1(12, &kernel).unwrap();
+        b.run_with(12, &kernel, &Serial).unwrap();
+        assert_eq!(
+            a.array().unwrap().snapshot(a.result_time()),
+            b.array().unwrap().snapshot(b.result_time())
+        );
+    }
+
+    #[test]
+    fn guarantee_rejects_noncompliant_kernels() {
+        let mut p = heat_object(32);
+        let err = p.run_guaranteed(10, &BadKernel).unwrap_err();
+        match err {
+            PochoirError::SpecViolations(v) => assert!(!v.is_empty()),
+            other => panic!("expected SpecViolations, got {other}"),
+        }
+        // The optimized phase never ran.
+        assert_eq!(p.steps_run(), 0);
+    }
+
+    #[test]
+    fn guarantee_accepts_compliant_kernels() {
+        let mut p = heat_object(32);
+        p.run_guaranteed(10, &Heat1D).unwrap();
+        assert_eq!(p.steps_run(), 10);
+    }
+
+    #[test]
+    fn errors_when_no_array_registered() {
+        let mut p: Pochoir<f64, 1> = Pochoir::new(star_shape::<1>(1));
+        assert!(matches!(
+            p.run(1, &Heat1D),
+            Err(PochoirError::NoArrayRegistered)
+        ));
+        assert!(matches!(p.array(), Err(PochoirError::NoArrayRegistered)));
+    }
+
+    #[test]
+    fn depth_mismatch_is_reported() {
+        let shape = pochoir_core::shape::Shape::must(vec![
+            pochoir_core::shape::ShapeCell::new(1, [0]),
+            pochoir_core::shape::ShapeCell::new(0, [0]),
+            pochoir_core::shape::ShapeCell::new(-1, [0]),
+        ]);
+        let mut p: Pochoir<f64, 1> = Pochoir::new(shape);
+        let err = p
+            .register_array(PochoirArray::with_depth([8], 1))
+            .unwrap_err();
+        assert!(matches!(err, PochoirError::DepthMismatch { have: 2, need: 3 }));
+    }
+
+    #[test]
+    fn take_array_returns_results() {
+        let mut p = heat_object(16);
+        p.run(3, &Heat1D).unwrap();
+        let t = p.result_time();
+        let arr = p.take_array().unwrap();
+        assert_eq!(arr.snapshot(t).len(), 16);
+        assert!(matches!(p.array(), Err(PochoirError::NoArrayRegistered)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PochoirError::DepthMismatch { have: 2, need: 3 };
+        assert!(e.to_string().contains("time slices"));
+        let e2 = PochoirError::NoArrayRegistered;
+        assert!(e2.to_string().contains("register_array"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The Phase-1 "template library" interpreter: a slow, fully-checked executor that
+//! verifies a stencil specification is Pochoir-compliant (paper, Sections 1 and 2).
+//!
+//! During Phase 1 the paper's template library "complains if an access to a grid point
+//! during the kernel computation falls outside the region specified by the shape
+//! declaration".  This module reproduces that behaviour: every kernel invocation runs
+//! with a view that records the space-time offset of each access relative to the point
+//! being updated and checks it against the declared [`Shape`].
+
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::{StencilKernel, StencilSpec};
+use pochoir_core::shape::Shape;
+use pochoir_core::view::GridAccess;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+/// A violation of the Pochoir specification detected by the Phase-1 interpreter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// The kernel read an offset not covered by the declared shape.
+    ReadOutsideShape {
+        /// Offset in time relative to the kernel invocation.
+        dt: i64,
+        /// Offsets in space relative to the point being updated.
+        dx: Vec<i64>,
+        /// The kernel invocation (time, position) at which the violation occurred.
+        at: (i64, Vec<i64>),
+    },
+    /// The kernel wrote somewhere other than the home cell.
+    WriteNotHome {
+        /// Offset in time relative to the kernel invocation.
+        dt: i64,
+        /// Offsets in space relative to the point being updated.
+        dx: Vec<i64>,
+        /// The kernel invocation (time, position) at which the violation occurred.
+        at: (i64, Vec<i64>),
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::ReadOutsideShape { dt, dx, at } => write!(
+                f,
+                "kernel read offset (dt={dt}, dx={dx:?}) at invocation {at:?}, which is not covered by the declared Pochoir shape"
+            ),
+            SpecViolation::WriteNotHome { dt, dx, at } => write!(
+                f,
+                "kernel wrote offset (dt={dt}, dx={dx:?}) at invocation {at:?}; writes must target the home cell"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+/// The checking view used by the Phase-1 interpreter.
+struct SpecCheckView<'a, T: Copy, const D: usize> {
+    array: &'a RefCell<&'a mut PochoirArray<T, D>>,
+    shape: &'a Shape<D>,
+    current: Cell<(i64, [i64; D])>,
+    violations: &'a RefCell<Vec<SpecViolation>>,
+}
+
+impl<'a, T: Copy, const D: usize> SpecCheckView<'a, T, D> {
+    fn offsets(&self, t: i64, x: [i64; D]) -> (i64, [i64; D]) {
+        let (ct, cx) = self.current.get();
+        let mut dx = [0i64; D];
+        for d in 0..D {
+            dx[d] = x[d] - cx[d];
+        }
+        (t - ct, dx)
+    }
+
+    fn record(&self, v: SpecViolation) {
+        self.violations.borrow_mut().push(v);
+    }
+}
+
+impl<'a, T: Copy, const D: usize> GridAccess<T, D> for SpecCheckView<'a, T, D> {
+    fn get(&self, t: i64, x: [i64; D]) -> T {
+        let (dt, dx) = self.offsets(t, x);
+        let covered = dt <= i32::MAX as i64
+            && dx.iter().all(|&d| d.abs() <= i32::MAX as i64)
+            && self.shape.covers(dt as i32, dx.map(|d| d as i32));
+        if !covered {
+            let (ct, cx) = self.current.get();
+            self.record(SpecViolation::ReadOutsideShape {
+                dt,
+                dx: dx.to_vec(),
+                at: (ct, cx.to_vec()),
+            });
+        }
+        self.array.borrow().get(t, x)
+    }
+
+    fn set(&self, t: i64, x: [i64; D], value: T) {
+        let (dt, dx) = self.offsets(t, x);
+        let is_home = dt == self.shape.home_dt() as i64 && dx.iter().all(|&d| d == 0);
+        if !is_home {
+            let (ct, cx) = self.current.get();
+            self.record(SpecViolation::WriteNotHome {
+                dt,
+                dx: dx.to_vec(),
+                at: (ct, cx.to_vec()),
+            });
+        }
+        let mut array = self.array.borrow_mut();
+        if array.in_domain(x) {
+            array.set(t, x, value);
+        } else {
+            // Fold virtual coordinates the way the boundary clone would; Phase 1 accepts
+            // the write as long as its *offset* is the home cell.
+            let sizes = array.sizes_i64();
+            let mut w = x;
+            for d in 0..D {
+                w[d] = w[d].rem_euclid(sizes[d]);
+            }
+            array.set(t, w, value);
+        }
+    }
+
+    fn size(&self, dim: usize) -> i64 {
+        self.array.borrow().size(dim) as i64
+    }
+}
+
+/// Runs the stencil with the Phase-1 interpreter: a plain loop nest over space and time
+/// with full shape-compliance checking and boundary-function handling.
+///
+/// Returns the list of violations (empty means the specification is Pochoir-compliant and
+/// the Pochoir Guarantee applies to the optimized Phase-2 execution).
+pub fn run_checked<T, K, const D: usize>(
+    array: &mut PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+) -> Vec<SpecViolation>
+where
+    T: Copy,
+    K: StencilKernel<T, D>,
+{
+    let violations = RefCell::new(Vec::new());
+    let sizes = array.sizes_i64();
+    {
+        let cell = RefCell::new(array);
+        let view = SpecCheckView {
+            array: &cell,
+            shape: spec.shape(),
+            current: Cell::new((t0, [0; D])),
+            violations: &violations,
+        };
+        for t in t0..t1 {
+            let mut iter = pochoir_core::grid::SpaceIter::new(sizes);
+            while let Some(x) = iter.next_point() {
+                view.current.set((t, x));
+                kernel.update(&view, t, x);
+            }
+        }
+    }
+    violations.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::boundary::Boundary;
+    use pochoir_core::shape::star_shape;
+
+    struct GoodKernel;
+    impl StencilKernel<f64, 1> for GoodKernel {
+        fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+            let v = 0.5 * (g.get(t, [x[0] - 1]) + g.get(t, [x[0] + 1]));
+            g.set(t + 1, x, v);
+        }
+    }
+
+    struct TooWideKernel;
+    impl StencilKernel<f64, 1> for TooWideKernel {
+        fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+            // Reads two cells away, but the declared shape only covers radius 1.
+            let v = g.get(t, [x[0] - 2]) + g.get(t, [x[0]]);
+            g.set(t + 1, x, v);
+        }
+    }
+
+    struct WrongWriteKernel;
+    impl StencilKernel<f64, 1> for WrongWriteKernel {
+        fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+            let v = g.get(t, x);
+            g.set(t + 1, [x[0] + 1], v); // writes the neighbour, not the home cell
+        }
+    }
+
+    fn setup() -> (PochoirArray<f64, 1>, StencilSpec<1>) {
+        let mut a = PochoirArray::<f64, 1>::new([16]);
+        a.register_boundary(Boundary::Periodic);
+        a.fill_time_slice(0, |x| x[0] as f64);
+        (a, StencilSpec::new(star_shape::<1>(1)))
+    }
+
+    #[test]
+    fn compliant_kernel_passes() {
+        let (mut a, spec) = setup();
+        let violations = run_checked(&mut a, &spec, &GoodKernel, 0, 4);
+        assert!(violations.is_empty(), "{violations:?}");
+        // And it actually computed something.
+        assert_ne!(a.snapshot(4), a.snapshot(3));
+    }
+
+    #[test]
+    fn out_of_shape_read_is_reported() {
+        let (mut a, spec) = setup();
+        let violations = run_checked(&mut a, &spec, &TooWideKernel, 0, 1);
+        assert!(!violations.is_empty());
+        assert!(matches!(
+            violations[0],
+            SpecViolation::ReadOutsideShape { dt: 0, .. }
+        ));
+        let msg = violations[0].to_string();
+        assert!(msg.contains("not covered by the declared Pochoir shape"));
+    }
+
+    #[test]
+    fn non_home_write_is_reported() {
+        let (mut a, spec) = setup();
+        let violations = run_checked(&mut a, &spec, &WrongWriteKernel, 0, 1);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::WriteNotHome { .. })));
+    }
+
+    #[test]
+    fn phase1_result_matches_reference_loops() {
+        let (mut a, spec) = setup();
+        let mut b = a.clone();
+        let violations = run_checked(&mut a, &spec, &GoodKernel, 0, 6);
+        assert!(violations.is_empty());
+        pochoir_core::engine::run(
+            &mut b,
+            &spec,
+            &GoodKernel,
+            0,
+            6,
+            &pochoir_core::engine::ExecutionPlan::loops_serial(),
+            &pochoir_runtime::Serial,
+        );
+        assert_eq!(a.snapshot(6), b.snapshot(6));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-style verification of the Pochoir Guarantee: any specification accepted by
+//! the Phase-1 interpreter produces identical results under the optimized Phase-2 engines.
+
+use pochoir_core::boundary::{AxisRule, Boundary};
+use pochoir_core::engine::{Coarsening, EngineKind, ExecutionPlan};
+use pochoir_dsl::{pochoir_kernel, pochoir_shape, Pochoir, PochoirError};
+use proptest::prelude::*;
+
+pochoir_kernel!(
+    /// A branchy integer kernel exercising every neighbour of the 5-point shape.
+    pub struct Rule2D<u64, 2> { bias: u64 }
+    |this, a, t, (x, y)| {
+        let n = a.get(t, [x - 1, y]) ^ a.get(t, [x + 1, y]);
+        let m = a.get(t, [x, y - 1]).wrapping_add(a.get(t, [x, y + 1]));
+        let c = a.get(t, [x, y]);
+        let v = if c % 3 == 0 { n.wrapping_add(m) } else { n.wrapping_mul(2).wrapping_sub(m) };
+        a.set(t + 1, [x, y], v.wrapping_add(this.bias));
+    }
+);
+
+fn boundary(id: u8) -> Boundary<u64, 2> {
+    match id % 4 {
+        0 => Boundary::Periodic,
+        1 => Boundary::Constant(7),
+        2 => Boundary::Clamp,
+        _ => Boundary::Mixed([AxisRule::Clamp, AxisRule::Periodic]),
+    }
+}
+
+fn build(nx: usize, ny: usize, bid: u8, seed: u64) -> Pochoir<u64, 2> {
+    let shape = pochoir_shape![(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)];
+    let mut p = Pochoir::<u64, 2>::with_array(shape, [nx, ny]);
+    p.register_boundary(boundary(bid)).unwrap();
+    p.array_mut().unwrap().fill_time_slice(0, |x| {
+        (x[0] as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(x[1] as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(seed)
+    });
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Phase 1 (checking interpreter) and Phase 2 (every optimized engine) agree.
+    #[test]
+    fn pochoir_guarantee_holds(
+        nx in 5usize..24,
+        ny in 5usize..24,
+        steps in 1i64..10,
+        bid in 0u8..4,
+        seed in 0u64..1000,
+        bias in 0u64..5,
+    ) {
+        let kernel = Rule2D { bias };
+
+        // Phase 1 reference.
+        let mut phase1 = build(nx, ny, bid, seed);
+        phase1.run_phase1(steps, &kernel).unwrap();
+        let reference = phase1.array().unwrap().snapshot(phase1.result_time());
+
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsParallel] {
+            let mut p = build(nx, ny, bid, seed);
+            let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [4, 4]));
+            p.set_plan(plan);
+            p.run(steps, &kernel).unwrap();
+            let got = p.array().unwrap().snapshot(p.result_time());
+            prop_assert_eq!(&got, &reference, "engine {:?} violated the guarantee", engine);
+        }
+    }
+}
+
+pochoir_kernel!(
+    /// Deliberately non-compliant: reads outside the declared radius-1 shape.
+    pub struct Cheater<u64, 2> {}
+    |_this, a, t, (x, y)| {
+        a.set(t + 1, [x, y], a.get(t, [x - 2, y]));
+    }
+);
+
+#[test]
+fn phase1_rejects_noncompliant_spec_before_phase2_runs() {
+    let mut p = build(12, 12, 1, 0);
+    match p.run_guaranteed(5, &Cheater {}) {
+        Err(PochoirError::SpecViolations(v)) => {
+            assert!(!v.is_empty());
+            assert!(v[0].to_string().contains("shape"));
+        }
+        other => panic!("expected spec violations, got {other:?}"),
+    }
+    assert_eq!(p.steps_run(), 0, "Phase 2 must not have run");
+}
+
+#[test]
+fn resumed_runs_match_single_run() {
+    // Run(T) then Run(T') must equal Run(T + T') — Section 2's resumption semantics.
+    let kernel = Rule2D { bias: 3 };
+    let mut once = build(20, 17, 0, 42);
+    once.run(9, &kernel).unwrap();
+    let mut twice = build(20, 17, 0, 42);
+    twice.run(4, &kernel).unwrap();
+    twice.run(5, &kernel).unwrap();
+    assert_eq!(once.result_time(), twice.result_time());
+    assert_eq!(
+        once.array().unwrap().snapshot(once.result_time()),
+        twice.array().unwrap().snapshot(twice.result_time())
+    );
+}

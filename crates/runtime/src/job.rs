@@ -1,0 +1,261 @@
+//! Type-erased jobs.
+//!
+//! A [`JobRef`] is a fat-pointer-free, type-erased reference to a job living somewhere
+//! else (usually on the stack of the thread that created it).  The owner guarantees the
+//! job outlives its execution: a [`StackJob`] is only popped off the owner's stack after
+//! its latch has been set, and a [`HeapJob`] owns its closure in a `Box` that is consumed
+//! on execution.
+
+use crate::latch::{Latch, SpinLatch};
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::mem;
+
+/// A type-erased pointer to an executable job.
+///
+/// # Safety
+///
+/// The creator of a `JobRef` must guarantee the underlying job is alive until it has been
+/// executed exactly once.
+#[derive(Copy, Clone, Debug)]
+pub struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef is only a pointer + fn pointer; the job protocols (StackJob/HeapJob)
+// ensure cross-thread execution is sound.
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+impl JobRef {
+    /// Creates a job reference from a pointer to a [`Job`] implementor.
+    ///
+    /// # Safety
+    ///
+    /// `job` must remain valid until [`JobRef::execute`] has been called exactly once.
+    pub unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef {
+            pointer: job as *const (),
+            execute_fn: |ptr| unsafe { J::execute(ptr as *const J) },
+        }
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, and the referenced job must still be alive.
+    pub unsafe fn execute(self) {
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+
+    /// Returns the raw pointer identity of the job (used to recognise an un-stolen job).
+    pub fn id(&self) -> *const () {
+        self.pointer
+    }
+}
+
+/// A job that can be executed through a raw pointer.
+pub trait Job {
+    /// Executes the job pointed to by `this`.
+    ///
+    /// # Safety
+    ///
+    /// `this` must be valid and the job must not have been executed before.
+    unsafe fn execute(this: *const Self);
+}
+
+/// The result slot of a [`StackJob`]: either not yet run, a value, or a captured panic.
+pub enum JobResult<R> {
+    /// The job has not produced a result yet.
+    None,
+    /// The job finished normally.
+    Ok(R),
+    /// The job panicked; the payload is stored for re-raising on the owner's thread.
+    Panic(Box<dyn Any + Send>),
+}
+
+impl<R> JobResult<R> {
+    /// Consumes the result, re-raising a stored panic on the calling thread.
+    pub fn into_return_value(self) -> R {
+        match self {
+            JobResult::None => unreachable!("job result taken before job completed"),
+            JobResult::Ok(r) => r,
+            JobResult::Panic(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A job allocated on the stack of the thread calling `join`.
+///
+/// The closure runs either inline on the owner (if nobody stole it) or on the thief's
+/// thread; in both cases the latch is set afterwards so the owner knows the stack frame
+/// may be unwound.
+pub struct StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    /// Signals completion to the owning thread.
+    pub latch: SpinLatch,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    /// Wraps `func` in a stack job with a fresh latch.
+    pub fn new(func: F) -> Self {
+        StackJob {
+            latch: SpinLatch::new(),
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// Produces the type-erased reference to push on a deque.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive until the latch is set.
+    pub unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Runs the closure inline on the owner's thread (the job was not stolen).
+    ///
+    /// # Safety
+    ///
+    /// Must only be called if the job was never executed through its `JobRef`.
+    pub unsafe fn run_inline(&self) -> R {
+        let func = unsafe { (*self.func.get()).take().expect("job already executed") };
+        func()
+    }
+
+    /// Retrieves the result stored by a thief, re-raising any captured panic.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called after the latch has been set.
+    pub unsafe fn into_result(&self) -> R {
+        let result = unsafe { mem::replace(&mut *self.result.get(), JobResult::None) };
+        result.into_return_value()
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = unsafe { (*this.func.get()).take().expect("job already executed") };
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        unsafe {
+            *this.result.get() = result;
+        }
+        // The latch release is the synchronisation point transferring the result to the
+        // owner; it must come after the result store.
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by `install` wrappers).
+pub struct HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    /// Boxes the closure.
+    pub fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Converts the boxed job into a `JobRef`, leaking the allocation until execution.
+    pub fn into_job_ref(self: Box<Self>) -> JobRef {
+        let ptr = Box::into_raw(self);
+        unsafe { JobRef::new(ptr) }
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { Box::from_raw(this as *mut Self) };
+        (this.func)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::Latch;
+
+    #[test]
+    fn stack_job_run_inline_returns_value() {
+        let job = StackJob::new(|| 40 + 2);
+        let v = unsafe { job.run_inline() };
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn stack_job_execute_sets_latch_and_stores_result() {
+        let job = StackJob::new(|| String::from("done"));
+        let job_ref = unsafe { job.as_job_ref() };
+        assert!(!job.latch.probe());
+        unsafe { job_ref.execute() };
+        assert!(job.latch.probe());
+        let r = unsafe { job.into_result() };
+        assert_eq!(r, "done");
+    }
+
+    #[test]
+    fn stack_job_execute_captures_panic() {
+        let job: StackJob<_, ()> = StackJob::new(|| panic!("boom"));
+        let job_ref = unsafe { job.as_job_ref() };
+        unsafe { job_ref.execute() };
+        assert!(job.latch.probe());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            job.into_result()
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn heap_job_runs_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let job = HeapJob::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let job_ref = job.into_job_ref();
+        unsafe { job_ref.execute() };
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn job_ref_id_is_stable() {
+        let job = StackJob::new(|| 1);
+        let a = unsafe { job.as_job_ref() };
+        let b = unsafe { job.as_job_ref() };
+        assert_eq!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,166 @@
+//! Synchronization latches used to signal job completion.
+//!
+//! A *latch* starts closed and is opened ("set") exactly once.  Two flavours are
+//! provided:
+//!
+//! * [`SpinLatch`] — a lock-free flag.  The waiter is expected to keep itself busy
+//!   (stealing work) while polling; it never blocks in the kernel.  This is the latch
+//!   used by [`join`](crate::Runtime::join) for stolen jobs.
+//! * [`LockLatch`] — a mutex/condvar latch used when a thread from *outside* the pool
+//!   submits work with [`install`](crate::Runtime::install) and must block until the
+//!   pool finishes it.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Common interface of the latch flavours.
+pub trait Latch {
+    /// Open the latch.  May be called from any thread, exactly once.
+    fn set(&self);
+    /// Returns `true` once the latch has been opened.
+    fn probe(&self) -> bool;
+}
+
+/// A lock-free latch polled by a busy waiter.
+#[derive(Debug, Default)]
+pub struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    /// Creates a closed latch.
+    pub fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+/// A blocking latch for threads outside the worker pool.
+#[derive(Debug, Default)]
+pub struct LockLatch {
+    mutex: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl LockLatch {
+    /// Creates a closed latch.
+    pub fn new() -> Self {
+        LockLatch {
+            mutex: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling thread until the latch is set.
+    pub fn wait(&self) {
+        let mut guard = self.mutex.lock();
+        while !*guard {
+            self.condvar.wait(&mut guard);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut guard = self.mutex.lock();
+        *guard = true;
+        self.condvar.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        *self.mutex.lock()
+    }
+}
+
+/// A latch that counts down from `n` and opens when the count reaches zero.
+///
+/// Used by scoped fan-out spawns where a parent waits for a dynamic number of children.
+#[derive(Debug)]
+pub struct CountLatch {
+    counter: std::sync::atomic::AtomicUsize,
+}
+
+impl CountLatch {
+    /// Creates a latch that requires `count` calls to [`CountLatch::decrement`] to open.
+    pub fn with_count(count: usize) -> Self {
+        CountLatch {
+            counter: std::sync::atomic::AtomicUsize::new(count),
+        }
+    }
+
+    /// Signals completion of one child.
+    pub fn decrement(&self) {
+        let prev = self.counter.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "CountLatch decremented below zero");
+    }
+
+    /// Returns `true` once every child has completed.
+    pub fn probe(&self) -> bool {
+        self.counter.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_starts_closed_and_opens() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_wait_returns_after_set() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.probe());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn lock_latch_set_before_wait() {
+        let l = LockLatch::new();
+        l.set();
+        l.wait(); // must not hang
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_counts_down() {
+        let l = CountLatch::with_count(3);
+        assert!(!l.probe());
+        l.decrement();
+        l.decrement();
+        assert!(!l.probe());
+        l.decrement();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_zero_is_open() {
+        let l = CountLatch::with_count(0);
+        assert!(l.probe());
+    }
+}

@@ -1,0 +1,100 @@
+//! Lightweight scheduler counters.
+//!
+//! The counters are advisory (relaxed atomics) and exist so that benchmarks and tests can
+//! observe that parallel execution actually happened (e.g. that steals occurred), playing
+//! the role that Cilkview's burdened-dag statistics play in the paper's Figure 9 setup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated over the lifetime of a [`Registry`](crate::registry::Registry).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    spawned: AtomicU64,
+    stolen: AtomicU64,
+    executed: AtomicU64,
+}
+
+/// A point-in-time copy of the scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Jobs pushed onto any deque or the injector.
+    pub spawned: u64,
+    /// Jobs obtained by stealing (from a peer deque or the injector).
+    pub stolen: u64,
+    /// Jobs executed to completion.
+    pub executed: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn note_spawn(&self) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_steal(&self) {
+        self.stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_execute(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spawned: self.spawned.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter deltas between two snapshots (`later - self`).
+    pub fn delta(&self, later: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spawned: later.spawned.saturating_sub(self.spawned),
+            stolen: later.stolen.saturating_sub(self.stolen),
+            executed: later.executed.saturating_sub(self.executed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate() {
+        let m = Metrics::new();
+        m.note_spawn();
+        m.note_spawn();
+        m.note_steal();
+        m.note_execute();
+        let s = m.snapshot();
+        assert_eq!(s.spawned, 2);
+        assert_eq!(s.stolen, 1);
+        assert_eq!(s.executed, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let m = Metrics::new();
+        m.note_spawn();
+        let a = m.snapshot();
+        m.note_spawn();
+        m.note_execute();
+        let b = m.snapshot();
+        let d = a.delta(&b);
+        assert_eq!(d.spawned, 1);
+        assert_eq!(d.executed, 1);
+        assert_eq!(d.stolen, 0);
+    }
+}

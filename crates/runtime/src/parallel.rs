@@ -1,0 +1,159 @@
+//! The [`Parallelism`] abstraction: code that wants to "spawn subzoids in parallel" is
+//! written once against this trait and can then run on the work-stealing [`Runtime`]
+//! (parallel), or on [`Serial`] (deterministic single-threaded execution, used by the
+//! cache simulator, the Phase-1 interpreter and many tests).
+
+use crate::pool::Runtime;
+
+/// A provider of fork-join parallelism.
+pub trait Parallelism: Sync {
+    /// Runs the two closures, possibly in parallel, and returns both results.
+    fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send;
+
+    /// Applies `body` to every index in `0..len`, possibly in parallel.
+    fn parallel_for<F>(&self, len: usize, grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync;
+
+    /// Applies `body` to every element of `items`, possibly in parallel.
+    fn for_each<T, F>(&self, items: &[T], body: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.parallel_for(items.len(), 1, |i| body(&items[i]));
+    }
+
+    /// Number of hardware workers available to this provider.
+    fn num_workers(&self) -> usize;
+
+    /// Whether the provider may actually run closures concurrently.
+    fn is_parallel(&self) -> bool {
+        self.num_workers() > 1
+    }
+}
+
+/// Deterministic single-threaded execution of the same fork-join structure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Serial;
+
+impl Parallelism for Serial {
+    fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        (oper_a(), oper_b())
+    }
+
+    fn parallel_for<F>(&self, len: usize, _grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        for i in 0..len {
+            body(i);
+        }
+    }
+
+    fn num_workers(&self) -> usize {
+        1
+    }
+}
+
+impl Parallelism for Runtime {
+    fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        Runtime::join(self, oper_a, oper_b)
+    }
+
+    fn parallel_for<F>(&self, len: usize, grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        Runtime::parallel_for(self, len, grain, body)
+    }
+
+    fn num_workers(&self) -> usize {
+        self.num_threads()
+    }
+}
+
+impl<P: Parallelism> Parallelism for &P {
+    fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        (**self).join(oper_a, oper_b)
+    }
+
+    fn parallel_for<F>(&self, len: usize, grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        (**self).parallel_for(len, grain, body)
+    }
+
+    fn num_workers(&self) -> usize {
+        (**self).num_workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sum_with<P: Parallelism>(p: &P, n: usize) -> usize {
+        let total = AtomicUsize::new(0);
+        p.parallel_for(n, 7, |i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        total.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn serial_and_runtime_agree() {
+        let rt = Runtime::new(2);
+        assert_eq!(sum_with(&Serial, 500), sum_with(&rt, 500));
+    }
+
+    #[test]
+    fn serial_join_runs_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        let (_, _) = Serial.join(
+            || order.lock().unwrap().push('a'),
+            || order.lock().unwrap().push('b'),
+        );
+        assert_eq!(*order.lock().unwrap(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn serial_reports_single_worker() {
+        assert_eq!(Serial.num_workers(), 1);
+        assert!(!Serial.is_parallel());
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let rt = Runtime::new(2);
+        let r = &rt;
+        assert_eq!(r.num_workers(), 2);
+        let (a, b) = Parallelism::join(&r, || 1, || 2);
+        assert_eq!(a + b, 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! The heat equation (Jacobi update) in 1–4 spatial dimensions — the `Heat 2`, `Heat 2p`
+//! and `Heat 4` rows of the paper's Figure 3, and the running example of its Figure 6.
+
+use pochoir_core::prelude::*;
+
+/// Jacobi-style heat kernel in `D` dimensions:
+/// `u(t+1,x) = u(t,x) + Σ_d α·(u(t,x−e_d) + u(t,x+e_d) − 2·u(t,x))`.
+#[derive(Clone, Copy, Debug)]
+pub struct HeatKernel<const D: usize> {
+    /// Diffusion coefficient `α·Δt/Δx²` applied along every axis.
+    pub alpha: f64,
+}
+
+impl<const D: usize> Default for HeatKernel<D> {
+    fn default() -> Self {
+        // Stable explicit scheme requires alpha*2*D <= 1.
+        HeatKernel {
+            alpha: 0.4 / D as f64,
+        }
+    }
+}
+
+impl<const D: usize> StencilKernel<f64, D> for HeatKernel<D> {
+    #[inline]
+    fn update<A: GridAccess<f64, D>>(&self, g: &A, t: i64, x: [i64; D]) {
+        let c = g.get(t, x);
+        let mut acc = c;
+        for d in 0..D {
+            let mut lo = x;
+            lo[d] -= 1;
+            let mut hi = x;
+            hi[d] += 1;
+            acc += self.alpha * (g.get(t, lo) + g.get(t, hi) - 2.0 * c);
+        }
+        g.set(t + 1, x, acc);
+    }
+}
+
+/// The stencil shape of [`HeatKernel`]: the (2D+1)-point star of radius 1.
+pub fn shape<const D: usize>() -> Shape<D> {
+    star_shape::<D>(1)
+}
+
+/// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
+/// noise, with the requested boundary condition.
+pub fn build<const D: usize>(sizes: [usize; D], boundary: Boundary<f64, D>) -> PochoirArray<f64, D> {
+    let mut a = PochoirArray::new(sizes);
+    a.register_boundary(boundary);
+    a.fill_time_slice(0, |x| init_value(sizes, x));
+    a
+}
+
+/// Deterministic initial condition used by every heat benchmark and test.
+pub fn init_value<const D: usize>(sizes: [usize; D], x: [i64; D]) -> f64 {
+    let mut v = 0.0;
+    let mut h = 0u64;
+    for d in 0..D {
+        let f = x[d] as f64 / sizes[d] as f64;
+        v += (std::f64::consts::PI * f).sin();
+        h = h
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(x[d] as u64 + 1);
+    }
+    v + (h % 997) as f64 / 997.0
+}
+
+/// Reference implementation: a plain double-buffered loop nest with out-of-domain reads
+/// resolved through the same boundary object.  Deliberately shares no code with the
+/// engines.
+pub fn reference<const D: usize>(
+    sizes: [usize; D],
+    boundary: &Boundary<f64, D>,
+    alpha: f64,
+    steps: i64,
+) -> Vec<f64> {
+    let sizes_i: [i64; D] = {
+        let mut s = [0i64; D];
+        for d in 0..D {
+            s[d] = sizes[d] as i64;
+        }
+        s
+    };
+    let len: usize = sizes.iter().product();
+    let index = |x: [i64; D]| -> usize {
+        let mut off = 0usize;
+        for d in 0..D {
+            off = off * sizes[d] + x[d] as usize;
+        }
+        off
+    };
+    let mut prev: Vec<f64> = vec![0.0; len];
+    for x in SpaceIter::new(sizes_i) {
+        prev[index(x)] = init_value(sizes, x);
+    }
+    let mut next = prev.clone();
+    for _ in 0..steps {
+        let read = |_t: i64, x: [i64; D]| prev[index(x)];
+        for x in SpaceIter::new(sizes_i) {
+            let at = |p: [i64; D]| -> f64 {
+                if (0..D).all(|d| p[d] >= 0 && p[d] < sizes_i[d]) {
+                    prev[index(p)]
+                } else {
+                    boundary.resolve(&read, sizes_i, 0, p)
+                }
+            };
+            let c = prev[index(x)];
+            let mut acc = c;
+            for d in 0..D {
+                let mut lo = x;
+                lo[d] -= 1;
+                let mut hi = x;
+                hi[d] += 1;
+                acc += alpha * (at(lo) + at(hi) - 2.0 * c);
+            }
+            next[index(x)] = acc;
+        }
+        std::mem::swap(&mut prev, &mut next);
+    }
+    prev
+}
+
+/// The paper's Figure 3 problem sizes for the heat benchmarks.
+pub mod paper_sizes {
+    /// Heat 2 / Heat 2p: 16,000² for 500 steps.
+    pub const HEAT_2D: ([usize; 2], i64) = ([16_000, 16_000], 500);
+    /// Heat 4: 150⁴ for 100 steps.
+    pub const HEAT_4D: ([usize; 4], i64) = ([150, 150, 150, 150], 100);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::engine::{run, Coarsening, ExecutionPlan};
+    use pochoir_runtime::Serial;
+
+    fn check_against_reference<const D: usize>(sizes: [usize; D], steps: i64, boundary: Boundary<f64, D>) {
+        let kernel = HeatKernel::<D>::default();
+        let reference = reference(sizes, &boundary, kernel.alpha, steps);
+        let spec = StencilSpec::new(shape::<D>());
+        let mut a = build(sizes, boundary);
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [4; D]));
+        run(&mut a, &spec, &kernel, 0, steps, &plan, &Serial);
+        let got = a.snapshot(steps);
+        assert_eq!(got.len(), reference.len());
+        for (i, (g, r)) in got.iter().zip(reference.iter()).enumerate() {
+            assert!((g - r).abs() < 1e-9, "mismatch at {i}: {g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn heat_1d_matches_reference() {
+        check_against_reference([40], 12, Boundary::Constant(0.0));
+    }
+
+    #[test]
+    fn heat_2d_periodic_matches_reference() {
+        check_against_reference([20, 24], 8, Boundary::Periodic);
+    }
+
+    #[test]
+    fn heat_2d_dirichlet_matches_reference() {
+        check_against_reference([18, 18], 6, Boundary::Constant(1.0));
+    }
+
+    #[test]
+    fn heat_3d_matches_reference() {
+        check_against_reference([10, 12, 9], 5, Boundary::Clamp);
+    }
+
+    #[test]
+    fn heat_4d_matches_reference() {
+        check_against_reference([6, 6, 6, 6], 4, Boundary::Periodic);
+    }
+
+    #[test]
+    fn default_coefficients_are_stable() {
+        assert!(HeatKernel::<1>::default().alpha * 2.0 <= 1.0);
+        assert!(HeatKernel::<4>::default().alpha * 8.0 <= 1.0);
+    }
+
+    #[test]
+    fn shape_matches_kernel_reach() {
+        let s = shape::<3>();
+        assert_eq!(s.slopes(), [1, 1, 1]);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.cells().len(), 2 + 6);
+    }
+
+    #[test]
+    fn heat_diffusion_smooths_peaks() {
+        // Physical sanity: with a constant-0 boundary the total "energy" (max value)
+        // decreases over time.
+        let sizes = [32usize, 32];
+        let boundary = Boundary::Constant(0.0);
+        let kernel = HeatKernel::<2>::default();
+        let spec = StencilSpec::new(shape::<2>());
+        let mut a = build(sizes, boundary);
+        let max0 = a.snapshot(0).iter().cloned().fold(f64::MIN, f64::max);
+        run(&mut a, &spec, &kernel, 0, 30, &ExecutionPlan::trap(), &Serial);
+        let max_t = a.snapshot(30).iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max_t < max0);
+    }
+}

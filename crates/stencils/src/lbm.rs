@@ -1,0 +1,183 @@
+//! A lattice-Boltzmann method (LBM) — the `LBM 3` row of the paper's Figure 3.
+//!
+//! The paper's LBM benchmark is a 3D lattice-Boltzmann flow solver: a "complex stencil
+//! having many states" — each lattice site carries a whole vector of particle
+//! distribution functions.  This reproduction implements a D3Q7 BGK (single-relaxation
+//! time) lattice: seven distributions per cell (rest + the six axis directions), a
+//! streaming step that pulls from the axis neighbours, and a BGK collision relaxing
+//! toward the local equilibrium.  The structure — multi-field cells, gather-style
+//! streaming, heavy per-point arithmetic — matches what makes LBM interesting as a
+//! stencil benchmark, at laptop-friendly cost.
+
+use pochoir_core::prelude::*;
+
+/// Number of discrete velocities in the D3Q7 lattice.
+pub const Q: usize = 7;
+
+/// The D3Q7 velocity set: rest plus ±x, ±y, ±z.
+pub const VELOCITIES: [[i64; 3]; Q] = [
+    [0, 0, 0],
+    [1, 0, 0],
+    [-1, 0, 0],
+    [0, 1, 0],
+    [0, -1, 0],
+    [0, 0, 1],
+    [0, 0, -1],
+];
+
+/// Lattice weights of D3Q7 (rest particle 1/4, each direction 1/8).
+pub const WEIGHTS: [f64; Q] = [0.25, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125];
+
+/// One lattice site: the seven distribution functions.
+pub type Cell = [f64; Q];
+
+/// The D3Q7 BGK stream-and-collide kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct LbmKernel {
+    /// BGK relaxation parameter ω ∈ (0, 2).
+    pub omega: f64,
+}
+
+impl Default for LbmKernel {
+    fn default() -> Self {
+        LbmKernel { omega: 1.2 }
+    }
+}
+
+impl StencilKernel<Cell, 3> for LbmKernel {
+    #[inline]
+    fn update<A: GridAccess<Cell, 3>>(&self, g: &A, t: i64, x: [i64; 3]) {
+        // Streaming: distribution q arrives from the neighbour opposite to its velocity.
+        let mut f = [0.0f64; Q];
+        for (q, v) in VELOCITIES.iter().enumerate() {
+            let src = [x[0] - v[0], x[1] - v[1], x[2] - v[2]];
+            f[q] = g.get(t, src)[q];
+        }
+        // Macroscopic density and momentum.
+        let rho: f64 = f.iter().sum();
+        let mut u = [0.0f64; 3];
+        for (q, v) in VELOCITIES.iter().enumerate() {
+            for d in 0..3 {
+                u[d] += f[q] * v[d] as f64;
+            }
+        }
+        if rho > 0.0 {
+            for d in &mut u {
+                *d /= rho;
+            }
+        }
+        // BGK collision toward the (linearised) D3Q7 equilibrium.
+        let cs2 = 0.25; // lattice speed of sound squared for D3Q7
+        let mut out = [0.0f64; Q];
+        for (q, v) in VELOCITIES.iter().enumerate() {
+            let cu = (0..3).map(|d| v[d] as f64 * u[d]).sum::<f64>();
+            let feq = WEIGHTS[q] * rho * (1.0 + cu / cs2);
+            out[q] = f[q] + self.omega * (feq - f[q]);
+        }
+        g.set(t + 1, x, out);
+    }
+}
+
+/// The LBM stencil shape: the 7-point star of radius 1 (each distribution streams from an
+/// axis neighbour).
+pub fn shape() -> Shape<3> {
+    star_shape::<3>(1)
+}
+
+/// Builds a periodic box at rest with a density perturbation in the middle.
+pub fn build(sizes: [usize; 3]) -> PochoirArray<Cell, 3> {
+    let mut a: PochoirArray<Cell, 3> = PochoirArray::new(sizes);
+    a.register_boundary(Boundary::Periodic);
+    a.fill_time_slice(0, |x| equilibrium_cell(initial_density(sizes, x)));
+    a
+}
+
+/// Initial density field: 1.0 plus a centred bump.
+pub fn initial_density(sizes: [usize; 3], x: [i64; 3]) -> f64 {
+    let mut r2 = 0.0;
+    for d in 0..3 {
+        let c = (sizes[d] as f64 - 1.0) / 2.0;
+        let dx = (x[d] as f64 - c) / sizes[d] as f64;
+        r2 += dx * dx;
+    }
+    1.0 + 0.1 * (-20.0 * r2).exp()
+}
+
+/// A cell at rest with the given density.
+pub fn equilibrium_cell(rho: f64) -> Cell {
+    let mut c = [0.0; Q];
+    for q in 0..Q {
+        c[q] = WEIGHTS[q] * rho;
+    }
+    c
+}
+
+/// Total mass (sum of all distributions) in one time slice — conserved by the update.
+pub fn total_mass(a: &PochoirArray<Cell, 3>, t: i64) -> f64 {
+    a.snapshot(t).iter().map(|c| c.iter().sum::<f64>()).sum()
+}
+
+/// The paper's Figure 3 problem size: 100×100×130 for 3,000 steps.
+pub const PAPER_SIZE: ([usize; 3], i64) = ([100, 100, 130], 3000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::engine::{run, Coarsening, EngineKind, ExecutionPlan};
+    use pochoir_runtime::Serial;
+
+    #[test]
+    fn shape_is_radius_one_star() {
+        let s = shape();
+        assert_eq!(s.slopes(), [1, 1, 1]);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((WEIGHTS.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_is_conserved_on_a_torus() {
+        let sizes = [8usize, 8, 8];
+        let spec = StencilSpec::new(shape());
+        let mut a = build(sizes);
+        let m0 = total_mass(&a, 0);
+        run(&mut a, &spec, &LbmKernel::default(), 0, 10, &ExecutionPlan::trap(), &Serial);
+        let m1 = total_mass(&a, 10);
+        assert!((m0 - m1).abs() < 1e-9 * m0.abs(), "mass drifted: {m0} -> {m1}");
+    }
+
+    #[test]
+    fn engines_agree_bitwise() {
+        let sizes = [7usize, 6, 9];
+        let steps = 5;
+        let spec = StencilSpec::new(shape());
+        let k = LbmKernel::default();
+        let mut reference = build(sizes);
+        run(&mut reference, &spec, &k, 0, steps, &ExecutionPlan::loops_serial(), &Serial);
+        let expected = reference.snapshot(steps);
+        for engine in [EngineKind::Trap, EngineKind::Strap] {
+            let mut a = build(sizes);
+            let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [3, 3, 3]));
+            run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+            assert_eq!(a.snapshot(steps), expected, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_equilibrium_is_a_fixed_point() {
+        let sizes = [6usize, 6, 6];
+        let spec = StencilSpec::new(shape());
+        let mut a: PochoirArray<Cell, 3> = PochoirArray::new(sizes);
+        a.register_boundary(Boundary::Periodic);
+        a.fill_time_slice(0, |_| equilibrium_cell(1.0));
+        run(&mut a, &spec, &LbmKernel::default(), 0, 4, &ExecutionPlan::trap(), &Serial);
+        for cell in a.snapshot(4) {
+            for q in 0..Q {
+                assert!((cell[q] - WEIGHTS[q]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Longest common subsequence — the `LCS` row of the paper's Figure 3.
+//!
+//! The classical LCS dynamic program `L[i][j] = f(L[i−1][j], L[i][j−1], L[i−1][j−1])` is
+//! turned into a **1-dimensional stencil of depth 2** by skewing: the "time" dimension is
+//! the anti-diagonal `τ = i + j` and the spatial coordinate is `j`.  At time `τ`, position
+//! `j` holds `L[τ−j][j]`.  This is exactly how the paper's 1D DP benchmarks (PSA, LCS,
+//! APOP) are expressed: a 100,000-point spatial grid stepped ~2·100,000 times, with a
+//! kernel full of branch conditionals for the diamond-shaped domain.
+
+use pochoir_core::prelude::*;
+use std::sync::Arc;
+
+/// The skewed LCS kernel.  Holds the two sequences being compared.
+#[derive(Clone, Debug)]
+pub struct LcsKernel {
+    /// First sequence (length `M`, indexed by the DP row `i`).
+    pub a: Arc<Vec<u8>>,
+    /// Second sequence (length `N`, indexed by the DP column `j`).
+    pub b: Arc<Vec<u8>>,
+}
+
+impl StencilKernel<i32, 1> for LcsKernel {
+    #[inline]
+    fn update<A: GridAccess<i32, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+        let j = x[0];
+        let m = self.a.len() as i64;
+        let n = self.b.len() as i64;
+        // The cell being produced lives on anti-diagonal τ = t + 1 and is L[i][j].
+        let i = (t + 1) - j;
+        let value = if i < 0 || i > m || j > n {
+            0 // outside the DP table: keep a neutral value
+        } else if i == 0 || j == 0 {
+            0 // first row / column of the LCS table
+        } else if self.a[(i - 1) as usize] == self.b[(j - 1) as usize] {
+            g.get(t - 1, [j - 1]) + 1 // L[i-1][j-1] + 1
+        } else {
+            g.get(t, [j]).max(g.get(t, [j - 1])) // max(L[i-1][j], L[i][j-1])
+        };
+        g.set(t + 1, [j], value);
+    }
+}
+
+/// The skewed LCS shape: `{(1,0), (0,0), (0,−1), (−1,−1)}` — depth 2, slope 1.
+pub fn shape() -> Shape<1> {
+    Shape::must(vec![
+        ShapeCell::new(1, [0]),
+        ShapeCell::new(0, [0]),
+        ShapeCell::new(0, [-1]),
+        ShapeCell::new(-1, [-1]),
+    ])
+}
+
+/// Builds the spatial array (positions `j = 0..=N`) with the first two anti-diagonals
+/// (all zeros for LCS) initialized, and a constant-0 boundary for `j = −1` reads.
+pub fn build(b_len: usize) -> PochoirArray<i32, 1> {
+    let mut arr = PochoirArray::with_depth([b_len + 1], 2);
+    arr.register_boundary(Boundary::Constant(0));
+    arr
+}
+
+/// Number of kernel steps needed to fill the whole table for sequences of lengths `m`, `n`
+/// (anti-diagonals 2 ..= m+n, one per step).
+pub fn steps(m: usize, n: usize) -> i64 {
+    (m + n) as i64 - 1
+}
+
+/// Reads the final answer `L[m][n]` out of the array after [`steps`] steps have run.
+pub fn result(arr: &PochoirArray<i32, 1>, m: usize, n: usize) -> i32 {
+    arr.get((m + n) as i64, [n as i64])
+}
+
+/// Deterministic pseudo-random sequence over a small alphabet.
+pub fn random_sequence(len: usize, alphabet: u8, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % alphabet as u64) as u8
+        })
+        .collect()
+}
+
+/// Reference implementation: the classical quadratic-space LCS table.
+pub fn reference(a: &[u8], b: &[u8]) -> i32 {
+    let m = a.len();
+    let n = b.len();
+    let mut table = vec![0i32; (m + 1) * (n + 1)];
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    for i in 1..=m {
+        for j in 1..=n {
+            table[idx(i, j)] = if a[i - 1] == b[j - 1] {
+                table[idx(i - 1, j - 1)] + 1
+            } else {
+                table[idx(i - 1, j)].max(table[idx(i, j - 1)])
+            };
+        }
+    }
+    table[idx(m, n)]
+}
+
+/// The paper's Figure 3 problem size: 100,000-long sequences, 200,000 steps.
+pub const PAPER_SIZE: (usize, usize) = (100_000, 100_000);
+
+/// Runs the LCS stencil end-to-end with the given plan and returns `L[m][n]`.
+pub fn run_lcs<P: pochoir_runtime::Parallelism>(
+    a: &[u8],
+    b: &[u8],
+    plan: &pochoir_core::engine::ExecutionPlan<1>,
+    par: &P,
+) -> i32 {
+    let kernel = LcsKernel {
+        a: Arc::new(a.to_vec()),
+        b: Arc::new(b.to_vec()),
+    };
+    let spec = StencilSpec::new(shape());
+    let mut arr = build(b.len());
+    let t0 = spec.shape().first_step();
+    pochoir_core::engine::run(&mut arr, &spec, &kernel, t0, t0 + steps(a.len(), b.len()), plan, par);
+    result(&arr, a.len(), b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::engine::{Coarsening, EngineKind, ExecutionPlan};
+    use pochoir_runtime::Serial;
+
+    #[test]
+    fn shape_properties() {
+        let s = shape();
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.slopes(), [1]);
+        assert_eq!(s.first_step(), 1);
+    }
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(reference(b"ABCBDAB", b"BDCABA"), 4);
+        assert_eq!(reference(b"", b"ABC"), 0);
+        assert_eq!(reference(b"AAAA", b"AAAA"), 4);
+        let got = run_lcs(b"ABCBDAB", b"BDCABA", &ExecutionPlan::trap(), &Serial);
+        assert_eq!(got, 4);
+    }
+
+    #[test]
+    fn stencil_matches_reference_on_random_sequences() {
+        for (m, n, seed) in [(30usize, 40usize, 1u64), (57, 23, 2), (64, 64, 3)] {
+            let a = random_sequence(m, 4, seed);
+            let b = random_sequence(n, 4, seed + 100);
+            let expected = reference(&a, &b);
+            for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+                let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(4, [16]));
+                let got = run_lcs(&a, &b, &plan, &Serial);
+                assert_eq!(got, expected, "{engine:?} m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sequences_have_full_length_lcs() {
+        let a = random_sequence(80, 3, 9);
+        let got = run_lcs(&a, &a, &ExecutionPlan::trap(), &Serial);
+        assert_eq!(got, 80);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pochoir-stencils
+//!
+//! The benchmark stencil applications of *"The Pochoir Stencil Compiler"* (SPAA 2011),
+//! Figure 3 and Figure 5, implemented on top of `pochoir-core`:
+//!
+//! | Module | Paper benchmark | Dims | Notes |
+//! |---|---|---|---|
+//! | [`heat`] | Heat 2 / Heat 2p / Heat 4 | 1–4 | Jacobi heat equation; the paper's running example |
+//! | [`life`] | Life 2p | 2 | Conway's Game of Life on a torus (9-point, branchy) |
+//! | [`wave`] | Wave 3 | 3 | finite-difference wave equation, **depth-2** stencil |
+//! | [`lbm`] | LBM 3 | 3 | lattice-Boltzmann D3Q7 BGK, 7 states per cell |
+//! | [`rna`] | RNA 2 | 2 | Nussinov-style DP as a wavefront stencil, heavy branching |
+//! | [`psa`] | PSA 1 | 1 | Needleman–Wunsch alignment skewed onto anti-diagonals |
+//! | [`lcs`] | LCS 1 | 1 | longest common subsequence, skewed, depth-2 |
+//! | [`apop`] | APOP 1 | 1 | American put option, explicit FD + early exercise |
+//! | [`points`] | Figure 5 | 3 | the Berkeley 7-point and 27-point kernels |
+//!
+//! Every module provides the kernel type(s), the declared [`Shape`](pochoir_core::shape::Shape),
+//! an initializer, the paper's problem size, and an independent reference implementation
+//! against which the engines are tested.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apop;
+pub mod common;
+pub mod heat;
+pub mod lbm;
+pub mod lcs;
+pub mod life;
+pub mod points;
+pub mod psa;
+pub mod rna;
+pub mod wave;
+
+pub use common::ProblemScale;

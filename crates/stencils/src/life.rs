@@ -1,0 +1,169 @@
+//! Conway's Game of Life on a torus — the `Life 2p` row of the paper's Figure 3.
+//!
+//! Life is a branchy integer stencil over the full Moore (9-point) neighbourhood, which
+//! makes it a good stress test for the boundary/interior cloning and for bitwise-exact
+//! engine equivalence.
+
+use pochoir_core::prelude::*;
+
+/// The Game of Life update rule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LifeKernel;
+
+impl StencilKernel<u8, 2> for LifeKernel {
+    #[inline]
+    fn update<A: GridAccess<u8, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let mut neighbours = 0u8;
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                neighbours += g.get(t, [x[0] + dx, x[1] + dy]);
+            }
+        }
+        let alive = g.get(t, x) == 1;
+        let next = match (alive, neighbours) {
+            (true, 2) | (true, 3) => 1,
+            (false, 3) => 1,
+            _ => 0,
+        };
+        g.set(t + 1, x, next);
+    }
+}
+
+/// The Moore-neighbourhood shape (radius-1 box).
+pub fn shape() -> Shape<2> {
+    box_shape::<2>(1)
+}
+
+/// Builds a toroidal Life board with a deterministic pseudo-random soup.
+pub fn build(sizes: [usize; 2], fill_permille: u64) -> PochoirArray<u8, 2> {
+    let mut a = PochoirArray::new(sizes);
+    a.register_boundary(Boundary::Periodic);
+    a.fill_time_slice(0, |x| {
+        let h = (x[0] as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(x[1] as u64)
+            .wrapping_mul(0xBF58476D1CE4E5B9);
+        u8::from(h % 1000 < fill_permille)
+    });
+    a
+}
+
+/// Builds a board with a single glider in the top-left corner (all else dead).
+pub fn build_glider(sizes: [usize; 2]) -> PochoirArray<u8, 2> {
+    let mut a: PochoirArray<u8, 2> = PochoirArray::new(sizes);
+    a.register_boundary(Boundary::Periodic);
+    for (x, y) in [(1i64, 2i64), (2, 3), (3, 1), (3, 2), (3, 3)] {
+        a.set(0, [x, y], 1);
+    }
+    a
+}
+
+/// Reference implementation: direct double-buffered sweep on a torus.
+pub fn reference(sizes: [usize; 2], initial: &[u8], steps: i64) -> Vec<u8> {
+    let (nx, ny) = (sizes[0] as i64, sizes[1] as i64);
+    let idx = |x: i64, y: i64| ((x.rem_euclid(nx)) * ny + y.rem_euclid(ny)) as usize;
+    let mut prev = initial.to_vec();
+    let mut next = prev.clone();
+    for _ in 0..steps {
+        for x in 0..nx {
+            for y in 0..ny {
+                let mut n = 0u8;
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        n += prev[idx(x + dx, y + dy)];
+                    }
+                }
+                let alive = prev[idx(x, y)] == 1;
+                next[idx(x, y)] = match (alive, n) {
+                    (true, 2) | (true, 3) => 1,
+                    (false, 3) => 1,
+                    _ => 0,
+                };
+            }
+        }
+        std::mem::swap(&mut prev, &mut next);
+    }
+    prev
+}
+
+/// The paper's Figure 3 problem size: 16,000² for 500 steps.
+pub const PAPER_SIZE: ([usize; 2], i64) = ([16_000, 16_000], 500);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::engine::{run, Coarsening, EngineKind, ExecutionPlan};
+    use pochoir_runtime::Serial;
+
+    #[test]
+    fn shape_is_nine_point_with_unit_slopes() {
+        let s = shape();
+        assert_eq!(s.slopes(), [1, 1]);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn engines_match_reference_soup() {
+        let sizes = [24usize, 20];
+        let steps = 10;
+        let board = build(sizes, 350);
+        let initial = board.snapshot(0);
+        let expected = reference(sizes, &initial, steps);
+        let spec = StencilSpec::new(shape());
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            let mut a = build(sizes, 350);
+            let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [5, 5]));
+            run(&mut a, &spec, &LifeKernel, 0, steps, &plan, &Serial);
+            assert_eq!(a.snapshot(steps), expected, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn glider_translates_by_one_cell_every_four_generations() {
+        let sizes = [16usize, 16];
+        let spec = StencilSpec::new(shape());
+        let mut a = build_glider(sizes);
+        let before = a.snapshot(0);
+        run(
+            &mut a,
+            &spec,
+            &LifeKernel,
+            0,
+            4,
+            &ExecutionPlan::trap(),
+            &Serial,
+        );
+        let after = a.snapshot(4);
+        // After 4 generations the glider pattern is the initial pattern shifted by (1,1).
+        let idx = |x: i64, y: i64| (x.rem_euclid(16) * 16 + y.rem_euclid(16)) as usize;
+        for x in 0..16i64 {
+            for y in 0..16i64 {
+                assert_eq!(
+                    after[idx(x + 1, y + 1)],
+                    before[idx(x, y)],
+                    "glider shift mismatch at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn still_life_block_is_stable() {
+        let sizes = [8usize, 8];
+        let mut a: PochoirArray<u8, 2> = PochoirArray::new(sizes);
+        a.register_boundary(Boundary::Periodic);
+        for (x, y) in [(3i64, 3i64), (3, 4), (4, 3), (4, 4)] {
+            a.set(0, [x, y], 1);
+        }
+        let spec = StencilSpec::new(shape());
+        let before = a.snapshot(0);
+        run(&mut a, &spec, &LifeKernel, 0, 5, &ExecutionPlan::trap(), &Serial);
+        assert_eq!(a.snapshot(5), before);
+    }
+}

@@ -1,0 +1,196 @@
+//! The 3D 7-point and 27-point stencils used for the Berkeley-autotuner comparison of the
+//! paper's Figure 5 (8 and 30 floating-point operations per grid point respectively).
+
+use pochoir_core::prelude::*;
+
+/// The 7-point stencil of Figure 5: `u' = α·u + β·Σ(6 face neighbours)` — 8 flops/point.
+#[derive(Clone, Copy, Debug)]
+pub struct SevenPointKernel {
+    /// Centre weight.
+    pub alpha: f64,
+    /// Face-neighbour weight.
+    pub beta: f64,
+}
+
+impl Default for SevenPointKernel {
+    fn default() -> Self {
+        SevenPointKernel {
+            alpha: 0.4,
+            beta: 0.1,
+        }
+    }
+}
+
+impl StencilKernel<f64, 3> for SevenPointKernel {
+    #[inline]
+    fn update<A: GridAccess<f64, 3>>(&self, g: &A, t: i64, x: [i64; 3]) {
+        let [i, j, k] = x;
+        let sum = g.get(t, [i - 1, j, k])
+            + g.get(t, [i + 1, j, k])
+            + g.get(t, [i, j - 1, k])
+            + g.get(t, [i, j + 1, k])
+            + g.get(t, [i, j, k - 1])
+            + g.get(t, [i, j, k + 1]);
+        g.set(t + 1, x, self.alpha * g.get(t, x) + self.beta * sum);
+    }
+}
+
+/// Number of floating-point operations per point for the 7-point kernel (paper: 8).
+pub const SEVEN_POINT_FLOPS: u64 = 8;
+
+/// The 27-point stencil of Figure 5: distinct weights for the centre, the 6 faces, the
+/// 12 edges and the 8 corners — 30 flops/point.
+#[derive(Clone, Copy, Debug)]
+pub struct TwentySevenPointKernel {
+    /// Centre weight.
+    pub alpha: f64,
+    /// Face weight.
+    pub beta: f64,
+    /// Edge weight.
+    pub gamma: f64,
+    /// Corner weight.
+    pub delta: f64,
+}
+
+impl Default for TwentySevenPointKernel {
+    fn default() -> Self {
+        TwentySevenPointKernel {
+            alpha: 0.25,
+            beta: 0.06,
+            gamma: 0.02,
+            delta: 0.005,
+        }
+    }
+}
+
+impl StencilKernel<f64, 3> for TwentySevenPointKernel {
+    #[inline]
+    fn update<A: GridAccess<f64, 3>>(&self, g: &A, t: i64, x: [i64; 3]) {
+        let mut faces = 0.0;
+        let mut edges = 0.0;
+        let mut corners = 0.0;
+        for di in -1i64..=1 {
+            for dj in -1i64..=1 {
+                for dk in -1i64..=1 {
+                    let manhattan = di.abs() + dj.abs() + dk.abs();
+                    if manhattan == 0 {
+                        continue;
+                    }
+                    let v = g.get(t, [x[0] + di, x[1] + dj, x[2] + dk]);
+                    match manhattan {
+                        1 => faces += v,
+                        2 => edges += v,
+                        _ => corners += v,
+                    }
+                }
+            }
+        }
+        let v = self.alpha * g.get(t, x) + self.beta * faces + self.gamma * edges + self.delta * corners;
+        g.set(t + 1, x, v);
+    }
+}
+
+/// Number of floating-point operations per point for the 27-point kernel (paper: 30).
+pub const TWENTY_SEVEN_POINT_FLOPS: u64 = 30;
+
+/// The 7-point shape (radius-1 star).
+pub fn seven_point_shape() -> Shape<3> {
+    star_shape::<3>(1)
+}
+
+/// The 27-point shape (radius-1 box).
+pub fn twenty_seven_point_shape() -> Shape<3> {
+    box_shape::<3>(1)
+}
+
+/// Builds the ghost-cell style array used for Figure 5: constant-zero boundary (ghost
+/// cells in the paper's baselines) and a deterministic pseudo-random interior.
+pub fn build(sizes: [usize; 3]) -> PochoirArray<f64, 3> {
+    let mut a = PochoirArray::new(sizes);
+    a.register_boundary(Boundary::Constant(0.0));
+    a.fill_time_slice(0, |x| {
+        let h = (x[0] as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((x[1] as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            .wrapping_add(x[2] as u64);
+        (h % 1024) as f64 / 1024.0
+    });
+    a
+}
+
+/// The Berkeley comparison grid: 258³ including ghost cells, i.e. a 256³ computed volume;
+/// the paper runs Pochoir for 200 time steps.
+pub const PAPER_SIZE: ([usize; 3], i64) = ([256, 256, 256], 200);
+
+/// Stencil throughput in GStencil/s (the unit of Figure 5) for `points` grid points
+/// advanced `steps` times in `seconds`.
+pub fn gstencils_per_second(points: u128, steps: i64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    points as f64 * steps as f64 / seconds / 1e9
+}
+
+/// GFLOP/s given a per-point flop count (8 or 30 in Figure 5).
+pub fn gflops_per_second(points: u128, steps: i64, flops_per_point: u64, seconds: f64) -> f64 {
+    gstencils_per_second(points, steps, seconds) * flops_per_point as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::engine::{run, Coarsening, EngineKind, ExecutionPlan};
+    use pochoir_runtime::Serial;
+
+    fn reference_7pt(sizes: [usize; 3], k: &SevenPointKernel, steps: i64) -> Vec<f64> {
+        let mut a = build(sizes);
+        let spec = StencilSpec::new(seven_point_shape());
+        run(&mut a, &spec, k, 0, steps, &ExecutionPlan::loops_serial(), &Serial);
+        a.snapshot(steps)
+    }
+
+    #[test]
+    fn seven_point_trap_matches_loops() {
+        let sizes = [12usize, 10, 14];
+        let steps = 5;
+        let k = SevenPointKernel::default();
+        let expected = reference_7pt(sizes, &k, steps);
+        let spec = StencilSpec::new(seven_point_shape());
+        let mut a = build(sizes);
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [3, 3, 6]));
+        run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+        assert_eq!(a.snapshot(steps), expected);
+    }
+
+    #[test]
+    fn twenty_seven_point_engines_agree() {
+        let sizes = [9usize, 9, 9];
+        let steps = 4;
+        let k = TwentySevenPointKernel::default();
+        let spec = StencilSpec::new(twenty_seven_point_shape());
+        let mut reference = build(sizes);
+        run(&mut reference, &spec, &k, 0, steps, &ExecutionPlan::loops_serial(), &Serial);
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsBlocked] {
+            let mut a = build(sizes);
+            let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [3, 3, 3]));
+            run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+            assert_eq!(a.snapshot(steps), reference.snapshot(steps), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn shapes_have_expected_cell_counts() {
+        assert_eq!(seven_point_shape().cells().len(), 8);
+        assert_eq!(twenty_seven_point_shape().cells().len(), 28);
+    }
+
+    #[test]
+    fn throughput_units() {
+        // 2.0 GStencil/s at 8 flops/point is 16 GFLOP/s (Figure 5's arithmetic).
+        let points = 1_000_000_000u128;
+        let secs = 0.5;
+        assert!((gstencils_per_second(points, 1, secs) - 2.0).abs() < 1e-12);
+        assert!((gflops_per_second(points, 1, 8, secs) - 16.0).abs() < 1e-12);
+        assert_eq!(gstencils_per_second(points, 1, 0.0), 0.0);
+    }
+}

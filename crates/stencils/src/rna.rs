@@ -1,0 +1,182 @@
+//! RNA secondary-structure prediction — the `RNA` row of the paper's Figure 3.
+//!
+//! The benchmark computes a Nussinov-style dynamic program: the maximum number of
+//! non-crossing base pairs formed by a sequence, using the local recurrence
+//! `N(i,j) = max(N(i+1,j), N(i,j−1), N(i+1,j−1) + pair(i,j))` (the composition/bifurcation
+//! term of the full Nussinov algorithm is not a nearest-neighbour stencil and is omitted,
+//! as in cache-oblivious DP stencil formulations).  The DP is expressed as a **2-D
+//! wavefront stencil**: cell `(i,j)` becomes final on time step `τ = j − i`, and on every
+//! other step it simply carries its value forward — which is why the kernel is full of
+//! branch conditionals and why the paper reports only modest speedups for RNA on its
+//! small 300² grid.
+
+use pochoir_core::prelude::*;
+use std::sync::Arc;
+
+/// RNA bases.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'U'];
+
+/// Returns 1 if the two bases can pair (Watson–Crick plus GU wobble), else 0.
+pub fn can_pair(a: u8, b: u8) -> i32 {
+    matches!(
+        (a, b),
+        (b'A', b'U') | (b'U', b'A') | (b'C', b'G') | (b'G', b'C') | (b'G', b'U') | (b'U', b'G')
+    ) as i32
+}
+
+/// The wavefront Nussinov kernel.
+#[derive(Clone, Debug)]
+pub struct RnaKernel {
+    /// The RNA sequence.
+    pub seq: Arc<Vec<u8>>,
+}
+
+impl StencilKernel<i32, 2> for RnaKernel {
+    #[inline]
+    fn update<A: GridAccess<i32, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let [i, j] = x;
+        let n = self.seq.len() as i64;
+        // Cells on band j − i = t + 1 are computed this step; everything else carries.
+        if j - i == t + 1 && i >= 0 && j < n {
+            let drop_left = g.get(t, [i + 1, j]); // N(i+1, j), final since band t
+            let drop_right = g.get(t, [i, j - 1]); // N(i, j-1), final since band t
+            let paired = g.get(t, [i + 1, j - 1])
+                + can_pair(self.seq[i as usize], self.seq[j as usize]); // band t-1, carried
+            g.set(t + 1, x, drop_left.max(drop_right).max(paired));
+        } else {
+            g.set(t + 1, x, g.get(t, x));
+        }
+    }
+}
+
+/// The RNA shape: reads the cell itself and its `(+1,0)`, `(0,−1)`, `(+1,−1)` neighbours
+/// at the previous step.
+pub fn shape() -> Shape<2> {
+    Shape::must(vec![
+        ShapeCell::new(1, [0, 0]),
+        ShapeCell::new(0, [0, 0]),
+        ShapeCell::new(0, [1, 0]),
+        ShapeCell::new(0, [0, -1]),
+        ShapeCell::new(0, [1, -1]),
+    ])
+}
+
+/// Builds the DP grid for a sequence of length `n`, zero-initialized (N(i,i) = 0 and the
+/// empty lower triangle), with a constant-0 boundary.
+pub fn build(n: usize) -> PochoirArray<i32, 2> {
+    let mut arr = PochoirArray::new([n, n]);
+    arr.register_boundary(Boundary::Constant(0));
+    arr
+}
+
+/// Number of steps to complete the DP: bands 1 ..= n−1.
+pub fn steps(n: usize) -> i64 {
+    n as i64 - 1
+}
+
+/// Reads the final answer `N(0, n−1)` after [`steps`] steps.
+pub fn result(arr: &PochoirArray<i32, 2>, n: usize) -> i32 {
+    arr.get(steps(n), [0, n as i64 - 1])
+}
+
+/// Deterministic pseudo-random RNA sequence.
+pub fn random_sequence(n: usize, seed: u64) -> Vec<u8> {
+    crate::lcs::random_sequence(n, 4, seed)
+        .into_iter()
+        .map(|x| BASES[x as usize])
+        .collect()
+}
+
+/// Reference implementation: band-by-band DP on a plain 2D table.
+pub fn reference(seq: &[u8]) -> i32 {
+    let n = seq.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut table = vec![0i32; n * n];
+    let idx = |i: usize, j: usize| i * n + j;
+    for band in 1..n {
+        for i in 0..n - band {
+            let j = i + band;
+            let mut best = table[idx(i + 1, j)].max(table[idx(i, j - 1)]);
+            let paired = if band >= 1 {
+                let inner = if i + 1 <= j - 1 { table[idx(i + 1, j - 1)] } else { 0 };
+                inner + can_pair(seq[i], seq[j])
+            } else {
+                0
+            };
+            best = best.max(paired);
+            table[idx(i, j)] = best;
+        }
+    }
+    table[idx(0, n - 1)]
+}
+
+/// The paper's Figure 3 problem size: a 300² grid run for 900 steps.
+pub const PAPER_SIZE: (usize, i64) = (300, 900);
+
+/// Runs the RNA stencil end-to-end and returns the optimal pair count.
+pub fn run_rna<P: pochoir_runtime::Parallelism>(
+    seq: &[u8],
+    plan: &pochoir_core::engine::ExecutionPlan<2>,
+    par: &P,
+) -> i32 {
+    let kernel = RnaKernel {
+        seq: Arc::new(seq.to_vec()),
+    };
+    let spec = StencilSpec::new(shape());
+    let mut arr = build(seq.len());
+    let t0 = spec.shape().first_step();
+    pochoir_core::engine::run(&mut arr, &spec, &kernel, t0, t0 + steps(seq.len()), plan, par);
+    result(&arr, seq.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pochoir_core::engine::{Coarsening, EngineKind, ExecutionPlan};
+    use pochoir_runtime::Serial;
+
+    #[test]
+    fn pairing_rules() {
+        assert_eq!(can_pair(b'A', b'U'), 1);
+        assert_eq!(can_pair(b'G', b'C'), 1);
+        assert_eq!(can_pair(b'G', b'U'), 1);
+        assert_eq!(can_pair(b'A', b'G'), 0);
+        assert_eq!(can_pair(b'C', b'U'), 0);
+    }
+
+    #[test]
+    fn shape_properties() {
+        let s = shape();
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.slopes(), [1, 1]);
+    }
+
+    #[test]
+    fn hairpin_sequence_pairs_fully() {
+        // GGGG AAAA CCCC: the four G's pair with the four C's.
+        let seq = b"GGGGAAAACCCC".to_vec();
+        assert_eq!(reference(&seq), 4);
+        assert_eq!(run_rna(&seq, &ExecutionPlan::trap(), &Serial), 4);
+    }
+
+    #[test]
+    fn unpairable_sequence_scores_zero() {
+        let seq = b"AAAAAAA".to_vec();
+        assert_eq!(reference(&seq), 0);
+        assert_eq!(run_rna(&seq, &ExecutionPlan::trap(), &Serial), 0);
+    }
+
+    #[test]
+    fn stencil_matches_reference_on_random_sequences() {
+        for (n, seed) in [(20usize, 1u64), (33, 2), (48, 3)] {
+            let seq = random_sequence(n, seed);
+            let expected = reference(&seq);
+            for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+                let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(3, [8, 8]));
+                assert_eq!(run_rna(&seq, &plan, &Serial), expected, "{engine:?} n={n}");
+            }
+        }
+    }
+}

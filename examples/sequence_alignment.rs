@@ -1,0 +1,33 @@
+//! Dynamic programming as a stencil: longest common subsequence and global sequence
+//! alignment (the paper's LCS and PSA benchmarks), computed by skewing the DP table onto
+//! anti-diagonals so it becomes a 1-dimensional depth-2 stencil.
+//!
+//! Run with `cargo run --release --example sequence_alignment`.
+
+use pochoir::core::engine::ExecutionPlan;
+use pochoir::prelude::*;
+use pochoir::stencils::{lcs, psa};
+
+fn main() {
+    let a = lcs::random_sequence(600, 4, 2024);
+    let b = lcs::random_sequence(500, 4, 7);
+
+    // Longest common subsequence via the TRAP engine and via the textbook DP.
+    let stencil_lcs = lcs::run_lcs(&a, &b, &ExecutionPlan::trap(), Runtime::global());
+    let reference_lcs = lcs::reference(&a, &b);
+    println!("LCS of |a| = {} and |b| = {}:", a.len(), b.len());
+    println!("  stencil (TRAP, skewed 1D depth-2): {stencil_lcs}");
+    println!("  textbook quadratic DP:             {reference_lcs}");
+    assert_eq!(stencil_lcs, reference_lcs);
+
+    // Needleman–Wunsch global alignment score.
+    let scoring = psa::Scoring::default();
+    let stencil_nw = psa::run_psa(&a, &b, scoring, &ExecutionPlan::trap(), Runtime::global());
+    let reference_nw = psa::reference(&a, &b, scoring);
+    println!("\nGlobal alignment (match {:+}, mismatch {:+}, gap {:+}):", scoring.matsch, scoring.mismatch, -scoring.gap);
+    println!("  stencil (TRAP): {stencil_nw}");
+    println!("  textbook DP:    {reference_nw}");
+    assert_eq!(stencil_nw, reference_nw);
+
+    println!("\nBoth DP benchmarks agree with their quadratic references.");
+}

@@ -1,0 +1,187 @@
+//! Workspace-level integration tests spanning the DSL, the engines, the runtime, the
+//! benchmark applications, the analyzer and the cache simulator.
+
+use pochoir::cachesim::IdealCacheTracer;
+use pochoir::core::engine::{run_traced, Coarsening, EngineKind, ExecutionPlan};
+use pochoir::dsl::{pochoir_kernel, pochoir_shape, Pochoir};
+use pochoir::prelude::*;
+use pochoir::stencils::{heat, lbm, life, rna, wave};
+
+pochoir_kernel!(
+    /// The Figure-6 heat kernel used throughout these tests.
+    pub struct HeatFn<f64, 2> { cx: f64, cy: f64 }
+    |this, u, t, (x, y)| {
+        let c = u.get(t, [x, y]);
+        u.set(t + 1, [x, y], c
+            + this.cx * (u.get(t, [x + 1, y]) - 2.0 * c + u.get(t, [x - 1, y]))
+            + this.cy * (u.get(t, [x, y + 1]) - 2.0 * c + u.get(t, [x, y - 1])));
+    }
+);
+
+fn figure6_object(n: usize) -> Pochoir<f64, 2> {
+    let shape = pochoir_shape![(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)];
+    let mut p = Pochoir::<f64, 2>::with_array(shape, [n, n]);
+    p.register_boundary(Boundary::Periodic).unwrap();
+    p.array_mut()
+        .unwrap()
+        .fill_time_slice(0, |x| ((x[0] * 31 + x[1] * 17) % 101) as f64);
+    p
+}
+
+/// The full Figure-6 workflow (DSL → Phase 1 → Phase 2 on the parallel runtime) produces
+/// the same answer as the hand-rolled loop reference from `pochoir-stencils`.
+#[test]
+fn figure6_workflow_matches_reference_loops() {
+    let n = 48;
+    let steps = 20;
+    let kernel = HeatFn { cx: 0.1, cy: 0.1 };
+
+    let mut dsl_object = figure6_object(n);
+    dsl_object.run_guaranteed(steps, &kernel).unwrap();
+    let via_dsl = dsl_object.array().unwrap().snapshot(dsl_object.result_time());
+
+    // Independent path: core engine + stencils reference kernel.
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let mut arr: PochoirArray<f64, 2> = PochoirArray::new([n, n]);
+    arr.register_boundary(Boundary::Periodic);
+    arr.fill_time_slice(0, |x| ((x[0] * 31 + x[1] * 17) % 101) as f64);
+    run(
+        &mut arr,
+        &spec,
+        &heat::HeatKernel::<2> { alpha: 0.1 },
+        0,
+        steps,
+        &ExecutionPlan::loops_serial(),
+        &Serial,
+    );
+    let via_loops = arr.snapshot(steps);
+
+    // The two kernels spell the same update with different association order, so compare
+    // with a tight floating-point tolerance rather than bitwise.
+    assert_eq!(via_dsl.len(), via_loops.len());
+    for (a, b) in via_dsl.iter().zip(via_loops.iter()) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+/// Every engine produces identical results for every Figure-3 application at test scale.
+#[test]
+fn all_applications_agree_across_engines() {
+    // Heat 3D.
+    {
+        let spec = StencilSpec::new(heat::shape::<3>());
+        let kernel = heat::HeatKernel::<3>::default();
+        let make = || heat::build([14, 12, 10], Boundary::Clamp);
+        let mut reference = make();
+        run(&mut reference, &spec, &kernel, 0, 6, &ExecutionPlan::loops_serial(), &Serial);
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsBlocked] {
+            let mut a = make();
+            let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [4, 4, 4]));
+            run(&mut a, &spec, &kernel, 0, 6, &plan, Runtime::global());
+            assert_eq!(a.snapshot(6), reference.snapshot(6), "heat3d {engine:?}");
+        }
+    }
+    // Life.
+    {
+        let spec = StencilSpec::new(life::shape());
+        let make = || life::build([26, 22], 400);
+        let mut reference = make();
+        run(&mut reference, &spec, &life::LifeKernel, 0, 8, &ExecutionPlan::loops_serial(), &Serial);
+        let mut a = make();
+        run(&mut a, &spec, &life::LifeKernel, 0, 8, &ExecutionPlan::trap(), Runtime::global());
+        assert_eq!(a.snapshot(8), reference.snapshot(8), "life");
+    }
+    // LBM (multi-state cells).
+    {
+        let spec = StencilSpec::new(lbm::shape());
+        let kernel = lbm::LbmKernel::default();
+        let make = || lbm::build([8, 9, 7]);
+        let mut reference = make();
+        run(&mut reference, &spec, &kernel, 0, 5, &ExecutionPlan::loops_serial(), &Serial);
+        let mut a = make();
+        let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [3, 3, 3]));
+        run(&mut a, &spec, &kernel, 0, 5, &plan, Runtime::global());
+        assert_eq!(a.snapshot(5), reference.snapshot(5), "lbm");
+    }
+}
+
+/// The wave equation (depth-2) runs correctly through the DSL object as well.
+#[test]
+fn depth_two_stencil_through_the_dsl() {
+    let n = 20usize;
+    let steps = 10i64;
+    let mut p: Pochoir<f64, 3> = Pochoir::new(wave::shape());
+    let mut arr = PochoirArray::with_depth([n, n, n], 2);
+    arr.register_boundary(Boundary::Constant(0.0));
+    arr.fill_time_slice(0, |x| wave::init_value([n, n, n], x));
+    arr.fill_time_slice(1, |x| wave::init_value([n, n, n], x));
+    p.register_array(arr).unwrap();
+    p.run(steps, &wave::WaveKernel::default()).unwrap();
+    let via_dsl = p.array().unwrap().snapshot(p.result_time());
+
+    let expected = wave::reference([n, n, n], wave::WaveKernel::default().c2, steps);
+    for (a, b) in via_dsl.iter().zip(expected.iter()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// The cache-oblivious engines beat the loop nest on simulated miss ratio for a problem
+/// that exceeds the simulated cache (the Figure 10 claim, end to end through the facade).
+#[test]
+fn cache_superiority_end_to_end() {
+    let n = 64usize;
+    let steps = 16i64;
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let mut ratios = Vec::new();
+    for engine in [EngineKind::Trap, EngineKind::LoopsSerial] {
+        let mut a = heat::build([n, n], Boundary::Constant(0.0));
+        let tracer = IdealCacheTracer::new(4 * 1024, 64);
+        let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
+        run_traced(&mut a, &spec, &heat::HeatKernel::<2>::default(), 0, steps, &plan, &tracer);
+        ratios.push(tracer.miss_ratio());
+    }
+    assert!(
+        ratios[0] < ratios[1] * 0.7,
+        "TRAP miss ratio {} should be well below loops {}",
+        ratios[0],
+        ratios[1]
+    );
+}
+
+/// The work/span analyzer and the theoretical model agree on which algorithm is more
+/// parallel, and the analyzer's work matches the actual space-time volume.
+#[test]
+fn analyzer_is_consistent_with_theory() {
+    use pochoir::analysis::{parallelism_of, Algorithm};
+    let trap = parallelism_of::<2>(Algorithm::Trap, 128, 128);
+    let strap = parallelism_of::<2>(Algorithm::Strap, 128, 128);
+    assert!(trap.parallelism() > strap.parallelism());
+    let volume = 128u128 * 128 * 128;
+    assert!(trap.work >= volume && trap.work < volume * 2);
+    assert!(strap.work >= volume && strap.work < volume * 2);
+}
+
+/// The Phase-1 interpreter rejects a kernel whose accesses exceed the declared shape,
+/// before the optimized engine ever runs (the Pochoir Guarantee, end to end).
+#[test]
+fn guarantee_is_enforced_through_the_facade() {
+    pochoir_kernel!(
+        struct TooWide<f64, 2> {}
+        |_this, u, t, (x, y)| {
+            u.set(t + 1, [x, y], u.get(t, [x - 2, y]));
+        }
+    );
+    let mut p = figure6_object(16);
+    let err = p.run_guaranteed(4, &TooWide {}).unwrap_err();
+    assert!(err.to_string().contains("shape"));
+    assert_eq!(p.steps_run(), 0);
+}
+
+/// RNA wavefront DP: the stencil answer equals the textbook DP through the facade paths.
+#[test]
+fn rna_end_to_end() {
+    let seq = rna::random_sequence(60, 5);
+    let expected = rna::reference(&seq);
+    let got = rna::run_rna(&seq, &ExecutionPlan::trap(), Runtime::global());
+    assert_eq!(got, expected);
+}
