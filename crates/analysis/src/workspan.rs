@@ -61,12 +61,12 @@ struct ShapeKey<const D: usize> {
 
 fn shape_key<const D: usize>(z: &Zoid<D>, params: &CutParams<D>) -> ShapeKey<D> {
     let mut dims = [(0i64, 0i64, 0i64, false); D];
-    for i in 0..D {
+    for (i, dim) in dims.iter_mut().enumerate() {
         let torus = match params.torus[i] {
             Some(n) => z.spans_full_torus(i, n),
             None => false,
         };
-        dims[i] = (z.bottom_width(i), z.dx0[i], z.dx1[i], torus);
+        *dim = (z.bottom_width(i), z.dx0[i], z.dx1[i], torus);
     }
     ShapeKey {
         height: z.height(),

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use pochoir_core::engine::Coarsening;
+use pochoir_core::engine::{BaseCase, Coarsening};
 
 /// Outcome of a tuning search.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -69,7 +69,10 @@ impl CoarseningSpace {
 /// threshold except the unit-stride one), calling `cost` for each candidate and returning
 /// the cheapest.  This mirrors what the ISAT integration does for Pochoir, with the cost
 /// function abstracted so callers can tune against wall-clock time or simulated misses.
-pub fn tune_coarsening<const D: usize, F>(space: &CoarseningSpace, mut cost: F) -> TuneOutcome<Coarsening<D>>
+pub fn tune_coarsening<const D: usize, F>(
+    space: &CoarseningSpace,
+    mut cost: F,
+) -> TuneOutcome<Coarsening<D>>
 where
     F: FnMut(Coarsening<D>) -> f64,
 {
@@ -100,7 +103,11 @@ where
 /// Searches cubic block sizes for the blocked-loop baseline (Figure 5's stand-in for the
 /// Berkeley autotuner).  `candidates` are edge lengths; the unit-stride dimension is kept
 /// un-blocked (the paper notes hardware prefetching makes cutting it counterproductive).
-pub fn tune_blocks<const D: usize, F>(candidates: &[usize], full_extent: usize, mut cost: F) -> TuneOutcome<[usize; D]>
+pub fn tune_blocks<const D: usize, F>(
+    candidates: &[usize],
+    full_extent: usize,
+    mut cost: F,
+) -> TuneOutcome<[usize; D]>
 where
     F: FnMut([usize; D]) -> f64,
 {
@@ -124,6 +131,30 @@ where
     }
 }
 
+/// Picks between the row-oriented and point-by-point base cases by measuring both.
+///
+/// The row path ([`BaseCase::Row`]) is the right default for arithmetic-light stencils
+/// walked at unit stride, but kernels without a row override — or branchy kernels whose
+/// row form does not vectorize — may not gain from it; like the coarsening search, this
+/// lets a pilot run decide.  Ties go to [`BaseCase::Row`].
+pub fn tune_base_case<F>(mut cost: F) -> TuneOutcome<BaseCase>
+where
+    F: FnMut(BaseCase) -> f64,
+{
+    let row = cost(BaseCase::Row);
+    let point = cost(BaseCase::Point);
+    let (best, best_cost) = if point < row {
+        (BaseCase::Point, point)
+    } else {
+        (BaseCase::Row, row)
+    };
+    TuneOutcome {
+        best,
+        cost: best_cost,
+        evaluations: 2,
+    }
+}
+
 /// Greedy hill-climbing refinement around an initial coarsening: repeatedly tries
 /// doubling/halving each threshold and keeps any improvement, stopping at a local
 /// optimum.  Far cheaper than the exhaustive search for large spaces.
@@ -143,12 +174,20 @@ where
         let mut neighbours: Vec<Coarsening<D>> = Vec::new();
         for scale in [2i64, -2i64] {
             // Scale dt.
-            let dt = if scale > 0 { current.dt * 2 } else { (current.dt / 2).max(1) };
+            let dt = if scale > 0 {
+                current.dt * 2
+            } else {
+                (current.dt / 2).max(1)
+            };
             neighbours.push(Coarsening::new(dt, current.dx));
             // Scale each spatial threshold.
             for d in 0..D {
                 let mut dx = current.dx;
-                dx[d] = if scale > 0 { dx[d] * 2 } else { (dx[d] / 2).max(1) };
+                dx[d] = if scale > 0 {
+                    dx[d] * 2
+                } else {
+                    (dx[d] / 2).max(1)
+                };
                 neighbours.push(Coarsening::new(current.dt, dx));
             }
         }
@@ -179,7 +218,10 @@ mod tests {
     /// Synthetic cost with a unique optimum at dt = 8, dx = 16 (quadratic in log space).
     fn synthetic_cost<const D: usize>(c: Coarsening<D>) -> f64 {
         let dt_term = ((c.dt as f64).log2() - 3.0).powi(2);
-        let dx_term: f64 = c.dx.iter().map(|&w| ((w as f64).log2() - 4.0).powi(2)).sum();
+        let dx_term: f64 =
+            c.dx.iter()
+                .map(|&w| ((w as f64).log2() - 4.0).powi(2))
+                .sum();
         dt_term + dx_term
     }
 
@@ -222,6 +264,18 @@ mod tests {
         let out = refine_coarsening(Coarsening::<1>::new(8, [16]), 5, synthetic_cost::<1>);
         assert_eq!(out.best.dt, 8);
         assert_eq!(out.best.dx, [16]);
+    }
+
+    #[test]
+    fn base_case_tuner_picks_the_cheaper_path() {
+        let out = tune_base_case(|b| if b == BaseCase::Row { 1.0 } else { 2.0 });
+        assert_eq!(out.best, BaseCase::Row);
+        assert_eq!(out.evaluations, 2);
+        let out = tune_base_case(|b| if b == BaseCase::Row { 3.0 } else { 2.0 });
+        assert_eq!(out.best, BaseCase::Point);
+        // Ties go to the row path.
+        let out = tune_base_case(|_| 1.0);
+        assert_eq!(out.best, BaseCase::Row);
     }
 
     #[test]

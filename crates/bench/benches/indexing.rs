@@ -38,7 +38,9 @@ fn bench_indexing(c: &mut Criterion) {
             &(index_mode, clone_mode),
             |b, &(im, cm)| {
                 b.iter(|| {
-                    let plan = ExecutionPlan::trap().with_index_mode(im).with_clone_mode(cm);
+                    let plan = ExecutionPlan::trap()
+                        .with_index_mode(im)
+                        .with_clone_mode(cm);
                     time_with_plan(
                         heat::build([n, n], Boundary::Periodic),
                         &spec,

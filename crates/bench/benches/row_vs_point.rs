@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the row-oriented vs. point-by-point base case on the
+//! three hand-vectorized kernels (heat2d, life, wave3d) — the micro-scale counterpart of
+//! the `--split-pointer` indexing comparison (paper, Section 4 / Figure 13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pochoir_bench::apps::time_with_plan;
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{BaseCase, ExecutionPlan};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::{heat, life, wave};
+
+fn bench_row_vs_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_vs_point");
+    group.sample_size(10);
+    // Arrays are built once per benchmark and cloned per iteration, so the timed body
+    // is dominated by the stencil sweep rather than by initialization arithmetic.
+    let heat_template = heat::build([192, 192], Boundary::Periodic);
+    let life_template = life::build([192, 192], 350);
+    let wave_template = wave::build([48, 48, 48]);
+    for base_case in [BaseCase::Row, BaseCase::Point] {
+        let plan2 = ExecutionPlan::<2>::loops_serial().with_base_case(base_case);
+        let plan3 = ExecutionPlan::<3>::loops_serial().with_base_case(base_case);
+
+        let spec = StencilSpec::new(heat::shape::<2>());
+        let kernel = heat::HeatKernel::<2>::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("heat2d/{base_case:?}")),
+            &base_case,
+            |b, _| {
+                b.iter(|| time_with_plan(heat_template.clone(), &spec, &kernel, 16, &plan2, false));
+            },
+        );
+
+        let spec = StencilSpec::new(life::shape());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("life/{base_case:?}")),
+            &base_case,
+            |b, _| {
+                b.iter(|| {
+                    time_with_plan(
+                        life_template.clone(),
+                        &spec,
+                        &life::LifeKernel,
+                        16,
+                        &plan2,
+                        false,
+                    )
+                });
+            },
+        );
+
+        let spec = StencilSpec::new(wave::shape());
+        let kernel = wave::WaveKernel::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("wave3d/{base_case:?}")),
+            &base_case,
+            |b, _| {
+                b.iter(|| time_with_plan(wave_template.clone(), &spec, &kernel, 8, &plan3, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_vs_point);
+criterion_main!(benches);

@@ -74,7 +74,15 @@ where
             run(&mut array, spec, kernel, t0, t0 + steps, &plan, &Serial);
         }
         Fig3Config::PochoirParallel | Fig3Config::LoopsParallel => {
-            run(&mut array, spec, kernel, t0, t0 + steps, &plan, Runtime::global());
+            run(
+                &mut array,
+                spec,
+                kernel,
+                t0,
+                t0 + steps,
+                &plan,
+                Runtime::global(),
+            );
         }
     }
     RunStats {
@@ -89,7 +97,11 @@ pub fn run_heat2d(periodic: bool, scale: ProblemScale, cfg: Fig3Config) -> RunSt
     let (paper_sizes, paper_steps) = heat::paper_sizes::HEAT_2D;
     let n = scale.scale_extent(paper_sizes[0]);
     let steps = scale.scale_steps(paper_steps);
-    let boundary = if periodic { Boundary::Periodic } else { Boundary::Constant(0.0) };
+    let boundary = if periodic {
+        Boundary::Periodic
+    } else {
+        Boundary::Constant(0.0)
+    };
     let array = heat::build([n, n], boundary);
     let spec = StencilSpec::new(heat::shape::<2>());
     execute(array, &spec, &heat::HeatKernel::<2>::default(), steps, cfg)
@@ -222,7 +234,12 @@ pub fn run_seven_point(n: usize, steps: i64, plan: &ExecutionPlan<3>, parallel: 
 }
 
 /// The 3D 27-point Berkeley kernel (Figure 5).
-pub fn run_twenty_seven_point(n: usize, steps: i64, plan: &ExecutionPlan<3>, parallel: bool) -> RunStats {
+pub fn run_twenty_seven_point(
+    n: usize,
+    steps: i64,
+    plan: &ExecutionPlan<3>,
+    parallel: bool,
+) -> RunStats {
     let array = points::build([n, n, n]);
     let spec = StencilSpec::new(points::twenty_seven_point_shape());
     let kernel = points::TwentySevenPointKernel::default();
@@ -246,7 +263,15 @@ where
     let points: u128 = array.sizes().iter().map(|&s| s as u128).product();
     let start = Instant::now();
     if parallel {
-        run(&mut array, spec, kernel, t0, t0 + steps, plan, Runtime::global());
+        run(
+            &mut array,
+            spec,
+            kernel,
+            t0,
+            t0 + steps,
+            plan,
+            Runtime::global(),
+        );
     } else {
         run(&mut array, spec, kernel, t0, t0 + steps, plan, &Serial);
     }
@@ -273,16 +298,76 @@ pub struct Fig3Row {
 
 /// All ten rows of Figure 3, in the paper's order, with the paper's reported ratios.
 pub const FIG3_ROWS: &[Fig3Row] = &[
-    Fig3Row { name: "Heat", dims: "2", paper_parallel_loop_ratio: 6.2, paper_serial_loop_ratio: 25.5, run: |s, c| run_heat2d(false, s, c) },
-    Fig3Row { name: "Heat", dims: "2p", paper_parallel_loop_ratio: 10.3, paper_serial_loop_ratio: 68.6, run: |s, c| run_heat2d(true, s, c) },
-    Fig3Row { name: "Heat", dims: "4", paper_parallel_loop_ratio: 1.9, paper_serial_loop_ratio: 8.0, run: run_heat4d },
-    Fig3Row { name: "Life", dims: "2p", paper_parallel_loop_ratio: 11.9, paper_serial_loop_ratio: 86.4, run: run_life },
-    Fig3Row { name: "Wave", dims: "3", paper_parallel_loop_ratio: 2.4, paper_serial_loop_ratio: 7.1, run: run_wave3d },
-    Fig3Row { name: "LBM", dims: "3", paper_parallel_loop_ratio: 3.2, paper_serial_loop_ratio: 4.5, run: run_lbm },
-    Fig3Row { name: "RNA", dims: "2", paper_parallel_loop_ratio: 1.3, paper_serial_loop_ratio: 6.1, run: run_rna },
-    Fig3Row { name: "PSA", dims: "1", paper_parallel_loop_ratio: 4.3, paper_serial_loop_ratio: 24.0, run: run_psa },
-    Fig3Row { name: "LCS", dims: "1", paper_parallel_loop_ratio: 3.0, paper_serial_loop_ratio: 11.7, run: run_lcs },
-    Fig3Row { name: "APOP", dims: "1", paper_parallel_loop_ratio: 12.0, paper_serial_loop_ratio: 128.8, run: run_apop },
+    Fig3Row {
+        name: "Heat",
+        dims: "2",
+        paper_parallel_loop_ratio: 6.2,
+        paper_serial_loop_ratio: 25.5,
+        run: |s, c| run_heat2d(false, s, c),
+    },
+    Fig3Row {
+        name: "Heat",
+        dims: "2p",
+        paper_parallel_loop_ratio: 10.3,
+        paper_serial_loop_ratio: 68.6,
+        run: |s, c| run_heat2d(true, s, c),
+    },
+    Fig3Row {
+        name: "Heat",
+        dims: "4",
+        paper_parallel_loop_ratio: 1.9,
+        paper_serial_loop_ratio: 8.0,
+        run: run_heat4d,
+    },
+    Fig3Row {
+        name: "Life",
+        dims: "2p",
+        paper_parallel_loop_ratio: 11.9,
+        paper_serial_loop_ratio: 86.4,
+        run: run_life,
+    },
+    Fig3Row {
+        name: "Wave",
+        dims: "3",
+        paper_parallel_loop_ratio: 2.4,
+        paper_serial_loop_ratio: 7.1,
+        run: run_wave3d,
+    },
+    Fig3Row {
+        name: "LBM",
+        dims: "3",
+        paper_parallel_loop_ratio: 3.2,
+        paper_serial_loop_ratio: 4.5,
+        run: run_lbm,
+    },
+    Fig3Row {
+        name: "RNA",
+        dims: "2",
+        paper_parallel_loop_ratio: 1.3,
+        paper_serial_loop_ratio: 6.1,
+        run: run_rna,
+    },
+    Fig3Row {
+        name: "PSA",
+        dims: "1",
+        paper_parallel_loop_ratio: 4.3,
+        paper_serial_loop_ratio: 24.0,
+        run: run_psa,
+    },
+    Fig3Row {
+        name: "LCS",
+        dims: "1",
+        paper_parallel_loop_ratio: 3.0,
+        paper_serial_loop_ratio: 11.7,
+        run: run_lcs,
+    },
+    Fig3Row {
+        name: "APOP",
+        dims: "1",
+        paper_parallel_loop_ratio: 12.0,
+        paper_serial_loop_ratio: 128.8,
+        run: run_apop,
+    },
 ];
 
 #[cfg(test)]

@@ -25,7 +25,9 @@ fn main() {
     };
     let parallel = pochoir_runtime::Runtime::global().num_threads() > 1;
     println!("Section 4 coarsening ablation: 2D nonperiodic heat, {n}x{n}, {steps} steps");
-    println!("(paper: coarsening improves the 5000^2 x 5000 run by ~36x; 2D heuristic is 100x100x5)\n");
+    println!(
+        "(paper: coarsening improves the 5000^2 x 5000 run by ~36x; 2D heuristic is 100x100x5)\n"
+    );
 
     let spec = StencilSpec::new(heat::shape::<2>());
     let kernel = heat::HeatKernel::<2>::default();
@@ -42,7 +44,9 @@ fn main() {
     };
 
     // ISAT-style tuning with a short pilot run as the cost function.
-    let tuned = tune_coarsening::<2, _>(&CoarseningSpace::quick(), |c| run_with(c, pilot_steps).seconds);
+    let tuned = tune_coarsening::<2, _>(&CoarseningSpace::quick(), |c| {
+        run_with(c, pilot_steps).seconds
+    });
     eprintln!(
         "  autotuner picked dt={} dx={:?} after {} evaluations",
         tuned.best.dt, tuned.best.dx, tuned.evaluations

@@ -24,7 +24,15 @@ fn miss_ratio_heat(engine: EngineKind, n: usize, steps: i64) -> f64 {
     let mut a = heat::build([n, n], Boundary::Constant(0.0));
     let tracer = IdealCacheTracer::new(CACHE_BYTES, LINE_BYTES);
     let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
-    run_traced(&mut a, &spec, &heat::HeatKernel::<2>::default(), 0, steps, &plan, &tracer);
+    run_traced(
+        &mut a,
+        &spec,
+        &heat::HeatKernel::<2>::default(),
+        0,
+        steps,
+        &plan,
+        &tracer,
+    );
     tracer.miss_ratio()
 }
 
@@ -34,12 +42,21 @@ fn miss_ratio_wave(engine: EngineKind, n: usize, steps: i64) -> f64 {
     let tracer = IdealCacheTracer::new(CACHE_BYTES, LINE_BYTES);
     let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
     let t0 = spec.shape().first_step();
-    run_traced(&mut a, &spec, &wave::WaveKernel::default(), t0, t0 + steps, &plan, &tracer);
+    run_traced(
+        &mut a,
+        &spec,
+        &wave::WaveKernel::default(),
+        t0,
+        t0 + steps,
+        &plan,
+        &tracer,
+    );
     tracer.miss_ratio()
 }
 
 fn main() {
-    let scale = scale_from_args("fig10_cachemiss: simulated cache-miss ratios of TRAP / STRAP / loops");
+    let scale =
+        scale_from_args("fig10_cachemiss: simulated cache-miss ratios of TRAP / STRAP / loops");
     let (ns_2d, steps_2d, ns_3d, steps_3d) = match scale {
         ProblemScale::Tiny => (vec![32usize, 64], 8i64, vec![12usize, 16], 4i64),
         ProblemScale::Small => (vec![32, 64, 128, 256], 16, vec![16, 24, 32], 8),

@@ -36,9 +36,17 @@ fn main() {
             fmt_seconds(p1.seconds),
             fmt_seconds(pp.seconds),
             fmt_ratio(p1.seconds, pp.seconds),
-            format!("{} {}x", fmt_seconds(ls.seconds), fmt_ratio(ls.seconds, pp.seconds)),
+            format!(
+                "{} {}x",
+                fmt_seconds(ls.seconds),
+                fmt_ratio(ls.seconds, pp.seconds)
+            ),
             format!("{:.1}x", row.paper_serial_loop_ratio),
-            format!("{} {}x", fmt_seconds(lp.seconds), fmt_ratio(lp.seconds, pp.seconds)),
+            format!(
+                "{} {}x",
+                fmt_seconds(lp.seconds),
+                fmt_ratio(lp.seconds, pp.seconds)
+            ),
             format!("{:.1}x", row.paper_parallel_loop_ratio),
         ]);
         eprintln!("  finished {} {}", row.name, row.dims);

@@ -47,7 +47,10 @@ fn main() {
             };
             stats.seconds
         });
-        eprintln!("  {label}: tuned blocks {:?} after {} evaluations", tuned.best, tuned.evaluations);
+        eprintln!(
+            "  {label}: tuned blocks {:?} after {} evaluations",
+            tuned.best, tuned.evaluations
+        );
 
         let blocked_plan = ExecutionPlan::loops_blocked(tuned.best);
         let trap_plan = ExecutionPlan::trap();

@@ -32,7 +32,8 @@ fn main() {
     for &n in &ns_2d {
         let trap = parallelism_of::<2>(Algorithm::Trap, n, t).parallelism();
         let strap = parallelism_of::<2>(Algorithm::Strap, n, t).parallelism();
-        let model_ratio = model::trap_parallelism(n as f64, 2) / model::strap_parallelism(n as f64, 2);
+        let model_ratio =
+            model::trap_parallelism(n as f64, 2) / model::strap_parallelism(n as f64, 2);
         table_a.row([
             n.to_string(),
             format!("{trap:.1}"),
@@ -45,7 +46,12 @@ fn main() {
     println!("{table_a}");
 
     println!("Figure 9(b): 3D nonperiodic wave, T = {t}, uncoarsened decompositions\n");
-    let mut table_b = Table::new(["N", "TRAP (hyperspace cut)", "STRAP (space cut)", "TRAP/STRAP"]);
+    let mut table_b = Table::new([
+        "N",
+        "TRAP (hyperspace cut)",
+        "STRAP (space cut)",
+        "TRAP/STRAP",
+    ]);
     for &n in &ns_3d {
         let trap = parallelism_of::<3>(Algorithm::Trap, n, t).parallelism();
         let strap = parallelism_of::<3>(Algorithm::Strap, n, t).parallelism();

@@ -1,0 +1,131 @@
+//! Emits `BENCH_row_path.json`: interior throughput (Mpoints/s) of the row-oriented
+//! vs. point-by-point base case for heat2d, life and wave3d on the loops engine (plus
+//! TRAP for context), so the repository records the row-path perf trajectory from the
+//! PR that introduced it onward.
+//!
+//! Usage: `row_path_json [--scale tiny|small|medium|paper] [--out PATH]`
+
+use pochoir_bench::apps::time_with_plan;
+use pochoir_bench::{scale_from_args, RunStats};
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::{heat, life, wave, ProblemScale};
+
+/// Best-of-N wall-clock throughput for one (app, engine, base-case) cell.
+fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| f().mpoints_per_second())
+        .fold(0.0, f64::max)
+}
+
+struct Cell {
+    app: &'static str,
+    engine: EngineKind,
+    row: f64,
+    point: f64,
+}
+
+fn measure(scale: ProblemScale) -> Vec<Cell> {
+    let (n2, steps2, n3, steps3, reps) = match scale {
+        ProblemScale::Tiny => (96usize, 8i64, 24usize, 4i64, 2usize),
+        ProblemScale::Small => (384, 24, 64, 8, 3),
+        ProblemScale::Medium => (1024, 50, 128, 16, 3),
+        ProblemScale::Paper => (4096, 100, 256, 32, 3),
+    };
+    let mut cells = Vec::new();
+    for engine in [EngineKind::LoopsSerial, EngineKind::Trap] {
+        let heat_spec = StencilSpec::new(heat::shape::<2>());
+        let heat_kernel = heat::HeatKernel::<2>::default();
+        let life_spec = StencilSpec::new(life::shape());
+        let wave_spec = StencilSpec::new(wave::shape());
+        let wave_kernel = wave::WaveKernel::default();
+        let throughput = |base_case: BaseCase, app: &'static str| -> f64 {
+            let plan2 = ExecutionPlan::<2>::new(engine).with_base_case(base_case);
+            let plan3 = ExecutionPlan::<3>::new(engine).with_base_case(base_case);
+            match app {
+                "heat2d" => best_of(reps, || {
+                    time_with_plan(
+                        heat::build([n2, n2], Boundary::Periodic),
+                        &heat_spec,
+                        &heat_kernel,
+                        steps2,
+                        &plan2,
+                        false,
+                    )
+                }),
+                "life" => best_of(reps, || {
+                    time_with_plan(
+                        life::build([n2, n2], 350),
+                        &life_spec,
+                        &life::LifeKernel,
+                        steps2,
+                        &plan2,
+                        false,
+                    )
+                }),
+                "wave3d" => best_of(reps, || {
+                    time_with_plan(
+                        wave::build([n3, n3, n3]),
+                        &wave_spec,
+                        &wave_kernel,
+                        steps3,
+                        &plan3,
+                        false,
+                    )
+                }),
+                _ => unreachable!(),
+            }
+        };
+        for app in ["heat2d", "life", "wave3d"] {
+            let row = throughput(BaseCase::Row, app);
+            let point = throughput(BaseCase::Point, app);
+            cells.push(Cell {
+                app,
+                engine,
+                row,
+                point,
+            });
+        }
+    }
+    cells
+}
+
+fn main() {
+    let scale = scale_from_args(
+        "row_path_json: measure row vs. point base-case throughput and write BENCH_row_path.json",
+    );
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_row_path.json".to_string())
+    };
+    let cells = measure(scale);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"row_vs_point\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let speedup = if c.point > 0.0 { c.row / c.point } else { 0.0 };
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"engine\": \"{:?}\", \"row_mpoints_per_s\": {:.2}, \
+             \"point_mpoints_per_s\": {:.2}, \"row_over_point\": {:.3}}}{}\n",
+            c.app,
+            c.engine,
+            c.row,
+            c.point,
+            speedup,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the JSON report");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

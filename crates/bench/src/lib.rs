@@ -76,7 +76,10 @@ pub fn scale_from_args(usage: &str) -> ProblemScale {
                 match ProblemScale::parse(&args[i + 1]) {
                     Some(s) => scale = s,
                     None => {
-                        eprintln!("unknown scale '{}'; expected tiny|small|medium|paper", args[i + 1]);
+                        eprintln!(
+                            "unknown scale '{}'; expected tiny|small|medium|paper",
+                            args[i + 1]
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -84,7 +87,9 @@ pub fn scale_from_args(usage: &str) -> ProblemScale {
             }
             "--help" | "-h" => {
                 println!("{usage}");
-                println!("\nOptions:\n  --scale tiny|small|medium|paper   problem size (default: small)");
+                println!(
+                    "\nOptions:\n  --scale tiny|small|medium|paper   problem size (default: small)"
+                );
                 std::process::exit(0);
             }
             _ => i += 1,

@@ -22,8 +22,14 @@ pub struct IdealCache {
 impl IdealCache {
     /// Creates a cache with `capacity_bytes` of storage and `line_bytes`-sized lines.
     pub fn new(capacity_bytes: usize, line_bytes: usize) -> Self {
-        assert!(line_bytes > 0 && line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(capacity_bytes >= line_bytes, "capacity must hold at least one line");
+        assert!(
+            line_bytes > 0 && line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            capacity_bytes >= line_bytes,
+            "capacity must hold at least one line"
+        );
         IdealCache {
             line_bytes,
             num_lines: capacity_bytes / line_bytes,
@@ -122,7 +128,7 @@ mod tests {
     #[test]
     fn repeated_access_to_working_set_hits() {
         let mut c = IdealCache::new(1024, 64); // 16 lines
-        // A working set of 8 lines accessed repeatedly: only compulsory misses.
+                                               // A working set of 8 lines accessed repeatedly: only compulsory misses.
         for _round in 0..10 {
             for line in 0..8 {
                 c.access(line * 64, 8);
@@ -135,7 +141,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = IdealCache::new(256, 64); // 4 lines
-        // Cyclic scan over 8 lines with LRU: every access misses after warmup.
+                                              // Cyclic scan over 8 lines with LRU: every access misses after warmup.
         for _round in 0..5 {
             for line in 0..8 {
                 c.access(line * 64, 1);

@@ -20,10 +20,16 @@ impl SetAssocCache {
     /// Creates a cache of `capacity_bytes` split into `associativity`-way sets of
     /// `line_bytes` lines.
     pub fn new(capacity_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity >= 1);
         let num_lines = capacity_bytes / line_bytes;
-        assert!(num_lines >= associativity, "capacity too small for the associativity");
+        assert!(
+            num_lines >= associativity,
+            "capacity too small for the associativity"
+        );
         let num_sets = (num_lines / associativity).max(1);
         assert!(
             num_sets.is_power_of_two(),

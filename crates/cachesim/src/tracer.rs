@@ -92,7 +92,11 @@ impl SetAssocTracer {
     /// Wraps a set-associative cache.
     pub fn new(capacity_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
         SetAssocTracer {
-            cache: RefCell::new(SetAssocCache::new(capacity_bytes, line_bytes, associativity)),
+            cache: RefCell::new(SetAssocCache::new(
+                capacity_bytes,
+                line_bytes,
+                associativity,
+            )),
         }
     }
 

@@ -90,5 +90,8 @@ fn small_grids_fit_in_cache_and_barely_miss() {
     // When both time slices fit in the simulated cache, every engine's miss ratio is tiny
     // after compulsory misses are amortized over many time steps.
     let r = miss_ratio(EngineKind::LoopsSerial, 24, 64, 64 * 1024);
-    assert!(r < 0.02, "in-cache run should have near-zero miss ratio, got {r}");
+    assert!(
+        r < 0.02,
+        "in-cache run should have near-zero miss ratio, got {r}"
+    );
 }

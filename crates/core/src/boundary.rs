@@ -51,12 +51,10 @@ impl<'a, T: Copy, const D: usize> BoundaryProbe<'a, T, D> {
     /// Reads an **in-domain** grid value.  Panics if the coordinates are still out of
     /// range, which would otherwise recurse into the boundary function forever.
     pub fn get(&self, t: i64, x: [i64; D]) -> T {
-        for d in 0..D {
+        for (d, (&c, &size)) in x.iter().zip(self.sizes.iter()).enumerate() {
             assert!(
-                x[d] >= 0 && x[d] < self.sizes[d],
-                "boundary function probed out-of-domain coordinate {} on axis {d} (size {})",
-                x[d],
-                self.sizes[d]
+                c >= 0 && c < size,
+                "boundary function probed out-of-domain coordinate {c} on axis {d} (size {size})"
             );
         }
         (self.read)(t, x)
@@ -144,7 +142,13 @@ impl<T: Copy, const D: usize> Boundary<T, D> {
     ///
     /// `read` reads an in-domain value of the array; `sizes` are the spatial extents.
     /// `x` is allowed to be arbitrarily far outside the domain.
-    pub fn resolve(&self, read: &dyn Fn(i64, [i64; D]) -> T, sizes: [i64; D], t: i64, x: [i64; D]) -> T {
+    pub fn resolve(
+        &self,
+        read: &dyn Fn(i64, [i64; D]) -> T,
+        sizes: [i64; D],
+        t: i64,
+        x: [i64; D],
+    ) -> T {
         match self {
             Boundary::Periodic => {
                 let mut w = x;
@@ -240,14 +244,20 @@ mod tests {
     fn clamp_mirrors_neumann_zero_derivative() {
         let b: Boundary<f64, 2> = Boundary::Clamp;
         // Figure 11(b): out-of-range coordinates snap to the edge.
-        assert_eq!(b.resolve(&probe_read, [5, 5], 2, [-3, 7]), probe_read(2, [0, 4]));
+        assert_eq!(
+            b.resolve(&probe_read, [5, 5], 2, [-3, 7]),
+            probe_read(2, [0, 4])
+        );
     }
 
     #[test]
     fn mixed_cylinder_behaviour() {
         // Periodic in axis 0, clamped in axis 1: a cylinder.
         let b: Boundary<f64, 2> = Boundary::Mixed([AxisRule::Periodic, AxisRule::Clamp]);
-        assert_eq!(b.resolve(&probe_read, [5, 5], 1, [-1, 9]), probe_read(1, [4, 4]));
+        assert_eq!(
+            b.resolve(&probe_read, [5, 5], 1, [-1, 9]),
+            probe_read(1, [4, 4])
+        );
     }
 
     #[test]
@@ -255,7 +265,10 @@ mod tests {
         let b: Boundary<f64, 2> = Boundary::Mixed([AxisRule::Constant(-1.0), AxisRule::Periodic]);
         assert_eq!(b.resolve(&probe_read, [5, 5], 1, [-1, 2]), -1.0);
         // In-range on axis 0, wrapped on axis 1.
-        assert_eq!(b.resolve(&probe_read, [5, 5], 1, [2, -1]), probe_read(1, [2, 4]));
+        assert_eq!(
+            b.resolve(&probe_read, [5, 5], 1, [2, -1]),
+            probe_read(1, [2, 4])
+        );
     }
 
     #[test]
@@ -265,7 +278,10 @@ mod tests {
             let w = [wrap(x[0], probe.size(0)), wrap(x[1], probe.size(1))];
             probe.get(t, w)
         });
-        assert_eq!(b.resolve(&probe_read, [5, 5], 4, [5, -1]), probe_read(4, [0, 4]));
+        assert_eq!(
+            b.resolve(&probe_read, [5, 5], 4, [5, -1]),
+            probe_read(4, [0, 4])
+        );
     }
 
     #[test]
@@ -279,8 +295,12 @@ mod tests {
     #[test]
     fn fully_periodic_detection() {
         assert!(Boundary::<f64, 2>::Periodic.is_fully_periodic());
-        assert!(Boundary::<f64, 2>::Mixed([AxisRule::Periodic, AxisRule::Periodic]).is_fully_periodic());
+        assert!(
+            Boundary::<f64, 2>::Mixed([AxisRule::Periodic, AxisRule::Periodic]).is_fully_periodic()
+        );
         assert!(!Boundary::<f64, 2>::Clamp.is_fully_periodic());
-        assert!(!Boundary::<f64, 2>::Mixed([AxisRule::Periodic, AxisRule::Clamp]).is_fully_periodic());
+        assert!(
+            !Boundary::<f64, 2>::Mixed([AxisRule::Periodic, AxisRule::Clamp]).is_fully_periodic()
+        );
     }
 }

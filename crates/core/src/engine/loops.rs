@@ -7,7 +7,7 @@
 //! boundary handling.
 
 use crate::engine::base::execute_box;
-use crate::engine::plan::{CloneMode, ExecutionPlan, IndexMode};
+use crate::engine::plan::{BaseCase, CloneMode, ExecutionPlan, IndexMode};
 use crate::grid::RawGrid;
 use crate::kernel::{StencilKernel, StencilSpec};
 use crate::view::{BoundaryView, CheckedInteriorView, GridAccess, InteriorView};
@@ -126,12 +126,20 @@ pub fn run_loops<T, K, P, const D: usize>(
         } else if !interior.is_empty() {
             // Modular-indexing ablation: run the interior through the boundary clone.
             let view = BoundaryView::new(grid);
-            execute_box(kernel, &view, t, interior.lo, interior.hi, Some(sizes));
+            execute_box(
+                kernel,
+                &view,
+                t,
+                interior.lo,
+                interior.hi,
+                Some(sizes),
+                plan.base_case,
+            );
         }
         // Boundary shell (small): processed in parallel over shell boxes.
         par.for_each(&shell, |b| {
             let view = BoundaryView::new(grid);
-            execute_box(kernel, &view, t, b.lo, b.hi, Some(sizes));
+            execute_box(kernel, &view, t, b.lo, b.hi, Some(sizes), plan.base_case);
         });
     }
 }
@@ -154,7 +162,7 @@ fn run_interior_slabs<T, K, P, const D: usize>(
         let mut hi = interior.hi;
         lo[0] = interior.lo[0] + r as i64;
         hi[0] = lo[0] + 1;
-        dispatch_interior(grid, kernel, t, lo, hi, plan.index_mode);
+        dispatch_interior(grid, kernel, t, lo, hi, plan.index_mode, plan.base_case);
     });
 }
 
@@ -173,11 +181,11 @@ fn run_interior_blocked<T, K, P, const D: usize>(
     // Enumerate blocks of extent `plan.block` covering the interior box.
     let mut counts = [0usize; D];
     let mut total = 1usize;
-    for i in 0..D {
+    for (i, count) in counts.iter_mut().enumerate() {
         let extent = (interior.hi[i] - interior.lo[i]) as usize;
         let b = plan.block[i].max(1);
-        counts[i] = extent.div_ceil(b);
-        total *= counts[i];
+        *count = extent.div_ceil(b);
+        total *= *count;
     }
     par.parallel_for(total, 1, |linear| {
         let mut rem = linear;
@@ -190,7 +198,7 @@ fn run_interior_blocked<T, K, P, const D: usize>(
             lo[i] = interior.lo[i] + bi as i64 * b;
             hi[i] = (lo[i] + b).min(interior.hi[i]);
         }
-        dispatch_interior(grid, kernel, t, lo, hi, plan.index_mode);
+        dispatch_interior(grid, kernel, t, lo, hi, plan.index_mode, plan.base_case);
     });
 }
 
@@ -202,6 +210,7 @@ fn dispatch_interior<T, K, const D: usize>(
     lo: [i64; D],
     hi: [i64; D],
     index_mode: IndexMode,
+    base_case: BaseCase,
 ) where
     T: Copy + Send + Sync,
     K: StencilKernel<T, D>,
@@ -209,11 +218,11 @@ fn dispatch_interior<T, K, const D: usize>(
     match index_mode {
         IndexMode::Unchecked => {
             let view = InteriorView::new(grid);
-            execute_box(kernel, &view, t, lo, hi, None);
+            execute_box(kernel, &view, t, lo, hi, None, base_case);
         }
         IndexMode::Checked => {
             let view = CheckedInteriorView::new(grid);
-            execute_box(kernel, &view, t, lo, hi, None);
+            execute_box(kernel, &view, t, lo, hi, None, base_case);
         }
     }
 }
@@ -226,13 +235,14 @@ pub fn run_loops_with_view<T, K, A, const D: usize>(
     kernel: &K,
     t0: i64,
     t1: i64,
+    base_case: BaseCase,
 ) where
     T: Copy,
     K: StencilKernel<T, D>,
     A: GridAccess<T, D>,
 {
     for t in t0..t1 {
-        execute_box(kernel, view, t, [0; D], sizes, None);
+        execute_box(kernel, view, t, [0; D], sizes, None, base_case);
     }
 }
 
@@ -247,7 +257,8 @@ mod tests {
     struct Heat1D;
     impl StencilKernel<f64, 1> for Heat1D {
         fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
-            let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+            let v =
+                0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
             g.set(t + 1, x, v);
         }
     }
@@ -276,9 +287,7 @@ mod tests {
                 let in_interior = (1..7).contains(&x0) && (1..7).contains(&x1);
                 let shell_count = shell
                     .iter()
-                    .filter(|b| {
-                        (0..2).all(|i| [x0, x1][i] >= b.lo[i] && [x0, x1][i] < b.hi[i])
-                    })
+                    .filter(|b| (0..2).all(|i| [x0, x1][i] >= b.lo[i] && [x0, x1][i] < b.hi[i]))
                     .count();
                 assert_eq!(shell_count, usize::from(!in_interior), "({x0},{x1})");
             }
@@ -318,9 +327,9 @@ mod tests {
             let raw = a.raw();
             run_loops(raw, &spec, &Heat1D, 0, steps as i64, &plan, &Serial, false);
         }
-        for i in 0..n {
+        for (i, &expected) in prev.iter().enumerate() {
             let got = a.get(steps as i64, [i as i64]);
-            assert!((got - prev[i]).abs() < 1e-12, "i={i}: {got} vs {}", prev[i]);
+            assert!((got - expected).abs() < 1e-12, "i={i}: {got} vs {expected}");
         }
     }
 

@@ -6,7 +6,7 @@ pub mod loops;
 pub mod plan;
 pub mod walker;
 
-pub use plan::{CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode};
+pub use plan::{BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode};
 pub use walker::CutStrategy;
 
 use crate::grid::{PochoirArray, RawGrid};
@@ -85,7 +85,15 @@ pub fn run_with_global_runtime<T, K, const D: usize>(
     T: Copy + Send + Sync,
     K: StencilKernel<T, D>,
 {
-    run(array, spec, kernel, t0, t1, plan, pochoir_runtime::Runtime::global());
+    run(
+        array,
+        spec,
+        kernel,
+        t0,
+        t1,
+        plan,
+        pochoir_runtime::Runtime::global(),
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -107,25 +115,27 @@ fn run_recursive<T, K, P, const D: usize>(
     let reach = spec.reach();
     let force_boundary = plan.clone_mode == CloneMode::AlwaysBoundary;
     let index_mode = plan.index_mode;
+    let base_case = plan.base_case;
 
     // The base-case callback implements the *code cloning* of Section 4: interior zoids
-    // run the fast interior clone (monomorphized over `InteriorView`), everything else
-    // runs the boundary clone (monomorphized over `BoundaryView`).
+    // run the fast interior clone (monomorphized over `InteriorView`, row-oriented by
+    // default), everything else runs the boundary clone (monomorphized over
+    // `BoundaryView`).
     let base = move |z: &Zoid<D>| {
         if !force_boundary && z.is_interior(sizes, reach) {
             match index_mode {
                 IndexMode::Unchecked => {
                     let view = InteriorView::new(grid);
-                    base::execute_zoid(z, kernel, &view, None);
+                    base::execute_zoid(z, kernel, &view, None, base_case);
                 }
                 IndexMode::Checked => {
                     let view = CheckedInteriorView::new(grid);
-                    base::execute_zoid(z, kernel, &view, None);
+                    base::execute_zoid(z, kernel, &view, None, base_case);
                 }
             }
         } else {
             let view = BoundaryView::new(grid);
-            base::execute_zoid(z, kernel, &view, Some(sizes));
+            base::execute_zoid(z, kernel, &view, Some(sizes), base_case);
         }
     };
 
@@ -134,8 +144,7 @@ fn run_recursive<T, K, P, const D: usize>(
     // whenever the boundary function reads wrapped interior values — are respected by the
     // processing order.  Nonperiodic boundary conditions are recovered in the boundary
     // clone's base case.
-    let params =
-        crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
+    let params = crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
     let walker = Walker::with_params(params, plan.coarsening.dt, strategy, par, base);
     walker.walk(&Zoid::full_grid(sizes, t0, t1));
 }
@@ -171,7 +180,8 @@ pub fn run_traced<T, K, C, const D: usize>(
                 CutStrategy::SingleDimension
             };
             let view = TracingView::new(grid, tracer);
-            let base = |z: &Zoid<D>| base::execute_zoid(z, kernel, &view, Some(sizes));
+            let base =
+                |z: &Zoid<D>| base::execute_zoid(z, kernel, &view, Some(sizes), plan.base_case);
             let params =
                 crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
             walk_serial(
@@ -184,7 +194,7 @@ pub fn run_traced<T, K, C, const D: usize>(
         }
         EngineKind::LoopsSerial | EngineKind::LoopsParallel | EngineKind::LoopsBlocked => {
             let view = TracingView::new(grid, tracer);
-            loops::run_loops_with_view(&view, sizes, kernel, t0, t1);
+            loops::run_loops_with_view(&view, sizes, kernel, t0, t1, plan.base_case);
         }
     }
 }
@@ -247,7 +257,11 @@ where
         let snap = array.snapshot(t1 - 1 + spec.shape().home_dt() as i64);
         match &reference {
             None => reference = Some(snap),
-            Some(r) => assert_eq!(r, &snap, "engine {:?} disagrees with reference", plan.engine),
+            Some(r) => assert_eq!(
+                r, &snap,
+                "engine {:?} disagrees with reference",
+                plan.engine
+            ),
         }
     }
     reference.unwrap()

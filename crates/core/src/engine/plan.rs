@@ -29,6 +29,24 @@ pub enum IndexMode {
     Checked,
 }
 
+/// Inner-loop dispatch style of the base case (Section 4, "loop indexing").
+///
+/// The paper's generated interior clone walks unit-stride pointers along the innermost
+/// dimension (`--split-pointer`); recomputing a full multi-term offset per access is the
+/// indexing ablation of Figure 13.  [`BaseCase::Row`] resolves each contiguous row's
+/// base address once and hands whole rows to
+/// [`StencilKernel::update_row`](crate::kernel::StencilKernel::update_row);
+/// [`BaseCase::Point`] drives the kernel strictly point by point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BaseCase {
+    /// Row-oriented execution: offsets hoisted out of the inner loop.  Default.
+    #[default]
+    Row,
+    /// Point-by-point execution: full offset arithmetic on every access (the
+    /// per-access-indexing ablation, and the reference for equivalence tests).
+    Point,
+}
+
 /// Kernel-clone selection policy (Section 4, "handling boundary conditions by code
 /// cloning").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -84,7 +102,10 @@ impl<const D: usize> Coarsening<D> {
     /// Explicit thresholds.
     pub fn new(dt: i64, dx: [i64; D]) -> Self {
         assert!(dt >= 1, "coarsening dt must be at least 1");
-        assert!(dx.iter().all(|&w| w >= 1), "coarsening widths must be at least 1");
+        assert!(
+            dx.iter().all(|&w| w >= 1),
+            "coarsening widths must be at least 1"
+        );
         Coarsening { dt, dx }
     }
 }
@@ -104,6 +125,8 @@ pub struct ExecutionPlan<const D: usize> {
     pub coarsening: Coarsening<D>,
     /// Interior-clone indexing style.
     pub index_mode: IndexMode,
+    /// Base-case inner-loop dispatch style.
+    pub base_case: BaseCase,
     /// Kernel-clone selection policy.
     pub clone_mode: CloneMode,
     /// Spatial block edge lengths for [`EngineKind::LoopsBlocked`].
@@ -119,6 +142,7 @@ impl<const D: usize> ExecutionPlan<D> {
             engine,
             coarsening: Coarsening::heuristic(),
             index_mode: IndexMode::Unchecked,
+            base_case: BaseCase::Row,
             clone_mode: CloneMode::InteriorAndBoundary,
             block: [64; D],
             grain: 1,
@@ -162,6 +186,12 @@ impl<const D: usize> ExecutionPlan<D> {
     /// Builder-style override of the indexing mode.
     pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
         self.index_mode = mode;
+        self
+    }
+
+    /// Builder-style override of the base-case dispatch style.
+    pub fn with_base_case(mut self, base_case: BaseCase) -> Self {
+        self.base_case = base_case;
         self
     }
 
@@ -220,17 +250,17 @@ mod tests {
         let plan = ExecutionPlan::<2>::trap()
             .with_coarsening(Coarsening::new(4, [32, 32]))
             .with_index_mode(IndexMode::Checked)
+            .with_base_case(BaseCase::Point)
             .with_clone_mode(CloneMode::AlwaysBoundary)
             .with_grain(0);
         assert_eq!(plan.engine, EngineKind::Trap);
         assert_eq!(plan.coarsening.dt, 4);
         assert_eq!(plan.index_mode, IndexMode::Checked);
+        assert_eq!(plan.base_case, BaseCase::Point);
         assert_eq!(plan.clone_mode, CloneMode::AlwaysBoundary);
         assert_eq!(plan.grain, 1);
+        assert_eq!(ExecutionPlan::<2>::trap().base_case, BaseCase::Row);
         assert_eq!(ExecutionPlan::<3>::default().engine, EngineKind::Trap);
-        assert_eq!(
-            ExecutionPlan::<2>::loops_blocked([16, 16]).block,
-            [16, 16]
-        );
+        assert_eq!(ExecutionPlan::<2>::loops_blocked([16, 16]).block, [16, 16]);
     }
 }

@@ -182,7 +182,10 @@ mod tests {
         let total: u128 = leaves.iter().map(|l| l.volume()).sum();
         assert_eq!(total, z.volume());
         for leaf in &leaves {
-            assert!(leaf.height() <= 1 || leaf.volume() <= 4, "leaf too big: {leaf:?}");
+            assert!(
+                leaf.height() <= 1 || leaf.volume() <= 4,
+                "leaf too big: {leaf:?}"
+            );
         }
     }
 
@@ -199,7 +202,12 @@ mod tests {
     #[test]
     fn parallel_and_serial_walkers_visit_the_same_leaves() {
         let z = Zoid::<2>::full_grid([30, 30], 0, 10);
-        let serial = collect_leaves(z, [1, 1], Coarsening::new(2, [8, 8]), CutStrategy::Hyperspace);
+        let serial = collect_leaves(
+            z,
+            [1, 1],
+            Coarsening::new(2, [8, 8]),
+            CutStrategy::Hyperspace,
+        );
 
         let rt = pochoir_runtime::Runtime::new(2);
         let leaves = Mutex::new(Vec::new());

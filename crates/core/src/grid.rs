@@ -9,6 +9,37 @@
 use crate::boundary::Boundary;
 use std::marker::PhantomData;
 
+/// Precomputed reciprocal for the division-free time wrap (see [`wrap_time`]).
+#[inline]
+fn time_magic(time_slices: usize) -> u64 {
+    (u64::MAX / time_slices as u64).wrapping_add(1)
+}
+
+/// Wraps a time coordinate into `[0, time_slices)` without an integer division.
+///
+/// The circular time buffer is tiny (`depth + 1` slices) yet the seed code paid a
+/// `rem_euclid` — a hardware divide plus a sign fix-up — on **every** grid access.  Here
+/// the modulo is computed by Lemire's fastmod: multiply by a precomputed reciprocal and
+/// take the high half, which is exact for any non-negative operand below 2³².  Negative
+/// and astronomically large `t` (possible only through direct API calls, never from the
+/// engines' monotone time loops) take the cold `rem_euclid` path; the range check is
+/// perfectly predicted in the hot loops.
+#[inline]
+fn wrap_time(t: i64, time_slices: usize, magic: u64) -> usize {
+    let n = time_slices as i64;
+    // Bias keeps small negative t (e.g. the depth-2 stencils' t - 1 reads, which never
+    // go below t0 - depth) on the fast path while leaving virtually the whole 2³²
+    // window for positive t.  Wrapping add: a sum that overflows i64 can only land far
+    // outside the fast-path window below, so it falls through to the exact cold path.
+    let biased = t.wrapping_add(n << 8);
+    if (0..1i64 << 32).contains(&biased) {
+        let low = magic.wrapping_mul(biased as u64);
+        ((low as u128 * time_slices as u128) >> 64) as usize
+    } else {
+        t.rem_euclid(n) as usize
+    }
+}
+
 /// A dense, row-major, d-dimensional spatial grid with `depth + 1` time slices.
 ///
 /// Coordinates are `i64`; the last spatial dimension is the unit-stride dimension.
@@ -19,6 +50,7 @@ pub struct PochoirArray<T, const D: usize> {
     strides: [usize; D],
     slice_len: usize,
     time_slices: usize,
+    time_magic: u64,
     data: Vec<T>,
     boundary: Boundary<T, D>,
 }
@@ -31,8 +63,19 @@ impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
 
     /// Creates an array with `depth + 1` time slices, filled with `T::default()`.
     pub fn with_depth(sizes: [usize; D], depth: usize) -> Self {
-        assert!(D > 0, "PochoirArray requires at least one spatial dimension");
-        assert!(sizes.iter().all(|&s| s > 0), "every spatial extent must be positive");
+        assert!(
+            D > 0,
+            "PochoirArray requires at least one spatial dimension"
+        );
+        assert!(
+            depth >= 1,
+            "stencil depth must be at least 1 (a depth-0 array would alias the read and \
+             write time slices)"
+        );
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "every spatial extent must be positive"
+        );
         let mut strides = [0usize; D];
         let mut acc = 1usize;
         for d in (0..D).rev() {
@@ -51,6 +94,7 @@ impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
             strides,
             slice_len,
             time_slices,
+            time_magic: time_magic(time_slices),
             data: vec![T::default(); total],
             boundary: Boundary::Constant(T::default()),
         }
@@ -71,8 +115,8 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
     /// Spatial extents as `i64` (the coordinate type used by kernels).
     pub fn sizes_i64(&self) -> [i64; D] {
         let mut out = [0i64; D];
-        for d in 0..D {
-            out[d] = self.sizes[d] as i64;
+        for (o, &size) in out.iter_mut().zip(self.sizes.iter()) {
+            *o = size as i64;
         }
         out
     }
@@ -109,20 +153,19 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
 
     #[inline]
     fn slice_index(&self, t: i64) -> usize {
-        (t.rem_euclid(self.time_slices as i64)) as usize
+        wrap_time(t, self.time_slices, self.time_magic)
     }
 
     #[inline]
     fn spatial_offset(&self, x: [i64; D]) -> usize {
         let mut off = 0usize;
-        for d in 0..D {
+        for (d, (&c, &stride)) in x.iter().zip(self.strides.iter()).enumerate() {
             debug_assert!(
-                x[d] >= 0 && (x[d] as usize) < self.sizes[d],
-                "coordinate {} out of range on axis {d} (size {})",
-                x[d],
+                c >= 0 && (c as usize) < self.sizes[d],
+                "coordinate {c} out of range on axis {d} (size {})",
                 self.sizes[d]
             );
-            off += (x[d] as usize) * self.strides[d];
+            off += (c as usize) * stride;
         }
         off
     }
@@ -206,6 +249,7 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
             strides: self.strides,
             slice_len: self.slice_len,
             time_slices: self.time_slices,
+            time_magic: self.time_magic,
             boundary: &self.boundary,
             _marker: PhantomData,
         }
@@ -219,6 +263,7 @@ impl<T: Clone, const D: usize> Clone for PochoirArray<T, D> {
             strides: self.strides,
             slice_len: self.slice_len,
             time_slices: self.time_slices,
+            time_magic: self.time_magic,
             data: self.data.clone(),
             boundary: self.boundary.clone(),
         }
@@ -237,7 +282,7 @@ impl<T: Copy + std::fmt::Display, const D: usize> std::fmt::Display for PochoirA
                 let off = slice * self.slice_len + self.spatial_offset(x);
                 write!(f, "{} ", self.data[off])?;
                 count += 1;
-                if D >= 1 && count % self.sizes[D - 1] == 0 {
+                if D >= 1 && count.is_multiple_of(self.sizes[D - 1]) {
                     writeln!(f)?;
                 }
             }
@@ -311,6 +356,7 @@ pub struct RawGrid<'a, T, const D: usize> {
     strides: [usize; D],
     slice_len: usize,
     time_slices: usize,
+    time_magic: u64,
     boundary: &'a Boundary<T, D>,
     _marker: PhantomData<&'a mut T>,
 }
@@ -360,16 +406,15 @@ impl<'a, T: Copy, const D: usize> RawGrid<'a, T, D> {
     /// Linear element offset of `(t, x)`; `x` must be in-domain.
     #[inline]
     pub fn offset(&self, t: i64, x: [i64; D]) -> usize {
-        let slice = (t.rem_euclid(self.time_slices as i64)) as usize;
+        let slice = wrap_time(t, self.time_slices, self.time_magic);
         let mut off = slice * self.slice_len;
-        for d in 0..D {
+        for (d, (&c, &stride)) in x.iter().zip(self.strides.iter()).enumerate() {
             debug_assert!(
-                x[d] >= 0 && x[d] < self.sizes[d],
-                "raw access out of range: axis {d}, coordinate {}, size {}",
-                x[d],
+                c >= 0 && c < self.sizes[d],
+                "raw access out of range: axis {d}, coordinate {c}, size {}",
                 self.sizes[d]
             );
-            off += (x[d] as usize) * self.strides[d];
+            off += (c as usize) * stride;
         }
         off
     }
@@ -409,6 +454,105 @@ impl<'a, T: Copy, const D: usize> RawGrid<'a, T, D> {
         } else {
             let read = |tt: i64, xx: [i64; D]| self.read(tt, xx);
             self.boundary.resolve(&read, self.sizes, t, x)
+        }
+    }
+
+    #[inline]
+    fn debug_check_row(&self, x: [i64; D], len: usize) {
+        debug_assert!(
+            x[D - 1] >= 0 && x[D - 1] + len as i64 <= self.sizes[D - 1],
+            "row [{}, {}) out of range on the unit-stride axis (size {})",
+            x[D - 1],
+            x[D - 1] + len as i64,
+            self.sizes[D - 1]
+        );
+        for (d, &c) in x.iter().enumerate().take(D - 1) {
+            debug_assert!(
+                c >= 0 && c < self.sizes[d],
+                "row access out of range: axis {d}, coordinate {c}, size {}",
+                self.sizes[d]
+            );
+        }
+    }
+
+    /// Read-only view of the `len` elements starting at `(t, x)` along the unit-stride
+    /// (last) dimension.
+    ///
+    /// This is the storage-level half of the paper's `--split-pointer` indexing style:
+    /// the time-slice base and the outer-dimension offset are resolved **once**, and the
+    /// whole row is then walked at unit stride with no further address arithmetic.
+    ///
+    /// # Safety
+    ///
+    /// The row must be in-domain (`x` on every axis, `x[D-1] + len` within the last
+    /// extent — debug builds assert this), and no element it covers may be written
+    /// through this or any other handle while the returned slice is live.  The engines'
+    /// base cases satisfy this: kernels read rows of time slices `t`, `t − 1`, … and
+    /// write only slice `t + 1`, which occupies distinct storage.
+    #[inline]
+    pub unsafe fn row(&self, t: i64, x: [i64; D], len: usize) -> &'a [T] {
+        self.debug_check_row(x, len);
+        let off = self.offset(t, x);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(off), len) }
+    }
+
+    /// Unit-stride write cursor over the `len` elements starting at `(t, x)`.
+    ///
+    /// The same one-time address resolution as [`RawGrid::row`], for the output row.  A
+    /// cursor rather than a `&mut [T]` so the aliasing story stays the one documented on
+    /// [`RawGrid`]: concurrent subzoids touch disjoint points, which a long-lived unique
+    /// reference could not express.
+    ///
+    /// # Safety
+    ///
+    /// The row must be in-domain (debug-asserted), and the elements it covers must not
+    /// overlap any live slice obtained from [`RawGrid::row`] (see there).
+    #[inline]
+    pub unsafe fn row_out(&self, t: i64, x: [i64; D], len: usize) -> RowWriter<'a, T> {
+        self.debug_check_row(x, len);
+        let off = self.offset(t, x);
+        RowWriter {
+            ptr: unsafe { self.ptr.add(off) },
+            len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A cheap unit-stride write cursor over one grid row, produced by
+/// [`RawGrid::row_out`].
+///
+/// Writes go straight through the precomputed base pointer; index `i` addresses the
+/// `i`-th element of the row.
+pub struct RowWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+impl<'a, T: Copy> RowWriter<'a, T> {
+    /// Number of elements in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the row holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at row-local index `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T) {
+        debug_assert!(
+            i < self.len,
+            "row write {i} out of range (len {})",
+            self.len
+        );
+        unsafe {
+            *self.ptr.add(i) = value;
         }
     }
 }
@@ -460,6 +604,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn zero_depth_is_rejected() {
+        let _: PochoirArray<f64, 2> = PochoirArray::with_depth([4, 4], 0);
+    }
+
+    #[test]
     #[should_panic(expected = "outside the computing domain")]
     fn out_of_domain_write_panics() {
         let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 3]);
@@ -480,10 +630,7 @@ mod tests {
     #[test]
     fn space_iter_counts_and_order() {
         let pts: Vec<[i64; 2]> = SpaceIter::new([2, 3]).collect();
-        assert_eq!(
-            pts,
-            vec![[0, 0], [0, 1], [0, 2], [1, 0], [1, 1], [1, 2]]
-        );
+        assert_eq!(pts, vec![[0, 0], [0, 1], [0, 2], [1, 0], [1, 1], [1, 2]]);
         let pts3: Vec<[i64; 3]> = SpaceIter::new([2, 2, 2]).collect();
         assert_eq!(pts3.len(), 8);
     }
@@ -526,6 +673,44 @@ mod tests {
         a.fill_time_slice(0, |x| x[0] as u32);
         assert_eq!(a.get(0, [9]), 9);
         assert_eq!(a.size(0), 10);
+    }
+
+    #[test]
+    fn wrap_time_matches_rem_euclid_everywhere() {
+        for n in (1..=9usize).chain([16, 17, 100]) {
+            let magic = time_magic(n);
+            for t in -1000i64..1000 {
+                assert_eq!(
+                    wrap_time(t, n, magic),
+                    t.rem_euclid(n as i64) as usize,
+                    "t={t} n={n}"
+                );
+            }
+            // Far outside the fast-path bias window (cold fallback).
+            for t in [i64::MIN, i64::MIN / 2, -(1i64 << 40), 1i64 << 40, i64::MAX] {
+                assert_eq!(wrap_time(t, n, magic), t.rem_euclid(n as i64) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_expose_unit_stride_storage() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 5]);
+        a.fill_time_slice(0, |x| (x[0] * 10 + x[1]) as f64);
+        {
+            let raw = a.raw();
+            // Safety: in-domain rows; the read row (slice 0) and the written row
+            // (slice 1) occupy distinct storage.
+            let row = unsafe { raw.row(0, [1, 1], 3) };
+            assert_eq!(row, &[11.0, 12.0, 13.0]);
+            let mut out = unsafe { raw.row_out(1, [2, 0], 5) };
+            assert_eq!(out.len(), 5);
+            assert!(!out.is_empty());
+            for i in 0..5 {
+                out.set(i, i as f64 * 2.0);
+            }
+        }
+        assert_eq!(a.snapshot(1)[10..15], [0.0, 2.0, 4.0, 6.0, 8.0]);
     }
 
     #[test]

@@ -181,9 +181,7 @@ pub fn hyperspace_cut_params<const D: usize>(
     zoid: &Zoid<D>,
     params: &CutParams<D>,
 ) -> Option<HyperspaceCut<D>> {
-    let cuts: Vec<DimPieces<D>> = (0..D)
-        .filter_map(|i| dim_pieces(zoid, i, params))
-        .collect();
+    let cuts: Vec<DimPieces<D>> = (0..D).filter_map(|i| dim_pieces(zoid, i, params)).collect();
     if cuts.is_empty() {
         return None;
     }
@@ -267,10 +265,7 @@ mod tests {
         for t in 0..3 {
             for x in 0..12 {
                 for y in 0..10 {
-                    let owners = cut
-                        .all_subzoids()
-                        .filter(|s| s.contains(t, [x, y]))
-                        .count();
+                    let owners = cut.all_subzoids().filter(|s| s.contains(t, [x, y])).count();
                     assert_eq!(owners, 1, "point (t={t}, {x}, {y}) owned by {owners}");
                 }
             }

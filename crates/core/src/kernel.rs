@@ -18,11 +18,64 @@ pub trait StencilKernel<T: Copy, const D: usize>: Sync {
     /// accessed offsets must be covered by the declared [`Shape`](crate::shape::Shape)
     /// (checked by the Phase-1 interpreter in `pochoir-dsl`).
     fn update<A: GridAccess<T, D>>(&self, grid: &A, t: i64, x: [i64; D]);
+
+    /// Applies the update to the `len` consecutive points starting at `x0` along the
+    /// unit-stride (last) dimension, at invocation time `t`.
+    ///
+    /// This is the kernel-side half of the row-oriented base case (the analog of the
+    /// Pochoir compiler's `--split-pointer` interior clone).  The default implementation
+    /// simply calls [`StencilKernel::update`] per point and is always correct;
+    /// implementations may override it with a vectorizable inner loop over the row
+    /// slices exposed by [`GridAccess::row`] / [`GridAccess::row_out`], **provided** the
+    /// override computes bit-identical results to the per-point loop (same operations in
+    /// the same order) — engine equivalence tests enforce this.
+    ///
+    /// Overrides must fall back to the per-point loop ([`update_row_pointwise`]) when
+    /// the view does not expose rows (`row()` returning `None`), which is how boundary,
+    /// tracing and checked-index views keep observing every access.  The row accessors
+    /// are `unsafe`: overrides must uphold their contract (rows in-domain, written
+    /// elements disjoint from live row slices — reading `t`/`t − 1` and writing `t + 1`
+    /// satisfies it).
+    #[inline]
+    fn update_row<A: GridAccess<T, D>>(&self, grid: &A, t: i64, x0: [i64; D], len: i64) {
+        update_row_pointwise(self, grid, t, x0, len);
+    }
+}
+
+/// Applies `kernel.update` to the `len` consecutive points starting at `x0` along the
+/// unit-stride (last) dimension.
+///
+/// This is the canonical per-point row loop: the default body of
+/// [`StencilKernel::update_row`], and the fallback that row-overriding kernels call when
+/// the view does not expose rows.  Sharing it keeps every fallback in sync with the
+/// default semantics.
+#[inline]
+pub fn update_row_pointwise<T, K, A, const D: usize>(
+    kernel: &K,
+    grid: &A,
+    t: i64,
+    x0: [i64; D],
+    len: i64,
+) where
+    T: Copy,
+    K: StencilKernel<T, D> + ?Sized,
+    A: GridAccess<T, D>,
+{
+    let mut p = x0;
+    let lo = x0[D - 1];
+    for v in lo..lo + len {
+        p[D - 1] = v;
+        kernel.update(grid, t, p);
+    }
 }
 
 impl<T: Copy, const D: usize, K: StencilKernel<T, D>> StencilKernel<T, D> for &K {
     fn update<A: GridAccess<T, D>>(&self, grid: &A, t: i64, x: [i64; D]) {
         (**self).update(grid, t, x)
+    }
+
+    fn update_row<A: GridAccess<T, D>>(&self, grid: &A, t: i64, x0: [i64; D], len: i64) {
+        (**self).update_row(grid, t, x0, len)
     }
 }
 
@@ -73,7 +126,8 @@ mod tests {
 
     impl StencilKernel<f64, 1> for Avg1D {
         fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
-            let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+            let v =
+                0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
             g.set(t + 1, x, v);
         }
     }

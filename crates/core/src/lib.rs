@@ -63,12 +63,12 @@ pub mod zoid;
 pub mod prelude {
     pub use crate::boundary::{AxisRule, Boundary, BoundaryProbe};
     pub use crate::engine::{
-        run, run_traced, run_with_global_runtime, CloneMode, Coarsening, EngineKind,
+        run, run_traced, run_with_global_runtime, BaseCase, CloneMode, Coarsening, EngineKind,
         ExecutionPlan, IndexMode,
     };
-    pub use crate::grid::{PochoirArray, SpaceIter};
+    pub use crate::grid::{PochoirArray, RowWriter, SpaceIter};
     pub use crate::hyperspace::{hyperspace_cut, single_space_cut, HyperspaceCut};
-    pub use crate::kernel::{StencilKernel, StencilSpec};
+    pub use crate::kernel::{update_row_pointwise, StencilKernel, StencilSpec};
     pub use crate::shape::{box_shape, star_shape, Shape, ShapeCell};
     pub use crate::view::{AccessTracer, GridAccess};
     pub use crate::zoid::Zoid;

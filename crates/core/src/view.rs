@@ -15,11 +15,31 @@
 //!
 //! Monomorphization of the kernel over these view types is precisely the kernel cloning
 //! the Pochoir compiler performs as a source-to-source transformation.
+//!
+//! ## Row access and the `--split-pointer` correspondence
+//!
+//! The Pochoir compiler's fastest indexing mode, `--split-pointer`, rewrites the interior
+//! clone so that each array reference becomes an incremented unit-stride pointer instead
+//! of a macro that recomputes `slice·S + x₀·s₀ + … + x_{d-1}` per access.  The analog
+//! here is the optional row API on [`GridAccess`]: [`InteriorView`] resolves a row's base
+//! address once ([`GridAccess::row`] / [`GridAccess::row_out`]) and row-aware kernels
+//! then walk plain slices, while [`CheckedInteriorView`] deliberately does **not**
+//! implement the row API so that it keeps paying the full per-access address computation
+//! plus bounds checks — preserving exactly the contrast Figure 13 measures.
 
 use crate::boundary::wrap;
-use crate::grid::RawGrid;
+use crate::grid::{RawGrid, RowWriter};
 
 /// Read/write access to a space-time grid, as seen by a stencil kernel.
+///
+/// Besides the per-point `get`/`set`, a view may expose whole grid **rows** along the
+/// unit-stride (last) dimension through [`GridAccess::row`] / [`GridAccess::row_out`].
+/// Row access is the paper's `--split-pointer` indexing style: the address of a row is
+/// resolved once and the row is then walked at unit stride.  The default implementations
+/// return `None`, which makes row-aware kernels (see
+/// [`StencilKernel::update_row`](crate::kernel::StencilKernel::update_row)) fall back to
+/// their per-point loop — so views that must observe or check every access (the boundary
+/// clone, the tracing view, the checked-index ablation) keep doing exactly that.
 pub trait GridAccess<T: Copy, const D: usize> {
     /// Reads the value at time `t`, position `x`.
     fn get(&self, t: i64, x: [i64; D]) -> T;
@@ -27,6 +47,33 @@ pub trait GridAccess<T: Copy, const D: usize> {
     fn set(&self, t: i64, x: [i64; D], value: T);
     /// The spatial extent along `dim` (provided so kernels can depend on the domain size).
     fn size(&self, dim: usize) -> i64;
+
+    /// Read-only row of `len` elements starting at `(t, x)` along the last dimension,
+    /// when this view can hand out direct unit-stride storage.
+    ///
+    /// # Safety
+    ///
+    /// The row must be in-domain (`x` on every axis, `x[D-1] + len` within the last
+    /// extent), and none of its elements may be written — through [`GridAccess::set`],
+    /// [`GridAccess::row_out`] or any other handle — while the returned slice is live.
+    /// Kernels satisfy this by reading rows only of time slices they do not write
+    /// (they write `t + 1`, they read `t`, `t − 1`, …).
+    #[inline]
+    unsafe fn row(&self, _t: i64, _x: [i64; D], _len: usize) -> Option<&[T]> {
+        None
+    }
+
+    /// Unit-stride write cursor over the row of `len` elements starting at `(t, x)`,
+    /// when this view can hand out direct storage.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`GridAccess::row`]: in-domain, and the written elements must
+    /// not overlap any live row slice.
+    #[inline]
+    unsafe fn row_out(&self, _t: i64, _x: [i64; D], _len: usize) -> Option<RowWriter<'_, T>> {
+        None
+    }
 }
 
 /// Observer of raw memory traffic, implemented by the cache simulator.
@@ -65,12 +112,27 @@ impl<'a, T: Copy, const D: usize> GridAccess<T, D> for InteriorView<'a, T, D> {
     fn size(&self, dim: usize) -> i64 {
         self.grid.sizes()[dim]
     }
+
+    #[inline(always)]
+    unsafe fn row(&self, t: i64, x: [i64; D], len: usize) -> Option<&[T]> {
+        // Safety: forwarded contract — the caller keeps the row in-domain and unwritten
+        // while the slice is live.
+        Some(unsafe { self.grid.row(t, x, len) })
+    }
+
+    #[inline(always)]
+    unsafe fn row_out(&self, t: i64, x: [i64; D], len: usize) -> Option<RowWriter<'_, T>> {
+        // Safety: forwarded contract (see `row`).
+        Some(unsafe { self.grid.row_out(t, x, len) })
+    }
 }
 
 /// The interior clone with bounds-checked indexing (the `--split-macro-shadow` analog).
 ///
 /// Both views perform the same address computation; this one keeps the range checks that
 /// the optimized pointer-style clone elides, which is what the paper's Figure 13 compares.
+/// It also deliberately leaves the row API unimplemented: every access pays the full
+/// per-point address computation, as the macro-shadow indexing mode does.
 #[derive(Clone, Copy)]
 pub struct CheckedInteriorView<'a, T, const D: usize> {
     grid: RawGrid<'a, T, D>,
@@ -192,14 +254,18 @@ impl<'a, 't, T: Copy, const D: usize, C: AccessTracer> GridAccess<T, D>
 {
     fn get(&self, t: i64, x: [i64; D]) -> T {
         if self.grid.in_domain(x) {
-            self.tracer.on_read(self.addr(t, x), self.grid.element_bytes());
+            self.tracer
+                .on_read(self.addr(t, x), self.grid.element_bytes());
             self.grid.read(t, x)
         } else {
             // Boundary resolution may itself touch in-domain memory; trace those reads too.
             let tracer = self.tracer;
             let grid = self.grid;
             let read = move |tt: i64, xx: [i64; D]| {
-                tracer.on_read(grid.offset(tt, xx) * grid.element_bytes(), grid.element_bytes());
+                tracer.on_read(
+                    grid.offset(tt, xx) * grid.element_bytes(),
+                    grid.element_bytes(),
+                );
                 grid.read(tt, xx)
             };
             self.grid.boundary().resolve(&read, self.grid.sizes(), t, x)
@@ -214,7 +280,8 @@ impl<'a, 't, T: Copy, const D: usize, C: AccessTracer> GridAccess<T, D>
                 w[d] = wrap(w[d], sizes[d]);
             }
         }
-        self.tracer.on_write(self.addr(t, w), self.grid.element_bytes());
+        self.tracer
+            .on_write(self.addr(t, w), self.grid.element_bytes());
         self.grid.write(t, w, value)
     }
 

@@ -102,9 +102,7 @@ impl<const D: usize> Zoid<D> {
         if self.height() <= 0 {
             return false;
         }
-        (0..D).all(|i| {
-            self.bottom_width(i) >= 0 && self.top_width(i) >= 0 && self.width(i) > 0
-        })
+        (0..D).all(|i| self.bottom_width(i) >= 0 && self.top_width(i) >= 0 && self.width(i) > 0)
     }
 
     /// Lower spatial bound along dimension `i` at absolute time `t`.
@@ -159,7 +157,8 @@ impl<const D: usize> Zoid<D> {
     /// the domain boundary `[0, sizes)` — i.e. whether the fast *interior clone* may be
     /// used for its base case (paper, Section 4, "code cloning").
     pub fn is_interior(&self, sizes: [i64; D], reach: [i64; D]) -> bool {
-        (0..D).all(|i| self.min_lower(i) - reach[i] >= 0 && self.max_upper(i) + reach[i] <= sizes[i])
+        (0..D)
+            .all(|i| self.min_lower(i) - reach[i] >= 0 && self.max_upper(i) + reach[i] <= sizes[i])
     }
 
     /// Whether a parallel space cut may be applied along dimension `i` for a stencil of
@@ -237,7 +236,9 @@ impl<const D: usize> Zoid<D> {
     /// The per-dimension `[lower, upper)` bounds of the zoid's row at absolute time `t`
     /// (useful for debugging and for the base-case executors).
     pub fn row_bounds(&self, t: i64) -> Vec<(i64, i64)> {
-        (0..D).map(|i| (self.lower_at(i, t), self.upper_at(i, t))).collect()
+        (0..D)
+            .map(|i| (self.lower_at(i, t), self.upper_at(i, t)))
+            .collect()
     }
 
     /// Whether this zoid covers the full circumference of a torus of size `n` along

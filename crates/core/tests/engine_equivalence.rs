@@ -65,7 +65,9 @@ fn run_collatz(
     let spec = StencilSpec::new(star_shape::<2>(1));
     let mut a: PochoirArray<u64, 2> = PochoirArray::new([nx, ny]);
     a.register_boundary(boundary_from_id(boundary_id));
-    a.fill_time_slice(0, |x| (x[0] as u64 * 2654435761).wrapping_add(x[1] as u64 * 40503));
+    a.fill_time_slice(0, |x| {
+        (x[0] as u64 * 2654435761).wrapping_add(x[1] as u64 * 40503)
+    });
     if parallel {
         run(&mut a, &spec, &Collatz2D, 0, steps, plan, Runtime::global());
     } else {
@@ -152,14 +154,25 @@ fn trap_updates_every_point_exactly_once() {
         let counts: Vec<Vec<AtomicU32>> = (0..steps)
             .map(|_| (0..nx * ny).map(|_| AtomicU32::new(0)).collect())
             .collect();
-        let kernel = WriteOnceKernel { counts: &counts, nx: ny };
+        let kernel = WriteOnceKernel {
+            counts: &counts,
+            nx: ny,
+        };
         let spec = StencilSpec::new(star_shape::<2>(1));
         let mut a: PochoirArray<f64, 2> = PochoirArray::new([nx, ny]);
         a.register_boundary(Boundary::Periodic);
         a.fill_time_slice(0, |x| (x[0] + x[1]) as f64);
         let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [7, 7]));
         if parallel {
-            run(&mut a, &spec, &kernel, 0, steps as i64, &plan, Runtime::global());
+            run(
+                &mut a,
+                &spec,
+                &kernel,
+                0,
+                steps as i64,
+                &plan,
+                Runtime::global(),
+            );
         } else {
             run(&mut a, &spec, &kernel, 0, steps as i64, &plan, &Serial);
         }
@@ -232,7 +245,15 @@ fn depth_two_stencils_are_supported() {
     let t0 = spec.shape().first_step();
     let t1 = t0 + steps;
     let mut reference = make();
-    run(&mut reference, &spec, &Wave1D, t0, t1, &ExecutionPlan::loops_serial(), &Serial);
+    run(
+        &mut reference,
+        &spec,
+        &Wave1D,
+        t0,
+        t1,
+        &ExecutionPlan::loops_serial(),
+        &Serial,
+    );
     for plan in [
         ExecutionPlan::trap().with_coarsening(Coarsening::new(3, [9])),
         ExecutionPlan::strap().with_coarsening(Coarsening::new(3, [9])),

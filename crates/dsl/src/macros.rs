@@ -146,7 +146,15 @@ mod tests {
         arr.fill_time_slice(0, |x| x[0] as f64);
         let spec = StencilSpec::new(star_shape::<1>(1));
         let k = Avg { center: 0.5 };
-        run(&mut arr, &spec, &k, 0, 1, &ExecutionPlan::loops_serial(), &Serial);
+        run(
+            &mut arr,
+            &spec,
+            &k,
+            0,
+            1,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
         // Interior points of a linear ramp are preserved by the averaging kernel.
         assert_eq!(arr.get(1, [4]), 4.0);
     }
@@ -163,7 +171,15 @@ mod tests {
         let mut arr: PochoirArray<u32, 2> = PochoirArray::new([4, 4]);
         arr.register_boundary(Boundary::Periodic);
         let spec = StencilSpec::new(star_shape::<2>(1));
-        run(&mut arr, &spec, &NoFields {}, 0, 3, &ExecutionPlan::trap(), &Serial);
+        run(
+            &mut arr,
+            &spec,
+            &NoFields {},
+            0,
+            3,
+            &ExecutionPlan::trap(),
+            &Serial,
+        );
         assert_eq!(arr.get(3, [1, 1]), 3);
     }
 

@@ -261,7 +261,8 @@ impl<T: Copy + Send + Sync + Default, const D: usize> Pochoir<T, D> {
         let depth = shape.depth() as usize;
         let mut p = Self::new(shape);
         let array = PochoirArray::with_depth(sizes, depth);
-        p.register_array(array).expect("depth is consistent by construction");
+        p.register_array(array)
+            .expect("depth is consistent by construction");
         p
     }
 }
@@ -281,7 +282,8 @@ mod tests {
     struct Heat1D;
     impl StencilKernel<f64, 1> for Heat1D {
         fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
-            let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+            let v =
+                0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
             g.set(t + 1, x, v);
         }
     }
@@ -367,7 +369,10 @@ mod tests {
         let err = p
             .register_array(PochoirArray::with_depth([8], 1))
             .unwrap_err();
-        assert!(matches!(err, PochoirError::DepthMismatch { have: 2, need: 3 }));
+        assert!(matches!(
+            err,
+            PochoirError::DepthMismatch { have: 2, need: 3 }
+        ));
     }
 
     #[test]

@@ -28,7 +28,14 @@ fn boundary(id: u8) -> Boundary<u64, 2> {
 }
 
 fn build(nx: usize, ny: usize, bid: u8, seed: u64) -> Pochoir<u64, 2> {
-    let shape = pochoir_shape![(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)];
+    let shape = pochoir_shape![
+        (1, 0, 0),
+        (0, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, -1),
+        (0, 0, 1)
+    ];
     let mut p = Pochoir::<u64, 2>::with_array(shape, [nx, ny]);
     p.register_boundary(boundary(bid)).unwrap();
     p.array_mut().unwrap().fill_time_slice(0, |x| {

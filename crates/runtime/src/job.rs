@@ -141,6 +141,9 @@ where
     /// # Safety
     ///
     /// Must only be called after the latch has been set.
+    // Takes `&self` because the job lives on the owner's stack frame and is consumed
+    // logically, not by value (the frame outlives the call).
+    #[allow(clippy::wrong_self_convention)]
     pub unsafe fn into_result(&self) -> R {
         let result = unsafe { mem::replace(&mut *self.result.get(), JobResult::None) };
         result.into_return_value()

@@ -194,9 +194,7 @@ impl WorkerThread {
                         if registry.terminate.load(Ordering::Acquire) {
                             break;
                         }
-                        registry
-                            .sleep_condvar
-                            .wait_for(&mut guard, PARK_TIMEOUT);
+                        registry.sleep_condvar.wait_for(&mut guard, PARK_TIMEOUT);
                         idle_rounds = 0;
                     }
                 }

@@ -144,13 +144,15 @@ pub fn build(params: &OptionParams, n: usize) -> PochoirArray<f64, 1> {
     let pay = payoff(params, n);
     let mut arr = PochoirArray::new([n]);
     let strike = params.strike;
-    arr.register_boundary(Boundary::constant_fn(move |_t, x| {
-        if x[0] < 0 {
-            strike
-        } else {
-            0.0
-        }
-    }));
+    arr.register_boundary(Boundary::constant_fn(
+        move |_t, x| {
+            if x[0] < 0 {
+                strike
+            } else {
+                0.0
+            }
+        },
+    ));
     arr.fill_time_slice(0, |x| pay[x[0] as usize]);
     arr
 }
@@ -259,11 +261,23 @@ mod tests {
         let values = run_apop(&params, N, STEPS, &ExecutionPlan::trap(), &Serial);
         let spot = 100.0;
         let american = value_at_spot(&params, &values, spot);
-        let european = black_scholes_put(spot, params.strike, params.rate, params.sigma, params.expiry);
-        assert!(american >= european - 0.05, "american {american} < european {european}");
+        let european = black_scholes_put(
+            spot,
+            params.strike,
+            params.rate,
+            params.sigma,
+            params.expiry,
+        );
+        assert!(
+            american >= european - 0.05,
+            "american {american} < european {european}"
+        );
         // And it should be in a sensible range (a rough sanity band around the known
         // at-the-money value of ~10.3 for these parameters).
-        assert!(american > 8.0 && american < 14.0, "american value {american} out of range");
+        assert!(
+            american > 8.0 && american < 14.0,
+            "american value {american} out of range"
+        );
     }
 
     fn black_scholes_put(s: f64, k: f64, r: f64, sigma: f64, t: f64) -> f64 {

@@ -34,6 +34,61 @@ impl<const D: usize> StencilKernel<f64, D> for HeatKernel<D> {
         }
         g.set(t + 1, x, acc);
     }
+
+    /// Row-oriented interior clone: one address resolution per stencil leg per row, then
+    /// a vectorizable slice-walking inner loop.  Computes the exact same floating-point
+    /// expression in the same order as [`HeatKernel::update`], so results are bitwise
+    /// identical; falls back to the per-point loop on views without row access.
+    fn update_row<A: GridAccess<f64, D>>(&self, g: &A, t: i64, x0: [i64; D], len: i64) {
+        if len <= 0 {
+            return;
+        }
+        let n = len as usize;
+        let last = D - 1;
+        'fast: {
+            // Safety (row contract): the engines only dispatch interior rows, whose
+            // whole radius-1 footprint is in-domain, and all reads target slice `t`
+            // while the single write row lives in the distinct slice `t + 1`.
+            let Some(mut out) = (unsafe { g.row_out(t + 1, x0, n) }) else {
+                break 'fast;
+            };
+            // The unit-stride leg: the row extended one cell on each side.
+            let mut center_start = x0;
+            center_start[last] -= 1;
+            let Some(center) = (unsafe { g.row(t, center_start, n + 2) }) else {
+                break 'fast;
+            };
+            // One row per off-axis leg; index `last` stays unused.
+            let mut lo_rows: [&[f64]; D] = [center; D];
+            let mut hi_rows: [&[f64]; D] = [center; D];
+            for d in 0..last {
+                let mut lo = x0;
+                lo[d] -= 1;
+                let mut hi = x0;
+                hi[d] += 1;
+                match unsafe { (g.row(t, lo, n), g.row(t, hi, n)) } {
+                    (Some(l), Some(h)) => {
+                        lo_rows[d] = l;
+                        hi_rows[d] = h;
+                    }
+                    _ => break 'fast,
+                }
+            }
+            let alpha = self.alpha;
+            for i in 0..n {
+                let c = center[i + 1];
+                let mut acc = c;
+                for d in 0..last {
+                    acc += alpha * (lo_rows[d][i] + hi_rows[d][i] - 2.0 * c);
+                }
+                acc += alpha * (center[i] + center[i + 2] - 2.0 * c);
+                out.set(i, acc);
+            }
+            return;
+        }
+        // Per-point path for views without direct rows (boundary clone, tracing, …).
+        update_row_pointwise(self, g, t, x0, len);
+    }
 }
 
 /// The stencil shape of [`HeatKernel`]: the (2D+1)-point star of radius 1.
@@ -43,7 +98,10 @@ pub fn shape<const D: usize>() -> Shape<D> {
 
 /// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
 /// noise, with the requested boundary condition.
-pub fn build<const D: usize>(sizes: [usize; D], boundary: Boundary<f64, D>) -> PochoirArray<f64, D> {
+pub fn build<const D: usize>(
+    sizes: [usize; D],
+    boundary: Boundary<f64, D>,
+) -> PochoirArray<f64, D> {
     let mut a = PochoirArray::new(sizes);
     a.register_boundary(boundary);
     a.fill_time_slice(0, |x| init_value(sizes, x));
@@ -133,7 +191,11 @@ mod tests {
     use pochoir_core::engine::{run, Coarsening, ExecutionPlan};
     use pochoir_runtime::Serial;
 
-    fn check_against_reference<const D: usize>(sizes: [usize; D], steps: i64, boundary: Boundary<f64, D>) {
+    fn check_against_reference<const D: usize>(
+        sizes: [usize; D],
+        steps: i64,
+        boundary: Boundary<f64, D>,
+    ) {
         let kernel = HeatKernel::<D>::default();
         let reference = reference(sizes, &boundary, kernel.alpha, steps);
         let spec = StencilSpec::new(shape::<D>());
@@ -173,6 +235,48 @@ mod tests {
     }
 
     #[test]
+    fn row_and_point_base_cases_are_bitwise_identical() {
+        use pochoir_core::engine::{BaseCase, EngineKind};
+        let kernel = HeatKernel::<2>::default();
+        let spec = StencilSpec::new(shape::<2>());
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            for boundary in [Boundary::Constant(0.0), Boundary::Periodic, Boundary::Clamp] {
+                let mut snaps = Vec::new();
+                for base_case in [BaseCase::Row, BaseCase::Point] {
+                    let mut a = build([21, 19], boundary.clone());
+                    let plan = ExecutionPlan::new(engine)
+                        .with_coarsening(Coarsening::new(2, [5, 5]))
+                        .with_base_case(base_case);
+                    run(&mut a, &spec, &kernel, 0, 7, &plan, &Serial);
+                    snaps.push(a.snapshot(7));
+                }
+                assert_eq!(snaps[0], snaps[1], "{engine:?} {boundary:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_row_with_nonpositive_len_touches_nothing() {
+        // Like the default per-point path, the row override must treat len <= 0 as
+        // empty rather than casting it to a huge usize; no grid access may happen.
+        struct PanicView;
+        impl GridAccess<f64, 2> for PanicView {
+            fn get(&self, _t: i64, _x: [i64; 2]) -> f64 {
+                panic!("no access expected for empty rows")
+            }
+            fn set(&self, _t: i64, _x: [i64; 2], _value: f64) {
+                panic!("no access expected for empty rows")
+            }
+            fn size(&self, _dim: usize) -> i64 {
+                8
+            }
+        }
+        let kernel = HeatKernel::<2>::default();
+        kernel.update_row(&PanicView, 0, [2, 2], 0);
+        kernel.update_row(&PanicView, 0, [2, 2], -5);
+    }
+
+    #[test]
     fn default_coefficients_are_stable() {
         assert!(HeatKernel::<1>::default().alpha * 2.0 <= 1.0);
         assert!(HeatKernel::<4>::default().alpha * 8.0 <= 1.0);
@@ -196,7 +300,15 @@ mod tests {
         let spec = StencilSpec::new(shape::<2>());
         let mut a = build(sizes, boundary);
         let max0 = a.snapshot(0).iter().cloned().fold(f64::MIN, f64::max);
-        run(&mut a, &spec, &kernel, 0, 30, &ExecutionPlan::trap(), &Serial);
+        run(
+            &mut a,
+            &spec,
+            &kernel,
+            0,
+            30,
+            &ExecutionPlan::trap(),
+            &Serial,
+        );
         let max_t = a.snapshot(30).iter().cloned().fold(f64::MIN, f64::max);
         assert!(max_t < max0);
     }

@@ -144,9 +144,20 @@ mod tests {
         let spec = StencilSpec::new(shape());
         let mut a = build(sizes);
         let m0 = total_mass(&a, 0);
-        run(&mut a, &spec, &LbmKernel::default(), 0, 10, &ExecutionPlan::trap(), &Serial);
+        run(
+            &mut a,
+            &spec,
+            &LbmKernel::default(),
+            0,
+            10,
+            &ExecutionPlan::trap(),
+            &Serial,
+        );
         let m1 = total_mass(&a, 10);
-        assert!((m0 - m1).abs() < 1e-9 * m0.abs(), "mass drifted: {m0} -> {m1}");
+        assert!(
+            (m0 - m1).abs() < 1e-9 * m0.abs(),
+            "mass drifted: {m0} -> {m1}"
+        );
     }
 
     #[test]
@@ -156,7 +167,15 @@ mod tests {
         let spec = StencilSpec::new(shape());
         let k = LbmKernel::default();
         let mut reference = build(sizes);
-        run(&mut reference, &spec, &k, 0, steps, &ExecutionPlan::loops_serial(), &Serial);
+        run(
+            &mut reference,
+            &spec,
+            &k,
+            0,
+            steps,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
         let expected = reference.snapshot(steps);
         for engine in [EngineKind::Trap, EngineKind::Strap] {
             let mut a = build(sizes);
@@ -173,7 +192,15 @@ mod tests {
         let mut a: PochoirArray<Cell, 3> = PochoirArray::new(sizes);
         a.register_boundary(Boundary::Periodic);
         a.fill_time_slice(0, |_| equilibrium_cell(1.0));
-        run(&mut a, &spec, &LbmKernel::default(), 0, 4, &ExecutionPlan::trap(), &Serial);
+        run(
+            &mut a,
+            &spec,
+            &LbmKernel::default(),
+            0,
+            4,
+            &ExecutionPlan::trap(),
+            &Serial,
+        );
         for cell in a.snapshot(4) {
             for q in 0..Q {
                 assert!((cell[q] - WEIGHTS[q]).abs() < 1e-12);

@@ -27,10 +27,8 @@ impl StencilKernel<i32, 1> for LcsKernel {
         let n = self.b.len() as i64;
         // The cell being produced lives on anti-diagonal τ = t + 1 and is L[i][j].
         let i = (t + 1) - j;
-        let value = if i < 0 || i > m || j > n {
-            0 // outside the DP table: keep a neutral value
-        } else if i == 0 || j == 0 {
-            0 // first row / column of the LCS table
+        let value = if i <= 0 || i > m || j == 0 || j > n {
+            0 // outside the DP table, or its neutral first row / column
         } else if self.a[(i - 1) as usize] == self.b[(j - 1) as usize] {
             g.get(t - 1, [j - 1]) + 1 // L[i-1][j-1] + 1
         } else {
@@ -117,7 +115,15 @@ pub fn run_lcs<P: pochoir_runtime::Parallelism>(
     let spec = StencilSpec::new(shape());
     let mut arr = build(b.len());
     let t0 = spec.shape().first_step();
-    pochoir_core::engine::run(&mut arr, &spec, &kernel, t0, t0 + steps(a.len(), b.len()), plan, par);
+    pochoir_core::engine::run(
+        &mut arr,
+        &spec,
+        &kernel,
+        t0,
+        t0 + steps(a.len(), b.len()),
+        plan,
+        par,
+    );
     result(&arr, a.len(), b.len())
 }
 

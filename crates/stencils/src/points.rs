@@ -85,7 +85,10 @@ impl StencilKernel<f64, 3> for TwentySevenPointKernel {
                 }
             }
         }
-        let v = self.alpha * g.get(t, x) + self.beta * faces + self.gamma * edges + self.delta * corners;
+        let v = self.alpha * g.get(t, x)
+            + self.beta * faces
+            + self.gamma * edges
+            + self.delta * corners;
         g.set(t + 1, x, v);
     }
 }
@@ -145,7 +148,15 @@ mod tests {
     fn reference_7pt(sizes: [usize; 3], k: &SevenPointKernel, steps: i64) -> Vec<f64> {
         let mut a = build(sizes);
         let spec = StencilSpec::new(seven_point_shape());
-        run(&mut a, &spec, k, 0, steps, &ExecutionPlan::loops_serial(), &Serial);
+        run(
+            &mut a,
+            &spec,
+            k,
+            0,
+            steps,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
         a.snapshot(steps)
     }
 
@@ -169,8 +180,20 @@ mod tests {
         let k = TwentySevenPointKernel::default();
         let spec = StencilSpec::new(twenty_seven_point_shape());
         let mut reference = build(sizes);
-        run(&mut reference, &spec, &k, 0, steps, &ExecutionPlan::loops_serial(), &Serial);
-        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsBlocked] {
+        run(
+            &mut reference,
+            &spec,
+            &k,
+            0,
+            steps,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
+        for engine in [
+            EngineKind::Trap,
+            EngineKind::Strap,
+            EngineKind::LoopsBlocked,
+        ] {
             let mut a = build(sizes);
             let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [3, 3, 3]));
             run(&mut a, &spec, &k, 0, steps, &plan, &Serial);

@@ -111,7 +111,11 @@ pub fn reference(a: &[u8], b: &[u8], s: Scoring) -> i32 {
     }
     for i in 1..=m {
         for j in 1..=n {
-            let sub = if a[i - 1] == b[j - 1] { s.matsch } else { s.mismatch };
+            let sub = if a[i - 1] == b[j - 1] {
+                s.matsch
+            } else {
+                s.mismatch
+            };
             table[idx(i, j)] = (table[idx(i - 1, j - 1)] + sub)
                 .max(table[idx(i - 1, j)] - s.gap)
                 .max(table[idx(i, j - 1)] - s.gap);
@@ -139,7 +143,15 @@ pub fn run_psa<P: pochoir_runtime::Parallelism>(
     let spec = StencilSpec::new(shape());
     let mut arr = build(b.len(), scoring);
     let t0 = spec.shape().first_step();
-    pochoir_core::engine::run(&mut arr, &spec, &kernel, t0, t0 + steps(a.len(), b.len()), plan, par);
+    pochoir_core::engine::run(
+        &mut arr,
+        &spec,
+        &kernel,
+        t0,
+        t0 + steps(a.len(), b.len()),
+        plan,
+        par,
+    );
     result(&arr, a.len(), b.len())
 }
 
@@ -155,7 +167,10 @@ mod tests {
         let s = Scoring::default();
         let a = random_sequence(50, 4, 7);
         assert_eq!(reference(&a, &a, s), 50 * s.matsch);
-        assert_eq!(run_psa(&a, &a, s, &ExecutionPlan::trap(), &Serial), 50 * s.matsch);
+        assert_eq!(
+            run_psa(&a, &a, s, &ExecutionPlan::trap(), &Serial),
+            50 * s.matsch
+        );
     }
 
     #[test]

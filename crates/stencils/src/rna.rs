@@ -40,8 +40,8 @@ impl StencilKernel<i32, 2> for RnaKernel {
         if j - i == t + 1 && i >= 0 && j < n {
             let drop_left = g.get(t, [i + 1, j]); // N(i+1, j), final since band t
             let drop_right = g.get(t, [i, j - 1]); // N(i, j-1), final since band t
-            let paired = g.get(t, [i + 1, j - 1])
-                + can_pair(self.seq[i as usize], self.seq[j as usize]); // band t-1, carried
+            let paired =
+                g.get(t, [i + 1, j - 1]) + can_pair(self.seq[i as usize], self.seq[j as usize]); // band t-1, carried
             g.set(t + 1, x, drop_left.max(drop_right).max(paired));
         } else {
             g.set(t + 1, x, g.get(t, x));
@@ -100,7 +100,11 @@ pub fn reference(seq: &[u8]) -> i32 {
             let j = i + band;
             let mut best = table[idx(i + 1, j)].max(table[idx(i, j - 1)]);
             let paired = if band >= 1 {
-                let inner = if i + 1 <= j - 1 { table[idx(i + 1, j - 1)] } else { 0 };
+                let inner = if i < j - 1 {
+                    table[idx(i + 1, j - 1)]
+                } else {
+                    0
+                };
                 inner + can_pair(seq[i], seq[j])
             } else {
                 0
@@ -127,7 +131,15 @@ pub fn run_rna<P: pochoir_runtime::Parallelism>(
     let spec = StencilSpec::new(shape());
     let mut arr = build(seq.len());
     let t0 = spec.shape().first_step();
-    pochoir_core::engine::run(&mut arr, &spec, &kernel, t0, t0 + steps(seq.len()), plan, par);
+    pochoir_core::engine::run(
+        &mut arr,
+        &spec,
+        &kernel,
+        t0,
+        t0 + steps(seq.len()),
+        plan,
+        par,
+    );
     result(&arr, seq.len())
 }
 

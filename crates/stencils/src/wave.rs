@@ -36,6 +36,51 @@ impl StencilKernel<f64, 3> for WaveKernel {
         let prev = g.get(t - 1, x);
         g.set(t + 1, x, 2.0 * c - prev + self.c2 * lap);
     }
+
+    /// Row-oriented interior clone: seven row addresses resolved once (six stencil legs
+    /// at `t` plus the centre at `t − 1`), then a slice-walking loop computing the same
+    /// floating-point expression in the same order as [`WaveKernel::update`].
+    fn update_row<A: GridAccess<f64, 3>>(&self, g: &A, t: i64, x0: [i64; 3], len: i64) {
+        if len <= 0 {
+            return;
+        }
+        let n = len as usize;
+        'fast: {
+            // Safety (row contract): interior rows keep the radius-1 footprint
+            // in-domain; reads are of slices `t` and `t − 1`, the write row of the
+            // distinct slice `t + 1` (three slices for this depth-2 stencil).
+            let (Some(mut out), Some(center), Some(prev)) = (unsafe {
+                (
+                    g.row_out(t + 1, x0, n),
+                    g.row(t, [x0[0], x0[1], x0[2] - 1], n + 2),
+                    g.row(t - 1, x0, n),
+                )
+            }) else {
+                break 'fast;
+            };
+            let (Some(xm), Some(xp), Some(ym), Some(yp)) = (unsafe {
+                (
+                    g.row(t, [x0[0] - 1, x0[1], x0[2]], n),
+                    g.row(t, [x0[0] + 1, x0[1], x0[2]], n),
+                    g.row(t, [x0[0], x0[1] - 1, x0[2]], n),
+                    g.row(t, [x0[0], x0[1] + 1, x0[2]], n),
+                )
+            }) else {
+                break 'fast;
+            };
+            let c2 = self.c2;
+            for i in 0..n {
+                let c = center[i + 1];
+                let mut lap = 0.0;
+                lap += xm[i] - 2.0 * c + xp[i];
+                lap += ym[i] - 2.0 * c + yp[i];
+                lap += center[i] - 2.0 * c + center[i + 2];
+                out.set(i, 2.0 * c - prev[i] + c2 * lap);
+            }
+            return;
+        }
+        update_row_pointwise(self, g, t, x0, len);
+    }
 }
 
 /// The depth-2 wave shape: the 7-point star at `t`, plus the centre at `t−1`.
@@ -158,13 +203,43 @@ mod tests {
     }
 
     #[test]
+    fn row_and_point_base_cases_are_bitwise_identical() {
+        use pochoir_core::engine::BaseCase;
+        let sizes = [11usize, 9, 13];
+        let steps = 5i64;
+        let kernel = WaveKernel::default();
+        let spec = StencilSpec::new(shape());
+        let t0 = spec.shape().first_step();
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            let mut snaps = Vec::new();
+            for base_case in [BaseCase::Row, BaseCase::Point] {
+                let mut a = build(sizes);
+                let plan = ExecutionPlan::new(engine)
+                    .with_coarsening(Coarsening::new(2, [3, 3, 4]))
+                    .with_base_case(base_case);
+                run(&mut a, &spec, &kernel, t0, t0 + steps, &plan, &Serial);
+                snaps.push(a.snapshot(t0 + steps));
+            }
+            assert_eq!(snaps[0], snaps[1], "{engine:?}");
+        }
+    }
+
+    #[test]
     fn wave_at_rest_stays_symmetric() {
         let sizes = [12usize, 12, 12];
         let kernel = WaveKernel::default();
         let spec = StencilSpec::new(shape());
         let mut a = build(sizes);
         let t0 = spec.shape().first_step();
-        run(&mut a, &spec, &kernel, t0, t0 + 8, &ExecutionPlan::trap(), &Serial);
+        run(
+            &mut a,
+            &spec,
+            &kernel,
+            t0,
+            t0 + 8,
+            &ExecutionPlan::trap(),
+            &Serial,
+        );
         let snap = a.snapshot(t0 + 8);
         let idx = |x: usize, y: usize, z: usize| (x * 12 + y) * 12 + z;
         // The initial pulse is centred, so the field stays mirror-symmetric about the

@@ -55,9 +55,15 @@ fn main() {
         let spread = column.iter().cloned().fold(f64::MIN, f64::max)
             - column.iter().cloned().fold(f64::MAX, f64::min);
         println!("{y:>6}  {mean:>10.4}  {spread:>10.2e}");
-        assert!(spread < 1e-9, "temperature must be uniform around the circumference");
+        assert!(
+            spread < 1e-9,
+            "temperature must be uniform around the circumference"
+        );
     }
     let first = (0..circumference).map(|x| snap[x * length]).sum::<f64>() / circumference as f64;
-    let last = (0..circumference).map(|x| snap[x * length + length - 1]).sum::<f64>() / circumference as f64;
+    let last = (0..circumference)
+        .map(|x| snap[x * length + length - 1])
+        .sum::<f64>()
+        / circumference as f64;
     assert!(first > last, "heat flows from the hot cap to the cold cap");
 }

@@ -30,7 +30,10 @@ fn main() {
     );
 
     let grid = values.snapshot(steps);
-    println!("American put: strike {}, rate {}, sigma {}, expiry {}y", params.strike, params.rate, params.sigma, params.expiry);
+    println!(
+        "American put: strike {}, rate {}, sigma {}, expiry {}y",
+        params.strike, params.rate, params.sigma, params.expiry
+    );
     println!("grid: {n} log-price points, {steps} backward steps (TRAP engine)\n");
     println!("{:>10}  {:>10}  {:>10}", "spot", "value", "intrinsic");
     for spot in [60.0, 80.0, 90.0, 100.0, 110.0, 120.0, 140.0] {
@@ -40,6 +43,9 @@ fn main() {
         // At the grid nodes the value is >= intrinsic by construction; between nodes the
         // linear interpolation in log-price can dip below the (concave) payoff by
         // O(dx^2 * S), so allow a small interpolation tolerance here.
-        assert!(value + 0.02 >= intrinsic, "American option never below intrinsic value");
+        assert!(
+            value + 0.02 >= intrinsic,
+            "American option never below intrinsic value"
+        );
     }
 }

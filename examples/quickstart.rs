@@ -26,7 +26,14 @@ pochoir_kernel!(
 
 fn main() {
     // Figure 6, line 7: the stencil shape (home cell plus the four neighbours).
-    let shape = pochoir_shape![(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)];
+    let shape = pochoir_shape![
+        (1, 0, 0),
+        (0, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, -1),
+        (0, 0, 1)
+    ];
 
     // Lines 8–11: the Pochoir object, its array, and the (periodic) boundary function.
     let mut heat = Pochoir::<f64, 2>::with_array(shape, [X, Y]);
@@ -44,7 +51,8 @@ fn main() {
     // checking interpreter (the "Pochoir template library"), then the optimized TRAP
     // engine — the two-phase strategy of the paper.
     let kernel = HeatFn {};
-    heat.run_guaranteed(T, &kernel).expect("specification is Pochoir-compliant");
+    heat.run_guaranteed(T, &kernel)
+        .expect("specification is Pochoir-compliant");
 
     // Lines 19–21: read the results at time T + k − 1.
     let result = heat.array().unwrap().snapshot(heat.result_time());

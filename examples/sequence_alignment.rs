@@ -24,7 +24,10 @@ fn main() {
     let scoring = psa::Scoring::default();
     let stencil_nw = psa::run_psa(&a, &b, scoring, &ExecutionPlan::trap(), Runtime::global());
     let reference_nw = psa::reference(&a, &b, scoring);
-    println!("\nGlobal alignment (match {:+}, mismatch {:+}, gap {:+}):", scoring.matsch, scoring.mismatch, -scoring.gap);
+    println!(
+        "\nGlobal alignment (match {:+}, mismatch {:+}, gap {:+}):",
+        scoring.matsch, scoring.mismatch, -scoring.gap
+    );
     println!("  stencil (TRAP): {stencil_nw}");
     println!("  textbook DP:    {reference_nw}");
     assert_eq!(stencil_nw, reference_nw);

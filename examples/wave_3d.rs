@@ -23,7 +23,15 @@ fn main() {
     // Run the same simulation under TRAP and under the plain loop nest and confirm they
     // agree bit-for-bit (the engine-level Pochoir Guarantee).
     let mut trap_grid = wave::build([n, n, n]);
-    run(&mut trap_grid, &spec, &kernel, t0, t0 + steps, &ExecutionPlan::trap(), Runtime::global());
+    run(
+        &mut trap_grid,
+        &spec,
+        &kernel,
+        t0,
+        t0 + steps,
+        &ExecutionPlan::trap(),
+        Runtime::global(),
+    );
 
     let mut loops_grid = wave::build([n, n, n]);
     run(

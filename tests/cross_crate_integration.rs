@@ -19,7 +19,14 @@ pochoir_kernel!(
 );
 
 fn figure6_object(n: usize) -> Pochoir<f64, 2> {
-    let shape = pochoir_shape![(1, 0, 0), (0, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, -1), (0, 0, 1)];
+    let shape = pochoir_shape![
+        (1, 0, 0),
+        (0, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, -1),
+        (0, 0, 1)
+    ];
     let mut p = Pochoir::<f64, 2>::with_array(shape, [n, n]);
     p.register_boundary(Boundary::Periodic).unwrap();
     p.array_mut()
@@ -38,7 +45,10 @@ fn figure6_workflow_matches_reference_loops() {
 
     let mut dsl_object = figure6_object(n);
     dsl_object.run_guaranteed(steps, &kernel).unwrap();
-    let via_dsl = dsl_object.array().unwrap().snapshot(dsl_object.result_time());
+    let via_dsl = dsl_object
+        .array()
+        .unwrap()
+        .snapshot(dsl_object.result_time());
 
     // Independent path: core engine + stencils reference kernel.
     let spec = StencilSpec::new(heat::shape::<2>());
@@ -73,8 +83,20 @@ fn all_applications_agree_across_engines() {
         let kernel = heat::HeatKernel::<3>::default();
         let make = || heat::build([14, 12, 10], Boundary::Clamp);
         let mut reference = make();
-        run(&mut reference, &spec, &kernel, 0, 6, &ExecutionPlan::loops_serial(), &Serial);
-        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsBlocked] {
+        run(
+            &mut reference,
+            &spec,
+            &kernel,
+            0,
+            6,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
+        for engine in [
+            EngineKind::Trap,
+            EngineKind::Strap,
+            EngineKind::LoopsBlocked,
+        ] {
             let mut a = make();
             let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [4, 4, 4]));
             run(&mut a, &spec, &kernel, 0, 6, &plan, Runtime::global());
@@ -86,9 +108,25 @@ fn all_applications_agree_across_engines() {
         let spec = StencilSpec::new(life::shape());
         let make = || life::build([26, 22], 400);
         let mut reference = make();
-        run(&mut reference, &spec, &life::LifeKernel, 0, 8, &ExecutionPlan::loops_serial(), &Serial);
+        run(
+            &mut reference,
+            &spec,
+            &life::LifeKernel,
+            0,
+            8,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
         let mut a = make();
-        run(&mut a, &spec, &life::LifeKernel, 0, 8, &ExecutionPlan::trap(), Runtime::global());
+        run(
+            &mut a,
+            &spec,
+            &life::LifeKernel,
+            0,
+            8,
+            &ExecutionPlan::trap(),
+            Runtime::global(),
+        );
         assert_eq!(a.snapshot(8), reference.snapshot(8), "life");
     }
     // LBM (multi-state cells).
@@ -97,7 +135,15 @@ fn all_applications_agree_across_engines() {
         let kernel = lbm::LbmKernel::default();
         let make = || lbm::build([8, 9, 7]);
         let mut reference = make();
-        run(&mut reference, &spec, &kernel, 0, 5, &ExecutionPlan::loops_serial(), &Serial);
+        run(
+            &mut reference,
+            &spec,
+            &kernel,
+            0,
+            5,
+            &ExecutionPlan::loops_serial(),
+            &Serial,
+        );
         let mut a = make();
         let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [3, 3, 3]));
         run(&mut a, &spec, &kernel, 0, 5, &plan, Runtime::global());
@@ -137,7 +183,15 @@ fn cache_superiority_end_to_end() {
         let mut a = heat::build([n, n], Boundary::Constant(0.0));
         let tracer = IdealCacheTracer::new(4 * 1024, 64);
         let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::none());
-        run_traced(&mut a, &spec, &heat::HeatKernel::<2>::default(), 0, steps, &plan, &tracer);
+        run_traced(
+            &mut a,
+            &spec,
+            &heat::HeatKernel::<2>::default(),
+            0,
+            steps,
+            &plan,
+            &tracer,
+        );
         ratios.push(tracer.miss_ratio());
     }
     assert!(

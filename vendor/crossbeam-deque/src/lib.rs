@@ -1,0 +1,178 @@
+//! Offline stand-in for the `crossbeam-deque` crate (see `vendor/README.md`).
+//!
+//! Provides `Worker` / `Stealer` / `Injector` with the crossbeam semantics the
+//! work-stealing runtime relies on — owner pops LIFO from one end, thieves
+//! steal FIFO from the other — implemented with mutex-protected `VecDeque`s.
+//! Correct and deterministic, but not lock-free; `Steal::Retry` is never
+//! returned because every operation completes under the lock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried (never produced here).
+    Retry,
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The owner side of a work-stealing deque (LIFO for the owner).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops the most recently pushed task (owner side, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// True when the deque holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Creates a thief handle onto this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A thief handle: steals from the opposite end of the owner.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task (FIFO from the thief's side).
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A FIFO queue for tasks injected from outside the worker pool.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task into the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// True when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Steals a batch of tasks, moving them into `dest` and popping one.
+    ///
+    /// The stand-in moves up to half of the queue (at least one task) like the
+    /// real crate, then returns the first of the moved tasks.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = (q.len() / 2).min(16);
+        if extra > 0 {
+            let mut d = lock(&dest.queue);
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(task) => d.push_back(task),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batches_into_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "a batch should have been moved");
+        let mut seen = Vec::new();
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        while let Steal::Success(v) = inj.steal_batch_and_pop(&w) {
+            seen.push(v);
+            while let Some(v) = w.pop() {
+                seen.push(v);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..10).collect::<Vec<_>>());
+    }
+}
