@@ -8,6 +8,13 @@
 //! heuristics.  This crate reproduces both options: [`Coarsening::heuristic`] lives in
 //! `pochoir-core`, and the searches here find tuned values given any user-supplied cost
 //! function (wall-clock time of a pilot run, simulated cache misses, …).
+//!
+//! Since the compiled-schedule path landed (`pochoir_core::engine::schedule`), tuning
+//! runs compose with the process-global schedule cache: every pilot run of a candidate
+//! compiles its decomposition once and replays it on the repeat measurements, so the
+//! searches here time schedule *execution*, not schedule construction.  The searches
+//! also gained [`tune_grain`] for the parallel-loop grain that TRAP/STRAP's wide
+//! dependency levels and the compiled executor's phases both honour.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -155,6 +162,36 @@ where
     }
 }
 
+/// Picks the parallel-loop grain (zoids per task on TRAP/STRAP dependency levels and
+/// compiled-schedule phases, rows per task in the loop engines) by measuring each
+/// candidate.  Ties go to the smaller grain, which exposes more stealable parallelism.
+pub fn tune_grain<F>(candidates: &[usize], mut cost: F) -> TuneOutcome<usize>
+where
+    F: FnMut(usize) -> f64,
+{
+    assert!(!candidates.is_empty());
+    let mut best: Option<(usize, f64)> = None;
+    let mut evaluations = 0usize;
+    for &grain in candidates {
+        let grain = grain.max(1);
+        let c = cost(grain);
+        evaluations += 1;
+        let better = match best {
+            None => true,
+            Some((bg, bc)) => c < bc || (c == bc && grain < bg),
+        };
+        if better {
+            best = Some((grain, c));
+        }
+    }
+    let (best, cost) = best.unwrap();
+    TuneOutcome {
+        best,
+        cost,
+        evaluations,
+    }
+}
+
 /// Greedy hill-climbing refinement around an initial coarsening: repeatedly tries
 /// doubling/halving each threshold and keeps any improvement, stopping at a local
 /// optimum.  Far cheaper than the exhaustive search for large spaces.
@@ -276,6 +313,19 @@ mod tests {
         // Ties go to the row path.
         let out = tune_base_case(|_| 1.0);
         assert_eq!(out.best, BaseCase::Row);
+    }
+
+    #[test]
+    fn grain_tuner_picks_cheapest_and_breaks_ties_small() {
+        let out = tune_grain(&[1, 4, 16], |g| (g as f64 - 4.0).abs());
+        assert_eq!(out.best, 4);
+        assert_eq!(out.evaluations, 3);
+        // Ties go to the smaller grain.
+        let out = tune_grain(&[16, 4, 1], |_| 2.0);
+        assert_eq!(out.best, 1);
+        // Zero candidates are clamped to 1.
+        let out = tune_grain(&[0], |g| g as f64);
+        assert_eq!(out.best, 1);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the compiled-schedule path vs. the recursive walker:
+//! the same TRAP/STRAP decomposition executed as a cached flat arena (with
+//! segment-level clone resolution) or re-derived recursively per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pochoir_bench::apps::time_with_plan;
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{ExecutionPlan, ScheduleMode};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::{heat, wave};
+
+fn bench_schedule_vs_recursive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_vs_recursive");
+    group.sample_size(10);
+    let heat_template = heat::build([192, 192], Boundary::Periodic);
+    let wave_template = wave::build([48, 48, 48]);
+    for mode in [ScheduleMode::Compiled, ScheduleMode::Recursive] {
+        let plan2 = if mode == ScheduleMode::Compiled {
+            ExecutionPlan::<2>::trap()
+                .with_coarsening(heat::tuned_coarsening_2d())
+                .with_schedule_mode(mode)
+        } else {
+            ExecutionPlan::<2>::trap().with_schedule_mode(mode)
+        };
+        let plan3 = if mode == ScheduleMode::Compiled {
+            ExecutionPlan::<3>::trap()
+                .with_coarsening(wave::tuned_coarsening())
+                .with_schedule_mode(mode)
+        } else {
+            ExecutionPlan::<3>::trap().with_schedule_mode(mode)
+        };
+
+        let spec = StencilSpec::new(heat::shape::<2>());
+        let kernel = heat::HeatKernel::<2>::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("heat2d/{mode:?}")),
+            &mode,
+            |b, _| {
+                b.iter(|| time_with_plan(heat_template.clone(), &spec, &kernel, 16, &plan2, false));
+            },
+        );
+
+        let spec = StencilSpec::new(wave::shape());
+        let kernel = wave::WaveKernel::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("wave3d/{mode:?}")),
+            &mode,
+            |b, _| {
+                b.iter(|| time_with_plan(wave_template.clone(), &spec, &kernel, 8, &plan3, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_vs_recursive);
+criterion_main!(benches);

@@ -53,9 +53,22 @@ fn plan_for<const D: usize>(cfg: Fig3Config) -> ExecutionPlan<D> {
     }
 }
 
+/// [`plan_for`], with the app's measured coarsening preset applied to the Pochoir
+/// (TRAP) configurations; the loop baselines ignore coarsening.
+fn plan_for_tuned<const D: usize>(
+    cfg: Fig3Config,
+    tuned: pochoir_core::engine::Coarsening<D>,
+) -> ExecutionPlan<D> {
+    let mut plan = plan_for::<D>(cfg);
+    if matches!(cfg, Fig3Config::PochoirSerial | Fig3Config::PochoirParallel) {
+        plan.coarsening = tuned;
+    }
+    plan
+}
+
 /// Runs `kernel` over `array` for `steps` steps under `cfg`, timing the execution.
 fn execute<T, K, const D: usize>(
-    mut array: PochoirArray<T, D>,
+    array: PochoirArray<T, D>,
     spec: &StencilSpec<D>,
     kernel: &K,
     steps: i64,
@@ -65,7 +78,22 @@ where
     T: Copy + Send + Sync,
     K: StencilKernel<T, D>,
 {
-    let plan = plan_for::<D>(cfg);
+    execute_with_plan(array, spec, kernel, steps, cfg, plan_for::<D>(cfg))
+}
+
+/// [`execute`] under an explicit plan (used by the runners with tuned coarsening).
+fn execute_with_plan<T, K, const D: usize>(
+    mut array: PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    steps: i64,
+    cfg: Fig3Config,
+    plan: ExecutionPlan<D>,
+) -> RunStats
+where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+{
     let t0 = spec.shape().first_step();
     let points: u128 = array.sizes().iter().map(|&s| s as u128).product();
     let start = Instant::now();
@@ -104,7 +132,15 @@ pub fn run_heat2d(periodic: bool, scale: ProblemScale, cfg: Fig3Config) -> RunSt
     };
     let array = heat::build([n, n], boundary);
     let spec = StencilSpec::new(heat::shape::<2>());
-    execute(array, &spec, &heat::HeatKernel::<2>::default(), steps, cfg)
+    let plan = plan_for_tuned(cfg, heat::tuned_coarsening_2d());
+    execute_with_plan(
+        array,
+        &spec,
+        &heat::HeatKernel::<2>::default(),
+        steps,
+        cfg,
+        plan,
+    )
 }
 
 /// 4D heat equation (`Heat 4`).
@@ -124,7 +160,8 @@ pub fn run_life(scale: ProblemScale, cfg: Fig3Config) -> RunStats {
     let steps = scale.scale_steps(paper_steps);
     let array = life::build([n, n], 350);
     let spec = StencilSpec::new(life::shape());
-    execute(array, &spec, &life::LifeKernel, steps, cfg)
+    let plan = plan_for_tuned(cfg, life::tuned_coarsening());
+    execute_with_plan(array, &spec, &life::LifeKernel, steps, cfg, plan)
 }
 
 /// 3D wave equation (`Wave 3`).
@@ -134,7 +171,8 @@ pub fn run_wave3d(scale: ProblemScale, cfg: Fig3Config) -> RunStats {
     let steps = scale.scale_steps(paper_steps);
     let array = wave::build([n, n, n]);
     let spec = StencilSpec::new(wave::shape());
-    execute(array, &spec, &wave::WaveKernel::default(), steps, cfg)
+    let plan = plan_for_tuned(cfg, wave::tuned_coarsening());
+    execute_with_plan(array, &spec, &wave::WaveKernel::default(), steps, cfg, plan)
 }
 
 /// Lattice-Boltzmann flow (`LBM 3`).

@@ -1,0 +1,179 @@
+//! Emits `BENCH_schedule.json`: interior throughput (Mpoints/s) of the compiled
+//! schedule path vs. the recursive walker for TRAP and STRAP on heat2d, life and
+//! wave3d, plus the row-over-point ratio under the compiled path — recording the
+//! compiled-schedule perf trajectory from the PR that introduced it onward.
+//!
+//! Each mode runs its own best-known configuration: the compiled path uses the
+//! per-app tuned coarsening presets (whose full-width rows rely on the compiled
+//! executor's segment-level clone resolution), the recursive walker uses the paper's
+//! heuristic coarsening it defaults to (the tuned presets would demote its full rows
+//! to the per-point boundary clone).
+//!
+//! Usage: `schedule_path_json [--scale tiny|small|medium|paper] [--out PATH]`
+
+use pochoir_bench::apps::time_with_plan;
+use pochoir_bench::{scale_from_args, RunStats};
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan, ScheduleMode};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_stencils::{heat, life, wave, ProblemScale};
+
+/// Best-of-N wall-clock throughput for one configuration.
+fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| f().mpoints_per_second())
+        .fold(0.0, f64::max)
+}
+
+struct Cell {
+    app: &'static str,
+    engine: EngineKind,
+    compiled: f64,
+    recursive: f64,
+    compiled_point: f64,
+}
+
+fn measure(scale: ProblemScale) -> Vec<Cell> {
+    let (n2, steps2, n3, steps3, reps) = match scale {
+        ProblemScale::Tiny => (96usize, 8i64, 24usize, 4i64, 2usize),
+        ProblemScale::Small => (384, 24, 64, 8, 3),
+        ProblemScale::Medium => (1024, 50, 128, 16, 3),
+        ProblemScale::Paper => (4096, 100, 256, 32, 3),
+    };
+    let heat_spec = StencilSpec::new(heat::shape::<2>());
+    let heat_kernel = heat::HeatKernel::<2>::default();
+    let life_spec = StencilSpec::new(life::shape());
+    let wave_spec = StencilSpec::new(wave::shape());
+    let wave_kernel = wave::WaveKernel::default();
+
+    let mut cells = Vec::new();
+    for engine in [EngineKind::Trap, EngineKind::Strap] {
+        let throughput = |mode: ScheduleMode, base_case: BaseCase, app: &'static str| -> f64 {
+            // The recursive walker keeps its default (paper-heuristic) coarsening; the
+            // tuned presets are measured for the compiled executor.
+            let tuned = mode == ScheduleMode::Compiled;
+            match app {
+                "heat2d" => {
+                    let mut plan = ExecutionPlan::<2>::new(engine)
+                        .with_schedule_mode(mode)
+                        .with_base_case(base_case);
+                    if tuned {
+                        plan = plan.with_coarsening(heat::tuned_coarsening_2d());
+                    }
+                    best_of(reps, || {
+                        time_with_plan(
+                            heat::build([n2, n2], Boundary::Periodic),
+                            &heat_spec,
+                            &heat_kernel,
+                            steps2,
+                            &plan,
+                            false,
+                        )
+                    })
+                }
+                "life" => {
+                    let mut plan = ExecutionPlan::<2>::new(engine)
+                        .with_schedule_mode(mode)
+                        .with_base_case(base_case);
+                    if tuned {
+                        plan = plan.with_coarsening(life::tuned_coarsening());
+                    }
+                    best_of(reps, || {
+                        time_with_plan(
+                            life::build([n2, n2], 350),
+                            &life_spec,
+                            &life::LifeKernel,
+                            steps2,
+                            &plan,
+                            false,
+                        )
+                    })
+                }
+                "wave3d" => {
+                    let mut plan = ExecutionPlan::<3>::new(engine)
+                        .with_schedule_mode(mode)
+                        .with_base_case(base_case);
+                    if tuned {
+                        plan = plan.with_coarsening(wave::tuned_coarsening());
+                    }
+                    best_of(reps, || {
+                        time_with_plan(
+                            wave::build([n3, n3, n3]),
+                            &wave_spec,
+                            &wave_kernel,
+                            steps3,
+                            &plan,
+                            false,
+                        )
+                    })
+                }
+                _ => unreachable!(),
+            }
+        };
+        for app in ["heat2d", "life", "wave3d"] {
+            cells.push(Cell {
+                app,
+                engine,
+                compiled: throughput(ScheduleMode::Compiled, BaseCase::Row, app),
+                recursive: throughput(ScheduleMode::Recursive, BaseCase::Row, app),
+                compiled_point: throughput(ScheduleMode::Compiled, BaseCase::Point, app),
+            });
+        }
+    }
+    cells
+}
+
+fn main() {
+    let scale = scale_from_args(
+        "schedule_path_json: measure compiled vs. recursive TRAP/STRAP throughput and \
+         write BENCH_schedule.json",
+    );
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_schedule.json".to_string())
+    };
+    let cells = measure(scale);
+    let (compiles, hits) = pochoir_core::engine::schedule::cache_stats();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"schedule_vs_recursive\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&format!(
+        "  \"schedule_cache\": {{\"compiles\": {compiles}, \"hits\": {hits}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let ratio = if c.recursive > 0.0 {
+            c.compiled / c.recursive
+        } else {
+            0.0
+        };
+        let row_over_point = if c.compiled_point > 0.0 {
+            c.compiled / c.compiled_point
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"engine\": \"{:?}\", \"compiled_mpoints_per_s\": {:.2}, \
+             \"recursive_mpoints_per_s\": {:.2}, \"compiled_over_recursive\": {:.3}, \
+             \"row_over_point\": {:.3}}}{}\n",
+            c.app,
+            c.engine,
+            c.compiled,
+            c.recursive,
+            ratio,
+            row_over_point,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the JSON report");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -22,10 +22,48 @@
 //! row's span along the last dimension is split at wrap points into unfolded segments,
 //! instead of paying a `fold()` on every point of the inner loop.
 
-use crate::engine::plan::BaseCase;
+use crate::engine::plan::{BaseCase, IndexMode};
+use crate::grid::RawGrid;
 use crate::kernel::StencilKernel;
-use crate::view::GridAccess;
+use crate::view::{BoundaryView, CheckedInteriorView, GridAccess, InteriorView};
 use crate::zoid::Zoid;
+
+/// Runs the base case for `zoid` under a pre-selected kernel clone (Section 4, "code
+/// cloning"): the fast interior clone — monomorphized over the unchecked or checked
+/// interior view per `index_mode` — when `interior` is true, and the boundary clone
+/// (boundary lookups plus virtual-coordinate folding) otherwise.
+///
+/// The recursive walker decides `interior` per leaf as it reaches it; the compiled
+/// schedule stores the flag in each arena leaf so repeated executions skip the
+/// classification entirely.
+pub fn execute_clone<T, K, const D: usize>(
+    zoid: &Zoid<D>,
+    grid: RawGrid<'_, T, D>,
+    kernel: &K,
+    sizes: [i64; D],
+    interior: bool,
+    index_mode: IndexMode,
+    base_case: BaseCase,
+) where
+    T: Copy,
+    K: StencilKernel<T, D>,
+{
+    if interior {
+        match index_mode {
+            IndexMode::Unchecked => {
+                let view = InteriorView::new(grid);
+                execute_zoid(zoid, kernel, &view, None, base_case);
+            }
+            IndexMode::Checked => {
+                let view = CheckedInteriorView::new(grid);
+                execute_zoid(zoid, kernel, &view, None, base_case);
+            }
+        }
+    } else {
+        let view = BoundaryView::new(grid);
+        execute_zoid(zoid, kernel, &view, Some(sizes), base_case);
+    }
+}
 
 /// Applies `kernel` to every point of `zoid`, walking time steps in order and each row in
 /// row-major order (last dimension innermost), through the access view `view`.
@@ -98,42 +136,28 @@ fn execute_rows<T, K, A, const D: usize>(
     K: StencilKernel<T, D>,
     A: GridAccess<T, D>,
 {
-    let last = D - 1;
-    let len = hi[last] - lo[last];
+    match fold_sizes {
+        None => {
+            let len = hi[D - 1] - lo[D - 1];
+            for_each_row(lo, hi, |x| dispatch_row(kernel, view, t, x, len, base_case));
+        }
+        Some(sizes) => {
+            folded_rows(lo, hi, sizes, |p, seg| {
+                dispatch_row(kernel, view, t, p, seg, base_case)
+            });
+        }
+    }
+}
+
+/// Odometer over the outer `D − 1` dimensions of the box `[lo, hi)`: calls `emit` once
+/// per row, with `x[D − 1] = lo[D − 1]`.
+#[inline]
+fn for_each_row<const D: usize>(lo: [i64; D], hi: [i64; D], mut emit: impl FnMut([i64; D])) {
     let mut x = lo;
     loop {
-        match fold_sizes {
-            None => match base_case {
-                BaseCase::Row => kernel.update_row(view, t, x, len),
-                BaseCase::Point => crate::kernel::update_row_pointwise(kernel, view, t, x, len),
-            },
-            Some(sizes) => {
-                // Boundary clone: fold the outer (odometer) coordinates into the true
-                // domain once per row, then split the last dimension's virtual span
-                // [lo, hi) at wrap points so each segment runs unfolded.
-                let mut p = [0i64; D];
-                for i in 0..last {
-                    p[i] = fold(x[i], sizes[i]);
-                }
-                let n = sizes[last];
-                let mut v = lo[last];
-                while v < hi[last] {
-                    let start = fold(v, n);
-                    let seg = (hi[last] - v).min(n - start);
-                    p[last] = start;
-                    match base_case {
-                        BaseCase::Row => kernel.update_row(view, t, p, seg),
-                        BaseCase::Point => {
-                            crate::kernel::update_row_pointwise(kernel, view, t, p, seg)
-                        }
-                    }
-                    v += seg;
-                }
-            }
-        }
-        // Advance the odometer over dimensions 0..D-1 (if any).
+        emit(x);
         if D == 1 {
-            break;
+            return;
         }
         let mut d = D - 1;
         loop {
@@ -153,6 +177,35 @@ fn execute_rows<T, K, A, const D: usize>(
     }
 }
 
+/// The boundary clone's folded row walk over the (possibly virtual) box `[lo, hi)`:
+/// the outer (odometer) coordinates are folded into the true domain once per row, and
+/// the last dimension's virtual span is split at wrap points so each segment runs
+/// unfolded.  `emit` receives the folded segment start and its length.
+#[inline]
+fn folded_rows<const D: usize>(
+    lo: [i64; D],
+    hi: [i64; D],
+    sizes: [i64; D],
+    mut emit: impl FnMut([i64; D], i64),
+) {
+    let last = D - 1;
+    let n = sizes[last];
+    for_each_row(lo, hi, |x| {
+        let mut p = [0i64; D];
+        for i in 0..last {
+            p[i] = fold(x[i], sizes[i]);
+        }
+        let mut v = lo[last];
+        while v < hi[last] {
+            let start = fold(v, n);
+            let seg = (hi[last] - v).min(n - start);
+            p[last] = start;
+            emit(p, seg);
+            v += seg;
+        }
+    });
+}
+
 /// Wraps a (possibly virtual) coordinate into the true domain `[0, n)`.
 #[inline]
 fn fold(x: i64, n: i64) -> i64 {
@@ -161,6 +214,96 @@ fn fold(x: i64, n: i64) -> i64 {
         r + n
     } else {
         r
+    }
+}
+
+/// Runs one row through the selected base-case style.
+#[inline]
+fn dispatch_row<T, K, A, const D: usize>(
+    kernel: &K,
+    view: &A,
+    t: i64,
+    p: [i64; D],
+    len: i64,
+    base_case: BaseCase,
+) where
+    T: Copy,
+    K: StencilKernel<T, D>,
+    A: GridAccess<T, D>,
+{
+    match base_case {
+        BaseCase::Row => kernel.update_row(view, t, p, len),
+        BaseCase::Point => crate::kernel::update_row_pointwise(kernel, view, t, p, len),
+    }
+}
+
+/// Boundary-clone execution with *segment-level clone resolution*: every folded row
+/// segment whose full read halo (`reach` in every dimension) lies inside the domain is
+/// upgraded to the fast interior view `interior`; only segments genuinely touching a
+/// domain edge or a periodic seam pay the boundary clone.
+///
+/// The compiled-schedule executor uses this for its boundary leaves: the per-leaf
+/// interior test is necessarily conservative (one sloped sliver or one wrapped
+/// coordinate demotes the whole leaf), but most of a demoted leaf's rows still have
+/// fully in-domain halos.  The checks reuse exactly the margin arithmetic of
+/// [`Zoid::is_interior`], one comparison per dimension per row instead of per point,
+/// and the upgraded rows produce bit-identical results because in-domain accesses read
+/// and write the same cells through either view (the row/point equivalence suite pins
+/// the row override to the per-point semantics).
+pub fn execute_zoid_hybrid<T, K, A, const D: usize>(
+    zoid: &Zoid<D>,
+    kernel: &K,
+    interior: &A,
+    boundary: &BoundaryView<'_, T, D>,
+    sizes: [i64; D],
+    reach: [i64; D],
+    base_case: BaseCase,
+) where
+    T: Copy,
+    K: StencilKernel<T, D>,
+    A: GridAccess<T, D>,
+{
+    for t in zoid.t0..zoid.t1 {
+        let mut lo = [0i64; D];
+        let mut hi = [0i64; D];
+        let mut empty = false;
+        for i in 0..D {
+            lo[i] = zoid.lower_at(i, t);
+            hi[i] = zoid.upper_at(i, t);
+            if hi[i] <= lo[i] {
+                empty = true;
+            }
+        }
+        if empty {
+            continue;
+        }
+        // The boundary clone's folded row walk, with a per-segment carve: the sub-span
+        // whose halo stays in-domain — everything at least `reach` away from both
+        // domain ends — runs the interior clone, leaving only the `reach`-wide edge
+        // strips to the boundary clone.
+        let last = D - 1;
+        let (n, r) = (sizes[last], reach[last]);
+        folded_rows(lo, hi, sizes, |p, seg| {
+            let outer_interior = (0..last).all(|i| p[i] >= reach[i] && p[i] + reach[i] < sizes[i]);
+            let start = p[last];
+            let end = start + seg;
+            let mid_lo = start.max(r);
+            let mid_hi = end.min(n - r);
+            if outer_interior && mid_hi > mid_lo {
+                let mut q = p;
+                if mid_lo > start {
+                    dispatch_row(kernel, boundary, t, q, mid_lo - start, base_case);
+                }
+                q[last] = mid_lo;
+                dispatch_row(kernel, interior, t, q, mid_hi - mid_lo, base_case);
+                if end > mid_hi {
+                    q[last] = mid_hi;
+                    dispatch_row(kernel, boundary, t, q, end - mid_hi, base_case);
+                }
+            } else {
+                dispatch_row(kernel, boundary, t, p, seg, base_case);
+            }
+        });
     }
 }
 

@@ -4,14 +4,18 @@
 pub mod base;
 pub mod loops;
 pub mod plan;
+pub mod schedule;
 pub mod walker;
 
-pub use plan::{BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode};
+pub use plan::{
+    BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode, ScheduleMode,
+};
+pub use schedule::{Schedule, ScheduledLeaf};
 pub use walker::CutStrategy;
 
 use crate::grid::{PochoirArray, RawGrid};
 use crate::kernel::{StencilKernel, StencilSpec};
-use crate::view::{AccessTracer, BoundaryView, CheckedInteriorView, InteriorView, TracingView};
+use crate::view::{AccessTracer, TracingView};
 use crate::zoid::Zoid;
 use pochoir_runtime::{Parallelism, Serial};
 use walker::Walker;
@@ -45,26 +49,23 @@ pub fn run<T, K, P, const D: usize>(
     }
     let grid = array.raw();
     match plan.engine {
-        EngineKind::Trap => run_recursive(
-            grid,
-            spec,
-            kernel,
-            t0,
-            t1,
-            plan,
-            par,
-            CutStrategy::Hyperspace,
-        ),
-        EngineKind::Strap => run_recursive(
-            grid,
-            spec,
-            kernel,
-            t0,
-            t1,
-            plan,
-            par,
-            CutStrategy::SingleDimension,
-        ),
+        EngineKind::Trap | EngineKind::Strap => {
+            let strategy = if plan.engine == EngineKind::Trap {
+                CutStrategy::Hyperspace
+            } else {
+                CutStrategy::SingleDimension
+            };
+            // The compiled-schedule path is the production default; (almost) uncoarsened
+            // decompositions of large grids would materialize enormous arenas, so those
+            // stay on the storeless recursive walker.
+            if plan.schedule == ScheduleMode::Compiled
+                && schedule::should_compile(grid.sizes(), &plan.coarsening, t1 - t0)
+            {
+                schedule::run_compiled(grid, spec, kernel, t0, t1, plan, par, strategy);
+            } else {
+                run_recursive(grid, spec, kernel, t0, t1, plan, par, strategy);
+            }
+        }
         EngineKind::LoopsSerial => {
             loops::run_loops(grid, spec, kernel, t0, t1, plan, &Serial, false)
         }
@@ -122,21 +123,8 @@ fn run_recursive<T, K, P, const D: usize>(
     // default), everything else runs the boundary clone (monomorphized over
     // `BoundaryView`).
     let base = move |z: &Zoid<D>| {
-        if !force_boundary && z.is_interior(sizes, reach) {
-            match index_mode {
-                IndexMode::Unchecked => {
-                    let view = InteriorView::new(grid);
-                    base::execute_zoid(z, kernel, &view, None, base_case);
-                }
-                IndexMode::Checked => {
-                    let view = CheckedInteriorView::new(grid);
-                    base::execute_zoid(z, kernel, &view, None, base_case);
-                }
-            }
-        } else {
-            let view = BoundaryView::new(grid);
-            base::execute_zoid(z, kernel, &view, Some(sizes), base_case);
-        }
+        let interior = !force_boundary && z.is_interior(sizes, reach);
+        base::execute_clone(z, grid, kernel, sizes, interior, index_mode, base_case);
     };
 
     // The unified periodic/nonperiodic scheme (Section 4): the decomposition always
@@ -145,7 +133,8 @@ fn run_recursive<T, K, P, const D: usize>(
     // processing order.  Nonperiodic boundary conditions are recovered in the boundary
     // clone's base case.
     let params = crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
-    let walker = Walker::with_params(params, plan.coarsening.dt, strategy, par, base);
+    let walker =
+        Walker::with_params(params, plan.coarsening.dt, strategy, par, base).with_grain(plan.grain);
     walker.walk(&Zoid::full_grid(sizes, t0, t1));
 }
 
@@ -214,11 +203,7 @@ fn walk_serial<B, const D: usize>(
     if zoid.volume() == 0 {
         return;
     }
-    let cut = match strategy {
-        CutStrategy::Hyperspace => crate::hyperspace::hyperspace_cut_params(zoid, params),
-        CutStrategy::SingleDimension => crate::hyperspace::single_space_cut_params(zoid, params),
-    };
-    if let Some(cut) = cut {
+    if let Some(cut) = walker::cut_with_strategy(zoid, params, strategy) {
         for level in &cut.levels {
             for sub in level {
                 walk_serial(sub, params, max_height, strategy, base);

@@ -47,6 +47,23 @@ pub enum BaseCase {
     Point,
 }
 
+/// Decomposition control flow for the recursive engines (TRAP and STRAP).
+///
+/// The cut tree is pure geometry: it depends only on the domain sizes, slopes,
+/// coarsening and zoid height, never on grid contents or the absolute time origin.
+/// [`ScheduleMode::Compiled`] exploits that by building the TRAP/STRAP decomposition
+/// once into a flat schedule (see [`crate::engine::schedule`]), caching it, and replaying
+/// it on every run; [`ScheduleMode::Recursive`] re-derives the cut tree on every call
+/// (the paper's original control flow, kept as the reference for equivalence tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ScheduleMode {
+    /// Compile the decomposition once, cache it, replay it per run.  Default.
+    #[default]
+    Compiled,
+    /// Re-derive the cut tree recursively on every run.
+    Recursive,
+}
+
 /// Kernel-clone selection policy (Section 4, "handling boundary conditions by code
 /// cloning").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -129,9 +146,12 @@ pub struct ExecutionPlan<const D: usize> {
     pub base_case: BaseCase,
     /// Kernel-clone selection policy.
     pub clone_mode: CloneMode,
+    /// Decomposition control flow for TRAP/STRAP (compiled schedule vs. recursion).
+    pub schedule: ScheduleMode,
     /// Spatial block edge lengths for [`EngineKind::LoopsBlocked`].
     pub block: [usize; D],
-    /// `parallel_for` grain (outer-dimension rows per task) for the loop engines.
+    /// Parallel-loop grain: outer-dimension rows per task for the loop engines, and
+    /// zoids per task on wide dependency levels for TRAP/STRAP.
     pub grain: usize,
 }
 
@@ -144,6 +164,7 @@ impl<const D: usize> ExecutionPlan<D> {
             index_mode: IndexMode::Unchecked,
             base_case: BaseCase::Row,
             clone_mode: CloneMode::InteriorAndBoundary,
+            schedule: ScheduleMode::Compiled,
             block: [64; D],
             grain: 1,
         }
@@ -201,6 +222,12 @@ impl<const D: usize> ExecutionPlan<D> {
         self
     }
 
+    /// Builder-style override of the TRAP/STRAP schedule mode.
+    pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
+        self.schedule = mode;
+        self
+    }
+
     /// Builder-style override of the loop grain.
     pub fn with_grain(mut self, grain: usize) -> Self {
         self.grain = grain.max(1);
@@ -252,13 +279,16 @@ mod tests {
             .with_index_mode(IndexMode::Checked)
             .with_base_case(BaseCase::Point)
             .with_clone_mode(CloneMode::AlwaysBoundary)
+            .with_schedule_mode(ScheduleMode::Recursive)
             .with_grain(0);
         assert_eq!(plan.engine, EngineKind::Trap);
         assert_eq!(plan.coarsening.dt, 4);
         assert_eq!(plan.index_mode, IndexMode::Checked);
         assert_eq!(plan.base_case, BaseCase::Point);
         assert_eq!(plan.clone_mode, CloneMode::AlwaysBoundary);
+        assert_eq!(plan.schedule, ScheduleMode::Recursive);
         assert_eq!(plan.grain, 1);
+        assert_eq!(ExecutionPlan::<2>::trap().schedule, ScheduleMode::Compiled);
         assert_eq!(ExecutionPlan::<2>::trap().base_case, BaseCase::Row);
         assert_eq!(ExecutionPlan::<3>::default().engine, EngineKind::Trap);
         assert_eq!(ExecutionPlan::<2>::loops_blocked([16, 16]).block, [16, 16]);

@@ -18,8 +18,22 @@ use crate::hyperspace::{hyperspace_cut_params, single_space_cut_params, CutParam
 use crate::zoid::Zoid;
 use pochoir_runtime::Parallelism;
 
+/// Applies the space-cut step of the chosen strategy: a hyperspace cut for TRAP, a
+/// single-dimension cut for STRAP.  Shared by the walker, the traced serial walk, and the
+/// schedule compiler so all three derive identical cut trees.
+pub(crate) fn cut_with_strategy<const D: usize>(
+    zoid: &Zoid<D>,
+    params: &CutParams<D>,
+    strategy: CutStrategy,
+) -> Option<HyperspaceCut<D>> {
+    match strategy {
+        CutStrategy::Hyperspace => hyperspace_cut_params(zoid, params),
+        CutStrategy::SingleDimension => single_space_cut_params(zoid, params),
+    }
+}
+
 /// Space-cut strategy: the difference between TRAP and STRAP.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CutStrategy {
     /// Simultaneous parallel space cuts on every cuttable dimension (TRAP).
     Hyperspace,
@@ -36,6 +50,7 @@ where
     params: CutParams<D>,
     max_height: i64,
     strategy: CutStrategy,
+    grain: usize,
     par: &'a P,
     base: B,
 }
@@ -75,9 +90,17 @@ where
             params,
             max_height,
             strategy,
+            grain: 1,
             par,
             base,
         }
+    }
+
+    /// Sets the `parallel_for` grain used when a dependency level is wide enough to be
+    /// driven as a parallel loop (see [`ExecutionPlan::grain`](crate::engine::plan)).
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
     }
 
     /// Recursively processes `zoid`.
@@ -85,11 +108,7 @@ where
         if zoid.volume() == 0 {
             return;
         }
-        let cut = match self.strategy {
-            CutStrategy::Hyperspace => hyperspace_cut_params(zoid, &self.params),
-            CutStrategy::SingleDimension => single_space_cut_params(zoid, &self.params),
-        };
-        if let Some(cut) = cut {
+        if let Some(cut) = cut_with_strategy(zoid, &self.params, self.strategy) {
             self.walk_levels(&cut);
         } else if zoid.height() > self.max_height {
             let (lower, upper) = zoid.time_cut();
@@ -114,7 +133,8 @@ where
                     self.par.join(|| self.walk(a), || self.walk(b));
                 }
                 _ => {
-                    self.par.for_each(level, |z| self.walk(z));
+                    self.par
+                        .for_each_with_grain(level, self.grain, |z| self.walk(z));
                 }
             }
         }

@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::boundary::{AxisRule, Boundary, BoundaryProbe};
     pub use crate::engine::{
         run, run_traced, run_with_global_runtime, BaseCase, CloneMode, Coarsening, EngineKind,
-        ExecutionPlan, IndexMode,
+        ExecutionPlan, IndexMode, Schedule, ScheduleMode,
     };
     pub use crate::grid::{PochoirArray, RowWriter, SpaceIter};
     pub use crate::hyperspace::{hyperspace_cut, single_space_cut, HyperspaceCut};

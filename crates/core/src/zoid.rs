@@ -275,6 +275,48 @@ impl<const D: usize> Zoid<D> {
         (core, wrapped)
     }
 
+    /// The same zoid translated by `dt` time steps: identical geometry, shifted origin.
+    ///
+    /// The trapezoidal decomposition depends only on heights and widths, never on
+    /// absolute time, so a schedule compiled for `[0, h)` can be replayed over any
+    /// window `[t, t + h)` by shifting its leaves.
+    #[inline]
+    pub fn shifted(mut self, dt: i64) -> Self {
+        self.t0 += dt;
+        self.t1 += dt;
+        self
+    }
+
+    /// Attempts to extend this zoid by `other` along dimension `dim`, in place.
+    ///
+    /// Succeeds when the two zoids share the same time extent, identical bounds in every
+    /// other dimension, and `self`'s upper edge coincides with `other`'s lower edge at
+    /// all times (`x1[dim] == other.x0[dim]` and `dx1[dim] == other.dx0[dim]`) — the
+    /// union is then itself a zoid covering exactly the two originals' points.  Callers
+    /// (the schedule compiler's leaf coalescing) must already have proven the two zoids
+    /// independent; geometry alone does not establish that.
+    pub fn try_merge(&mut self, other: &Zoid<D>, dim: usize) -> bool {
+        if self.t0 != other.t0 || self.t1 != other.t1 {
+            return false;
+        }
+        for i in 0..D {
+            if i != dim
+                && (self.x0[i] != other.x0[i]
+                    || self.dx0[i] != other.dx0[i]
+                    || self.x1[i] != other.x1[i]
+                    || self.dx1[i] != other.dx1[i])
+            {
+                return false;
+            }
+        }
+        if self.x1[dim] != other.x0[dim] || self.dx1[dim] != other.dx0[dim] {
+            return false;
+        }
+        self.x1[dim] = other.x1[dim];
+        self.dx1[dim] = other.dx1[dim];
+        true
+    }
+
     /// Splits the zoid at the midpoint of its time extent (Figure 7c).  The lower zoid
     /// must be processed before the upper one.
     pub fn time_cut(&self) -> (Zoid<D>, Zoid<D>) {
@@ -572,6 +614,78 @@ mod tests {
         assert_eq!(lo.height(), 2);
         assert_eq!(hi.height(), 3);
         assert_eq!(lo.volume() + hi.volume(), z.volume());
+    }
+
+    #[test]
+    fn shifted_translates_time_only() {
+        let z = Zoid::<1> {
+            t0: 0,
+            t1: 3,
+            x0: [2],
+            dx0: [1],
+            x1: [9],
+            dx1: [-1],
+        };
+        let s = z.shifted(10);
+        assert_eq!((s.t0, s.t1), (10, 13));
+        assert_eq!(s.volume(), z.volume());
+        assert_eq!(s.lower_at(0, 11), z.lower_at(0, 1));
+        assert_eq!(s.upper_at(0, 12), z.upper_at(0, 2));
+    }
+
+    #[test]
+    fn try_merge_joins_edge_aligned_zoids() {
+        let mut a = Zoid::<2> {
+            t0: 0,
+            t1: 2,
+            x0: [0, 0],
+            dx0: [1, 0],
+            x1: [4, 8],
+            dx1: [-1, 0],
+        };
+        let b = Zoid::<2> {
+            t0: 0,
+            t1: 2,
+            x0: [4, 0],
+            dx0: [-1, 0],
+            x1: [9, 8],
+            dx1: [1, 0],
+        };
+        let va = a.volume();
+        let vb = b.volume();
+        assert!(a.try_merge(&b, 0));
+        assert_eq!(a.x1[0], 9);
+        assert_eq!(a.dx1[0], 1);
+        assert_eq!(a.volume(), va + vb);
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatches() {
+        let base = Zoid::<2>::full_grid([8, 8], 0, 2);
+        // Different time extent.
+        let mut a = base;
+        let mut b = base;
+        b.t1 = 3;
+        assert!(!a.try_merge(&b, 0));
+        // Gap along the merge dimension.
+        let mut c = base;
+        c.x0[0] = 9;
+        c.x1[0] = 12;
+        assert!(!a.try_merge(&c, 0));
+        // Mismatched off-dimension bounds.
+        let mut d = base;
+        d.x0[0] = 8;
+        d.x1[0] = 12;
+        d.x1[1] = 6;
+        assert!(!a.try_merge(&d, 0));
+        // Edge slopes that do not line up.
+        let mut e = base;
+        e.x0[0] = 8;
+        e.x1[0] = 12;
+        e.dx0[0] = 1;
+        let mut f = base;
+        assert!(!f.try_merge(&e, 0));
+        assert_eq!(a, base, "failed merges must leave the zoid untouched");
     }
 
     #[test]

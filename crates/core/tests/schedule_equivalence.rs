@@ -1,0 +1,300 @@
+//! Compiled-schedule equivalence: executing a compiled [`ScheduleMode::Compiled`] plan
+//! must produce bitwise-identical results to the recursive walker
+//! ([`ScheduleMode::Recursive`]) for both recursive engines, every boundary condition
+//! and dimensionality — the schedule is a flattening of the same cut tree, so any
+//! difference is a compiler bug.  Also covers schedule-cache reuse across shifted time
+//! windows (one compiled period replayed at several time origins).
+
+use pochoir_core::engine::{schedule, CutStrategy};
+use pochoir_core::prelude::*;
+use pochoir_runtime::Serial;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn engine_from_id(id: u8) -> EngineKind {
+    if id.is_multiple_of(2) {
+        EngineKind::Trap
+    } else {
+        EngineKind::Strap
+    }
+}
+
+fn boundary_f64<const D: usize>(id: u8) -> Boundary<f64, D> {
+    match id % 3 {
+        0 => Boundary::Constant(0.5),
+        1 => Boundary::Periodic,
+        _ => Boundary::Clamp,
+    }
+}
+
+fn make_array<const D: usize>(
+    sizes: [usize; D],
+    boundary: Boundary<f64, D>,
+) -> PochoirArray<f64, D> {
+    let mut a: PochoirArray<f64, D> = PochoirArray::new(sizes);
+    a.register_boundary(boundary);
+    a.fill_time_slice(0, |x| {
+        let mut h = 0x243F_6A88u64;
+        for &c in &x {
+            h = h.wrapping_mul(0x100000001B3).wrapping_add(c as u64);
+        }
+        (h % 10007) as f64 / 97.0
+    });
+    a
+}
+
+/// Runs `kernel` under the compiled and recursive schedule modes on identical initial
+/// states and asserts bitwise-equal snapshots.
+fn assert_compiled_equals_recursive<K, const D: usize>(
+    sizes: [usize; D],
+    steps: i64,
+    boundary: Boundary<f64, D>,
+    kernel: &K,
+    engine: EngineKind,
+    base_case: BaseCase,
+) -> Result<(), TestCaseError>
+where
+    K: StencilKernel<f64, D>,
+{
+    let spec = StencilSpec::new(star_shape::<D>(1));
+    let mut snaps = Vec::new();
+    for mode in [ScheduleMode::Compiled, ScheduleMode::Recursive] {
+        let mut a = make_array(sizes, boundary.clone());
+        let plan = ExecutionPlan::new(engine)
+            .with_coarsening(Coarsening::new(2, [4; D]))
+            .with_base_case(base_case)
+            .with_schedule_mode(mode);
+        run(&mut a, &spec, kernel, 0, steps, &plan, &Serial);
+        snaps.push(a.snapshot(steps));
+    }
+    prop_assert_eq!(&snaps[0], &snaps[1], "engine {:?}", engine);
+    Ok(())
+}
+
+/// 1D averaging kernel.
+struct Avg1D;
+impl StencilKernel<f64, 1> for Avg1D {
+    fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+        let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+        g.set(t + 1, x, v);
+    }
+}
+
+/// 2D heat kernel.
+struct Heat2D {
+    cx: f64,
+    cy: f64,
+}
+impl StencilKernel<f64, 2> for Heat2D {
+    fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let c = g.get(t, x);
+        let v = c
+            + self.cx * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+            + self.cy * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+        g.set(t + 1, x, v);
+    }
+}
+
+/// 3D star kernel.
+struct Star3D;
+impl StencilKernel<f64, 3> for Star3D {
+    fn update<A: GridAccess<f64, 3>>(&self, g: &A, t: i64, x: [i64; 3]) {
+        let mut acc = g.get(t, x);
+        for d in 0..3 {
+            let mut lo = x;
+            lo[d] -= 1;
+            let mut hi = x;
+            hi[d] += 1;
+            acc += 0.1 * (g.get(t, lo) + g.get(t, hi) - 2.0 * g.get(t, x));
+        }
+        g.set(t + 1, x, acc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// 1D: random extents (including domains thinner than the stencil reach), steps,
+    /// boundaries and engines.
+    #[test]
+    fn compiled_equals_recursive_1d(
+        n in 1usize..40,
+        steps in 1i64..10,
+        boundary_id in 0u8..3,
+        engine_id in 0u8..2,
+    ) {
+        assert_compiled_equals_recursive(
+            [n],
+            steps,
+            boundary_f64::<1>(boundary_id),
+            &Avg1D,
+            engine_from_id(engine_id),
+            BaseCase::Row,
+        )?;
+    }
+
+    /// 2D: non-power-of-two extents, thin domains, both base-case styles.
+    #[test]
+    fn compiled_equals_recursive_2d(
+        nx in 1usize..24,
+        ny in 1usize..24,
+        steps in 1i64..8,
+        boundary_id in 0u8..3,
+        engine_id in 0u8..2,
+        base_id in 0u8..2,
+    ) {
+        assert_compiled_equals_recursive(
+            [nx, ny],
+            steps,
+            boundary_f64::<2>(boundary_id),
+            &Heat2D { cx: 0.11, cy: 0.07 },
+            engine_from_id(engine_id),
+            if base_id == 1 { BaseCase::Point } else { BaseCase::Row },
+        )?;
+    }
+
+    /// 3D.
+    #[test]
+    fn compiled_equals_recursive_3d(
+        nx in 1usize..10,
+        ny in 1usize..10,
+        nz in 1usize..12,
+        steps in 1i64..5,
+        boundary_id in 0u8..3,
+        engine_id in 0u8..2,
+    ) {
+        assert_compiled_equals_recursive(
+            [nx, ny, nz],
+            steps,
+            boundary_f64::<3>(boundary_id),
+            &Star3D,
+            engine_from_id(engine_id),
+            BaseCase::Row,
+        )?;
+    }
+}
+
+/// Deterministic spot checks: both engines on a fixed non-power-of-two 2D problem, all
+/// three boundary kinds, compiled vs. recursive bitwise.
+#[test]
+fn compiled_equals_recursive_fixed() {
+    for engine in [EngineKind::Trap, EngineKind::Strap] {
+        for boundary_id in 0..3u8 {
+            assert_compiled_equals_recursive(
+                [23, 17],
+                7,
+                boundary_f64::<2>(boundary_id),
+                &Heat2D { cx: 0.09, cy: 0.13 },
+                engine,
+                BaseCase::Row,
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// The always-boundary clone ablation must agree between schedule modes too (it changes
+/// the leaves' compiled clone flags).
+#[test]
+fn compiled_equals_recursive_always_boundary() {
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let kernel = Heat2D { cx: 0.1, cy: 0.1 };
+    let mut snaps = Vec::new();
+    for mode in [ScheduleMode::Compiled, ScheduleMode::Recursive] {
+        let mut a = make_array([19, 21], Boundary::Periodic);
+        let plan = ExecutionPlan::trap()
+            .with_coarsening(Coarsening::new(2, [5, 5]))
+            .with_clone_mode(CloneMode::AlwaysBoundary)
+            .with_schedule_mode(mode);
+        run(&mut a, &spec, &kernel, 0, 6, &plan, &Serial);
+        snaps.push(a.snapshot(6));
+    }
+    assert_eq!(snaps[0], snaps[1]);
+}
+
+/// Parallel compiled execution must agree with serial compiled execution (the phases
+/// are barriers; leaves within a phase are independent).
+#[test]
+fn compiled_parallel_matches_serial() {
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let kernel = Heat2D { cx: 0.12, cy: 0.08 };
+    let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [8, 8]));
+
+    let mut serial = make_array([48, 48], Boundary::Periodic);
+    run(&mut serial, &spec, &kernel, 0, 16, &plan, &Serial);
+
+    let rt = pochoir_runtime::Runtime::new(3);
+    let mut parallel = make_array([48, 48], Boundary::Periodic);
+    run(&mut parallel, &spec, &kernel, 0, 16, &plan, &rt);
+
+    assert_eq!(serial.snapshot(16), parallel.snapshot(16));
+}
+
+/// One compiled period is reused across shifted time windows: running `[0, h)` then
+/// `[h, 2h)` etc. hits the same schedule object, and the stepped execution matches a
+/// single recursive run over the whole range.
+#[test]
+fn schedule_is_reused_across_shifted_windows() {
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let kernel = Heat2D { cx: 0.1, cy: 0.1 };
+    let coarsening = Coarsening::new(2, [6, 6]);
+    let period = 5i64;
+    let windows = 4i64;
+
+    // Stepped compiled runs over shifted windows.
+    let plan = ExecutionPlan::trap().with_coarsening(coarsening);
+    let mut stepped = make_array([26, 26], Boundary::Periodic);
+    for w in 0..windows {
+        run(
+            &mut stepped,
+            &spec,
+            &kernel,
+            w * period,
+            (w + 1) * period,
+            &plan,
+            &Serial,
+        );
+    }
+
+    // One recursive run over the whole range.
+    let plan_rec = plan.with_schedule_mode(ScheduleMode::Recursive);
+    let mut whole = make_array([26, 26], Boundary::Periodic);
+    run(
+        &mut whole,
+        &spec,
+        &kernel,
+        0,
+        windows * period,
+        &plan_rec,
+        &Serial,
+    );
+
+    assert_eq!(
+        stepped.snapshot(windows * period),
+        whole.snapshot(windows * period)
+    );
+
+    // The windows all used one schedule object: requesting the same geometry again is a
+    // cache hit on the very same Arc.
+    let (first, _) = schedule::schedule_for(
+        [26, 26],
+        spec.slopes(),
+        spec.reach(),
+        coarsening,
+        CutStrategy::Hyperspace,
+        false,
+        period,
+    );
+    let (second, hit) = schedule::schedule_for(
+        [26, 26],
+        spec.slopes(),
+        spec.reach(),
+        coarsening,
+        CutStrategy::Hyperspace,
+        false,
+        period,
+    );
+    assert!(hit, "second identical lookup must be a cache hit");
+    assert!(Arc::ptr_eq(&first, &second));
+    assert_eq!(first.height(), period);
+}

@@ -12,6 +12,8 @@ pub struct Metrics {
     spawned: AtomicU64,
     stolen: AtomicU64,
     executed: AtomicU64,
+    schedule_cache_hits: AtomicU64,
+    schedule_cache_misses: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -23,6 +25,10 @@ pub struct MetricsSnapshot {
     pub stolen: u64,
     /// Jobs executed to completion.
     pub executed: u64,
+    /// Compiled-schedule lookups served from the schedule cache.
+    pub schedule_cache_hits: u64,
+    /// Compiled-schedule lookups that had to compile a fresh schedule.
+    pub schedule_cache_misses: u64,
 }
 
 impl Metrics {
@@ -46,12 +52,23 @@ impl Metrics {
         self.executed.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn note_schedule_cache(&self, hit: bool) {
+        if hit {
+            self.schedule_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.schedule_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a snapshot of the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             spawned: self.spawned.load(Ordering::Relaxed),
             stolen: self.stolen.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
+            schedule_cache_hits: self.schedule_cache_hits.load(Ordering::Relaxed),
+            schedule_cache_misses: self.schedule_cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -63,6 +80,12 @@ impl MetricsSnapshot {
             spawned: later.spawned.saturating_sub(self.spawned),
             stolen: later.stolen.saturating_sub(self.stolen),
             executed: later.executed.saturating_sub(self.executed),
+            schedule_cache_hits: later
+                .schedule_cache_hits
+                .saturating_sub(self.schedule_cache_hits),
+            schedule_cache_misses: later
+                .schedule_cache_misses
+                .saturating_sub(self.schedule_cache_misses),
         }
     }
 }
@@ -82,6 +105,17 @@ mod tests {
         assert_eq!(s.spawned, 2);
         assert_eq!(s.stolen, 1);
         assert_eq!(s.executed, 1);
+    }
+
+    #[test]
+    fn schedule_cache_counters() {
+        let m = Metrics::new();
+        m.note_schedule_cache(false);
+        m.note_schedule_cache(true);
+        m.note_schedule_cache(true);
+        let s = m.snapshot();
+        assert_eq!(s.schedule_cache_hits, 2);
+        assert_eq!(s.schedule_cache_misses, 1);
     }
 
     #[test]

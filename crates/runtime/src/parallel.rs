@@ -29,6 +29,24 @@ pub trait Parallelism: Sync {
         self.parallel_for(items.len(), 1, |i| body(&items[i]));
     }
 
+    /// Applies `body` to every element of `items`, possibly in parallel, handing at most
+    /// `grain` consecutive elements to one task.
+    ///
+    /// This is how the recursive engines and the compiled-schedule executor honour
+    /// `ExecutionPlan::grain` on wide dependency levels: a larger grain trades stealable
+    /// parallelism for lower spawn overhead on levels of many small zoids.
+    fn for_each_with_grain<T, F>(&self, items: &[T], grain: usize, body: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.parallel_for(items.len(), grain, |i| body(&items[i]));
+    }
+
+    /// Records the outcome of a compiled-schedule cache lookup, if this provider keeps
+    /// scheduler metrics.  The default is a no-op ([`Serial`] keeps no counters).
+    fn note_schedule_cache(&self, _hit: bool) {}
+
     /// Number of hardware workers available to this provider.
     fn num_workers(&self) -> usize;
 
@@ -85,6 +103,10 @@ impl Parallelism for Runtime {
         Runtime::parallel_for(self, len, grain, body)
     }
 
+    fn note_schedule_cache(&self, hit: bool) {
+        Runtime::note_schedule_cache(self, hit);
+    }
+
     fn num_workers(&self) -> usize {
         self.num_threads()
     }
@@ -106,6 +128,10 @@ impl<P: Parallelism> Parallelism for &P {
         F: Fn(usize) + Sync,
     {
         (**self).parallel_for(len, grain, body)
+    }
+
+    fn note_schedule_cache(&self, hit: bool) {
+        (**self).note_schedule_cache(hit);
     }
 
     fn num_workers(&self) -> usize {

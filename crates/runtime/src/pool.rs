@@ -71,9 +71,15 @@ impl Runtime {
         self.registry.num_threads()
     }
 
-    /// Scheduler counters (spawn/steal/execute totals).
+    /// Scheduler counters (spawn/steal/execute totals, schedule-cache hits/misses).
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
         self.registry.metrics().snapshot()
+    }
+
+    /// Records a compiled-schedule cache lookup in this pool's metrics, so benchmarks can
+    /// observe schedule reuse next to the steal counters.
+    pub fn note_schedule_cache(&self, hit: bool) {
+        self.registry.metrics().note_schedule_cache(hit);
     }
 
     /// Runs `op` inside the pool, blocking the calling thread until it completes.

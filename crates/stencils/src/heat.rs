@@ -96,6 +96,15 @@ pub fn shape<const D: usize>() -> Shape<D> {
     star_shape::<D>(1)
 }
 
+/// TRAP/STRAP base-case coarsening tuned for the 2D heat kernel under the compiled
+/// schedule path (measured with `schedule_path_json`): keep the unit-stride dimension
+/// uncut so the row path gets full-width rows — the compiled executor's segment-level
+/// clone resolution keeps those rows on the interior clone — and slab the outer
+/// dimension at 50 rows.
+pub fn tuned_coarsening_2d() -> Coarsening<2> {
+    Coarsening::new(5, [50, 4096])
+}
+
 /// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
 /// noise, with the requested boundary condition.
 pub fn build<const D: usize>(

@@ -80,6 +80,13 @@ pub fn shape() -> Shape<2> {
     box_shape::<2>(1)
 }
 
+/// TRAP/STRAP base-case coarsening tuned for Life under the compiled schedule path
+/// (measured with `schedule_path_json`): long rows for the byte-wide vectorized row
+/// kernel, 64-row outer slabs.
+pub fn tuned_coarsening() -> Coarsening<2> {
+    Coarsening::new(5, [64, 512])
+}
+
 /// Builds a toroidal Life board with a deterministic pseudo-random soup.
 pub fn build(sizes: [usize; 2], fill_permille: u64) -> PochoirArray<u8, 2> {
     let mut a = PochoirArray::new(sizes);
