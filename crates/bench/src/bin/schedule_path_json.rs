@@ -136,7 +136,8 @@ fn main() {
             .unwrap_or_else(|| "BENCH_schedule.json".to_string())
     };
     let cells = measure(scale);
-    let (compiles, hits) = pochoir_core::engine::schedule::cache_stats();
+    let cache = pochoir_core::engine::schedule::cache_stats();
+    let (compiles, hits, evictions) = (cache.compiles, cache.hits, cache.evictions);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -144,7 +145,8 @@ fn main() {
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     json.push_str("  \"unit\": \"Mpoints/s\",\n");
     json.push_str(&format!(
-        "  \"schedule_cache\": {{\"compiles\": {compiles}, \"hits\": {hits}}},\n"
+        "  \"schedule_cache\": {{\"compiles\": {compiles}, \"hits\": {hits}, \
+         \"evictions\": {evictions}}},\n"
     ));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {

@@ -237,6 +237,67 @@ fn dispatch_row<T, K, A, const D: usize>(
     }
 }
 
+/// Executes one base-case leaf under the unified clone policy shared by the compiled
+/// schedule and the recursive reference walker.
+///
+/// `interior` is the leaf-level classification ([`Zoid::is_interior`], resolved at
+/// schedule-compile time or at walk time): interior leaves run the fast interior clone
+/// outright.  Everything else runs through the boundary machinery, where `hybrid`
+/// selects between segment-level clone resolution ([`execute_zoid_hybrid`], the
+/// production default) and the pure boundary clone (the
+/// [`CloneMode::AlwaysBoundary`](crate::engine::plan::CloneMode) ablation, whose point
+/// is that no access may skip the boundary/modulo checks).
+///
+/// Keeping this dispatch in one place is what guarantees the compiled and recursive
+/// paths execute bit-identically: both feed their leaves through this function.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_leaf<T, K, const D: usize>(
+    zoid: &Zoid<D>,
+    grid: RawGrid<'_, T, D>,
+    kernel: &K,
+    sizes: [i64; D],
+    reach: [i64; D],
+    interior: bool,
+    hybrid: bool,
+    index_mode: IndexMode,
+    base_case: BaseCase,
+) where
+    T: Copy,
+    K: StencilKernel<T, D>,
+{
+    if interior || !hybrid {
+        execute_clone(zoid, grid, kernel, sizes, interior, index_mode, base_case);
+        return;
+    }
+    let boundary = BoundaryView::new(grid);
+    match index_mode {
+        IndexMode::Unchecked => {
+            let interior_view = InteriorView::new(grid);
+            execute_zoid_hybrid(
+                zoid,
+                kernel,
+                &interior_view,
+                &boundary,
+                sizes,
+                reach,
+                base_case,
+            );
+        }
+        IndexMode::Checked => {
+            let interior_view = CheckedInteriorView::new(grid);
+            execute_zoid_hybrid(
+                zoid,
+                kernel,
+                &interior_view,
+                &boundary,
+                sizes,
+                reach,
+                base_case,
+            );
+        }
+    }
+}
+
 /// Boundary-clone execution with *segment-level clone resolution*: every folded row
 /// segment whose full read halo (`reach` in every dimension) lies inside the domain is
 /// upgraded to the fast interior view `interior`; only segments genuinely touching a

@@ -1,0 +1,642 @@
+//! Executor sessions: one execution pipeline from entry point to base case.
+//!
+//! ## Why a session layer?
+//!
+//! The paper's model is that a stencil *program* is compiled once and run many times,
+//! but the historical entry points re-did per-call work the schedule cache only papered
+//! over: [`engine::run`](crate::engine::run) re-derived the engine→strategy wiring and
+//! re-looked-up the compiled schedule on every call, `run_traced` maintained a parallel
+//! copy of the dispatch, and the `Pochoir` object re-validated its registered array per
+//! `Run(T, kern)`.  This module is the single pipeline all of them now route through:
+//!
+//! ```text
+//!   DSL (`Pochoir`) ──┐
+//!   `engine::run` ────┤                       ┌─ compiled `Schedule` (arena sweep)
+//!   `run_traced` ─────┼─→ `CompiledProgram` ──┼─ recursive `Walker` (reference path)
+//!   bench harness ────┘        │              └─ loop nests
+//!                              └─→ `base::execute_leaf` (segment-level clone resolution)
+//! ```
+//!
+//! [`CompiledProgram`] is the kernel-independent half of a session: the validated
+//! geometry, the execution plan, the resolved [`CutStrategy`], the **pinned**
+//! `Arc<Schedule>` (compiled eagerly at build time, replayed across shifted time
+//! windows), and per-session [`SessionStats`] counters.  [`CompiledStencil`] pairs a
+//! program with an owned kernel and an optional pinned runtime — the session object a
+//! serving deployment holds per stencil program, calling
+//! [`run`](CompiledStencil::run) once per time window.
+//!
+//! ## Execution routes
+//!
+//! * **Compiled** (TRAP/STRAP default): replay the pinned schedule; a window of a new
+//!   height fetches from the process-global schedule cache and re-pins.  Leaves execute
+//!   through [`base::execute_leaf`], whose segment-level clone resolution keeps
+//!   boundary-leaf interiors on the fast clone.
+//! * **Recursive** ([`ScheduleMode::Recursive`]): the storeless reference walker, kept
+//!   for equivalence testing and for (almost) uncoarsened giants whose arenas would not
+//!   be worth materializing ([`schedule::should_compile`]).  It feeds its leaves through
+//!   the *same* [`base::execute_leaf`] dispatch, so the two routes are bit-identical —
+//!   including hybrid clone resolution, which the walker historically lacked.
+//! * **Loops**: the Figure-1 baselines, unchanged.
+//!
+//! The traced mode ([`CompiledProgram::run_traced`]) honours the plan's
+//! [`ScheduleMode`]: compiled plans trace the arena sweep, recursive plans trace the
+//! recursion — with identical access counts, since both cover the same space-time
+//! points exactly once.
+
+use crate::engine::base;
+use crate::engine::loops;
+use crate::engine::plan::{CloneMode, EngineKind, ExecutionPlan, ScheduleMode};
+use crate::engine::schedule::{self, CacheLookup, Schedule};
+use crate::engine::walker::{cut_with_strategy, CutStrategy, Walker};
+use crate::grid::{PochoirArray, RawGrid};
+use crate::kernel::{StencilKernel, StencilSpec};
+use crate::view::{AccessTracer, TracingView};
+use crate::zoid::Zoid;
+use pochoir_runtime::{Parallelism, Runtime, Serial};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-session executor counters (relaxed atomics; advisory, like the runtime's
+/// scheduler metrics).
+#[derive(Debug, Default)]
+struct SessionMetrics {
+    runs: AtomicU64,
+    schedule_reuses: AtomicU64,
+    schedule_fetches: AtomicU64,
+    schedule_compiles: AtomicU64,
+}
+
+/// A point-in-time copy of a session's executor counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Windows executed through this session (including traced runs).
+    pub runs: u64,
+    /// Runs served by the session's pinned `Arc<Schedule>` with no cache traffic at all.
+    pub schedule_reuses: u64,
+    /// Schedule-cache lookups this session performed (pin misses: build time, or a run
+    /// whose window height differs from the pinned schedule's).
+    pub schedule_fetches: u64,
+    /// Fetches that had to compile a fresh schedule (global-cache misses).
+    pub schedule_compiles: u64,
+}
+
+/// How a run obtained its schedule; decides what is reported to the runtime's metrics.
+enum Resolution {
+    /// Replayed the pinned `Arc<Schedule>` without touching the global cache.
+    Reused,
+    /// Fetched (and re-pinned) from the global cache with this outcome.
+    Fetched(CacheLookup),
+}
+
+/// The kernel-independent half of an executor session: validated geometry, resolved
+/// strategy, pinned schedule, and session counters.
+///
+/// `Pochoir` holds one of these per registered array (its kernels arrive by reference
+/// on every `Run`); [`CompiledStencil`] composes one with an owned kernel for callers
+/// that bind the kernel up front.
+pub struct CompiledProgram<const D: usize> {
+    spec: StencilSpec<D>,
+    plan: ExecutionPlan<D>,
+    sizes: [i64; D],
+    /// Resolved once from the plan: `None` for the loop engines.
+    strategy: Option<CutStrategy>,
+    /// The session's pinned schedule, replayed for every window of its height.
+    schedule: Mutex<Option<Arc<Schedule<D>>>>,
+    /// Cache outcome of the eager build-time compilation, reported to the runtime's
+    /// metrics by the first run (so per-run cache accounting matches the pre-session
+    /// behaviour of `engine::run`).
+    pending: Mutex<Option<CacheLookup>>,
+    metrics: SessionMetrics,
+}
+
+impl<const D: usize> CompiledProgram<D> {
+    /// Builds a session program for grids of extent `sizes`, eagerly compiling (or
+    /// fetching from the process-global cache) the schedule for time windows of height
+    /// `window` when the plan takes the compiled route.
+    pub fn new(spec: StencilSpec<D>, plan: ExecutionPlan<D>, sizes: [i64; D], window: i64) -> Self {
+        let program = CompiledProgram {
+            strategy: plan.cut_strategy(),
+            spec,
+            plan,
+            sizes,
+            schedule: Mutex::new(None),
+            pending: Mutex::new(None),
+            metrics: SessionMetrics::default(),
+        };
+        if window > 0 && program.takes_compiled_route(window) {
+            let (_, resolution) = program.resolve_schedule(window);
+            if let Resolution::Fetched(lookup) = resolution {
+                *program.pending.lock().unwrap() = Some(lookup);
+            }
+        }
+        program
+    }
+
+    /// The stencil specification the session was built from.
+    pub fn spec(&self) -> &StencilSpec<D> {
+        &self.spec
+    }
+
+    /// The execution plan the session was built from.
+    pub fn plan(&self) -> &ExecutionPlan<D> {
+        &self.plan
+    }
+
+    /// The grid extents the session was built for.
+    pub fn sizes(&self) -> [i64; D] {
+        self.sizes
+    }
+
+    /// The currently pinned compiled schedule, if the session has resolved one.
+    pub fn schedule(&self) -> Option<Arc<Schedule<D>>> {
+        self.schedule.lock().unwrap().clone()
+    }
+
+    /// A snapshot of the session's executor counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            runs: self.metrics.runs.load(Ordering::Relaxed),
+            schedule_reuses: self.metrics.schedule_reuses.load(Ordering::Relaxed),
+            schedule_fetches: self.metrics.schedule_fetches.load(Ordering::Relaxed),
+            schedule_compiles: self.metrics.schedule_compiles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a window of height `height` executes via the compiled schedule (as
+    /// opposed to the recursive reference walker).
+    fn takes_compiled_route(&self, height: i64) -> bool {
+        self.strategy.is_some()
+            && self.plan.schedule == ScheduleMode::Compiled
+            && schedule::should_compile(self.sizes, &self.plan.coarsening, height)
+    }
+
+    /// Returns the schedule for windows of `height`: the pinned one when its height
+    /// matches, otherwise a (counted) global-cache fetch that re-pins the slot.
+    fn resolve_schedule(&self, height: i64) -> (Arc<Schedule<D>>, Resolution) {
+        let strategy = self
+            .strategy
+            .expect("compiled route requires a cut strategy");
+        let mut slot = self.schedule.lock().unwrap();
+        if let Some(pinned) = slot.as_ref() {
+            if pinned.height() == height {
+                self.metrics.schedule_reuses.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(pinned), Resolution::Reused);
+            }
+        }
+        let (fetched, lookup) = schedule::schedule_for(
+            self.sizes,
+            self.spec.slopes(),
+            self.spec.reach(),
+            self.plan.coarsening,
+            strategy,
+            self.plan.clone_mode == CloneMode::AlwaysBoundary,
+            height,
+        );
+        self.metrics
+            .schedule_fetches
+            .fetch_add(1, Ordering::Relaxed);
+        if !lookup.hit {
+            self.metrics
+                .schedule_compiles
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(Arc::clone(&fetched));
+        (fetched, Resolution::Fetched(lookup))
+    }
+
+    /// Validates `array` against the session geometry (the checks `Pochoir` and
+    /// `engine::run` historically re-did per call).
+    fn validate<T: Copy>(&self, array: &PochoirArray<T, D>) {
+        assert!(
+            array.time_slices() >= self.spec.shape().time_slices(),
+            "array holds {} time slices but the stencil shape has depth {} and needs {}",
+            array.time_slices(),
+            self.spec.depth(),
+            self.spec.shape().time_slices()
+        );
+        let sizes = array.sizes_i64();
+        assert!(
+            sizes == self.sizes,
+            "array extents {sizes:?} do not match the session's compiled extents {:?}",
+            self.sizes
+        );
+    }
+
+    /// Executes kernel-invocation times `[t0, t1)` of `kernel` on `array` under the
+    /// parallelism provider `par`.
+    pub fn run<T, K, P>(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        kernel: &K,
+        t0: i64,
+        t1: i64,
+        par: &P,
+    ) where
+        T: Copy + Send + Sync,
+        K: StencilKernel<T, D>,
+        P: Parallelism,
+    {
+        self.validate(array);
+        if t1 <= t0 {
+            return;
+        }
+        self.metrics.runs.fetch_add(1, Ordering::Relaxed);
+        let grid = array.raw();
+        match self.strategy {
+            Some(strategy) => {
+                if self.takes_compiled_route(t1 - t0) {
+                    let (schedule, resolution) = self.resolve_schedule(t1 - t0);
+                    let report = |lookup: CacheLookup| {
+                        par.note_schedule_cache(lookup.hit);
+                        if lookup.evicted > 0 {
+                            par.note_schedule_evictions(lookup.evicted);
+                        }
+                    };
+                    // Report the eager build-time lookup on the first run that has a
+                    // metrics sink (even when this run fetched a different height), so
+                    // runtime counters match the global cache's actual traffic; pinned
+                    // replays beyond that count as hits.
+                    let pending = self.pending.lock().unwrap().take();
+                    match (pending, resolution) {
+                        (Some(built), Resolution::Reused) => report(built),
+                        (Some(built), Resolution::Fetched(lookup)) => {
+                            report(built);
+                            report(lookup);
+                        }
+                        (None, Resolution::Reused) => report(CacheLookup {
+                            hit: true,
+                            evicted: 0,
+                        }),
+                        (None, Resolution::Fetched(lookup)) => report(lookup),
+                    }
+                    schedule.execute(grid, kernel, t0, &self.plan, par);
+                } else {
+                    run_recursive(grid, &self.spec, kernel, t0, t1, &self.plan, par, strategy);
+                }
+            }
+            None => match self.plan.engine {
+                EngineKind::LoopsSerial => {
+                    loops::run_loops(grid, &self.spec, kernel, t0, t1, &self.plan, &Serial, false)
+                }
+                EngineKind::LoopsParallel => {
+                    loops::run_loops(grid, &self.spec, kernel, t0, t1, &self.plan, par, false)
+                }
+                EngineKind::LoopsBlocked => {
+                    loops::run_loops(grid, &self.spec, kernel, t0, t1, &self.plan, par, true)
+                }
+                EngineKind::Trap | EngineKind::Strap => unreachable!("strategy resolved above"),
+            },
+        }
+    }
+
+    /// Executes `[t0, t1)` single-threaded while reporting every grid access to
+    /// `tracer` (the instrumentation mode behind Figure 10).
+    ///
+    /// The traced decomposition honours the plan's [`ScheduleMode`]: compiled plans
+    /// trace the arena sweep, recursive plans trace the storeless recursion.  Both
+    /// cover every space-time point exactly once, so their access *counts* agree; the
+    /// visit order (and hence simulated miss counts) reflects the route actually taken.
+    pub fn run_traced<T, K, C>(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        kernel: &K,
+        t0: i64,
+        t1: i64,
+        tracer: &C,
+    ) where
+        T: Copy + Send + Sync,
+        K: StencilKernel<T, D>,
+        C: AccessTracer,
+    {
+        self.validate(array);
+        if t1 <= t0 {
+            return;
+        }
+        self.metrics.runs.fetch_add(1, Ordering::Relaxed);
+        let grid = array.raw();
+        let sizes = self.sizes;
+        match self.strategy {
+            Some(strategy) => {
+                let view = TracingView::new(grid, tracer);
+                if self.takes_compiled_route(t1 - t0) {
+                    let (schedule, _) = self.resolve_schedule(t1 - t0);
+                    for leaf in schedule.leaves() {
+                        let z = leaf.zoid.shifted(t0);
+                        base::execute_zoid(&z, kernel, &view, Some(sizes), self.plan.base_case);
+                    }
+                } else {
+                    let base = |z: &Zoid<D>| {
+                        base::execute_zoid(z, kernel, &view, Some(sizes), self.plan.base_case)
+                    };
+                    let params = crate::hyperspace::CutParams::unified(
+                        self.spec.slopes(),
+                        self.plan.coarsening.dx,
+                        sizes,
+                    );
+                    walk_serial(
+                        &Zoid::full_grid(sizes, t0, t1),
+                        &params,
+                        self.plan.coarsening.dt,
+                        strategy,
+                        &base,
+                    );
+                }
+            }
+            None => {
+                let view = TracingView::new(grid, tracer);
+                loops::run_loops_with_view(&view, sizes, kernel, t0, t1, self.plan.base_case);
+            }
+        }
+    }
+}
+
+/// An executor session with the kernel bound: the paper's "compile once, run many
+/// times" as an object.
+///
+/// Built once from `(spec, kernel, plan, sizes)` — resolving the strategy, validating
+/// geometry, and compiling the schedule eagerly for the given window height — then
+/// [`run`](CompiledStencil::run) replays it across shifted time windows.  Session
+/// counters ([`stats`](CompiledStencil::stats)) let callers assert reuse: a steady
+///-state session performs zero schedule fetches and zero compilations per run.
+pub struct CompiledStencil<T, K, const D: usize> {
+    program: CompiledProgram<D>,
+    kernel: K,
+    runtime: Option<Arc<Runtime>>,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T, K, const D: usize> CompiledStencil<T, K, D>
+where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+{
+    /// Builds a session for grids of spatial extent `sizes`, compiling the schedule
+    /// eagerly for time windows of height `window`.
+    ///
+    /// Runs of a different height still work — the session re-pins the schedule for
+    /// the new height (one cache fetch), so `window` is a hint, not a contract.
+    pub fn new(
+        spec: StencilSpec<D>,
+        kernel: K,
+        plan: ExecutionPlan<D>,
+        sizes: [usize; D],
+        window: i64,
+    ) -> Self {
+        let mut extents = [0i64; D];
+        for i in 0..D {
+            extents[i] = sizes[i] as i64;
+        }
+        CompiledStencil {
+            program: CompiledProgram::new(spec, plan, extents, window),
+            kernel,
+            runtime: None,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Pins a dedicated work-stealing runtime to the session; [`run`](Self::run) uses
+    /// it instead of the process-global one.
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// The kernel-independent half of the session.
+    pub fn program(&self) -> &CompiledProgram<D> {
+        &self.program
+    }
+
+    /// The bound kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The currently pinned compiled schedule, if the session has resolved one.
+    pub fn schedule(&self) -> Option<Arc<Schedule<D>>> {
+        self.program.schedule()
+    }
+
+    /// A snapshot of the session's executor counters.
+    pub fn stats(&self) -> SessionStats {
+        self.program.stats()
+    }
+
+    /// Executes kernel-invocation times `[t0, t1)` on `array`, using the pinned
+    /// runtime if one was set and the process-global runtime otherwise.
+    pub fn run(&self, array: &mut PochoirArray<T, D>, t0: i64, t1: i64) {
+        match &self.runtime {
+            Some(rt) => self.program.run(array, &self.kernel, t0, t1, rt.as_ref()),
+            None => self
+                .program
+                .run(array, &self.kernel, t0, t1, Runtime::global()),
+        }
+    }
+
+    /// [`run`](Self::run) with an explicit parallelism provider (e.g. [`Serial`] for
+    /// deterministic test runs).
+    pub fn run_with<P: Parallelism>(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        par: &P,
+    ) {
+        self.program.run(array, &self.kernel, t0, t1, par);
+    }
+
+    /// Executes `[t0, t1)` single-threaded, reporting every access to `tracer`.
+    pub fn run_traced<C: AccessTracer>(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        tracer: &C,
+    ) {
+        self.program.run_traced(array, &self.kernel, t0, t1, tracer);
+    }
+}
+
+/// The recursive reference path (the paper's original control flow), demoted from
+/// production default to the fallback for (almost) uncoarsened giants and the
+/// equivalence-test reference.  Its leaves run through [`base::execute_leaf`] — the
+/// same segment-level clone resolution as the compiled path — so the two routes stay
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_recursive<T, K, P, const D: usize>(
+    grid: RawGrid<'_, T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    t0: i64,
+    t1: i64,
+    plan: &ExecutionPlan<D>,
+    par: &P,
+    strategy: CutStrategy,
+) where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+    P: Parallelism,
+{
+    let sizes = grid.sizes();
+    let reach = spec.reach();
+    let force_boundary = plan.clone_mode == CloneMode::AlwaysBoundary;
+    let hybrid = !force_boundary;
+    let index_mode = plan.index_mode;
+    let base_case = plan.base_case;
+
+    // The base-case callback implements the *code cloning* of Section 4 through the
+    // shared leaf dispatch: interior zoids run the fast interior clone, boundary zoids
+    // get segment-level clone resolution (or the pure boundary clone under the
+    // always-boundary ablation).
+    let base = move |z: &Zoid<D>| {
+        let interior = !force_boundary && z.is_interior(sizes, reach);
+        base::execute_leaf(
+            z, grid, kernel, sizes, reach, interior, hybrid, index_mode, base_case,
+        );
+    };
+
+    // The unified periodic/nonperiodic scheme (Section 4): the decomposition always
+    // treats every dimension as a torus, so wraparound data dependencies — present
+    // whenever the boundary function reads wrapped interior values — are respected by
+    // the processing order.  Nonperiodic boundary conditions are recovered in the
+    // boundary clone's base case.
+    let params = crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
+    let walker =
+        Walker::with_params(params, plan.coarsening.dt, strategy, par, base).with_grain(plan.grain);
+    walker.walk(&Zoid::full_grid(sizes, t0, t1));
+}
+
+/// Serial recursion mirroring [`Walker::walk`] without `Sync` bounds on the base
+/// callback; used by the traced execution mode, whose tracers typically use plain
+/// `Cell` state and never leave the calling thread.
+fn walk_serial<B, const D: usize>(
+    zoid: &Zoid<D>,
+    params: &crate::hyperspace::CutParams<D>,
+    max_height: i64,
+    strategy: CutStrategy,
+    base: &B,
+) where
+    B: Fn(&Zoid<D>),
+{
+    if zoid.volume() == 0 {
+        return;
+    }
+    if let Some(cut) = cut_with_strategy(zoid, params, strategy) {
+        for level in &cut.levels {
+            for sub in level {
+                walk_serial(sub, params, max_height, strategy, base);
+            }
+        }
+    } else if zoid.height() > max_height {
+        let (lower, upper) = zoid.time_cut();
+        walk_serial(&lower, params, max_height, strategy, base);
+        walk_serial(&upper, params, max_height, strategy, base);
+    } else {
+        base(zoid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::Boundary;
+    use crate::engine::plan::Coarsening;
+    use crate::shape::star_shape;
+    use crate::view::GridAccess;
+
+    struct Heat2D;
+    impl StencilKernel<f64, 2> for Heat2D {
+        fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+            let c = g.get(t, x);
+            let v = c
+                + 0.1 * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+                + 0.1 * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+            g.set(t + 1, x, v);
+        }
+    }
+
+    fn make_array(n: usize) -> PochoirArray<f64, 2> {
+        let mut a = PochoirArray::new([n, n]);
+        a.register_boundary(Boundary::Periodic);
+        a.fill_time_slice(0, |x| ((x[0] * 7 + x[1] * 3) % 13) as f64);
+        a
+    }
+
+    fn session(n: usize, window: i64) -> CompiledStencil<f64, Heat2D, 2> {
+        CompiledStencil::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6])),
+            [n, n],
+            window,
+        )
+    }
+
+    #[test]
+    fn session_compiles_eagerly_and_replays() {
+        let s = session(21, 5);
+        assert!(s.schedule().is_some(), "schedule must be compiled at build");
+        assert_eq!(s.stats().schedule_fetches, 1);
+        let mut a = make_array(21);
+        s.run_with(&mut a, 0, 5, &Serial);
+        s.run_with(&mut a, 5, 10, &Serial);
+        s.run_with(&mut a, 10, 15, &Serial);
+        let stats = s.stats();
+        assert_eq!(stats.runs, 3);
+        assert_eq!(
+            stats.schedule_reuses, 3,
+            "all windows replay the pinned Arc"
+        );
+        assert_eq!(stats.schedule_fetches, 1, "only the eager build fetched");
+    }
+
+    #[test]
+    fn height_change_repins_without_losing_the_session() {
+        let s = session(17, 4);
+        let first = s.schedule().unwrap();
+        let mut a = make_array(17);
+        s.run_with(&mut a, 0, 4, &Serial);
+        s.run_with(&mut a, 4, 10, &Serial); // height 6: re-pin
+        let second = s.schedule().unwrap();
+        assert_eq!(second.height(), 6);
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(s.stats().schedule_fetches, 2);
+        s.run_with(&mut a, 10, 16, &Serial); // height 6 again: replay
+        assert_eq!(s.stats().schedule_fetches, 2);
+        assert_eq!(s.stats().schedule_reuses, 2);
+    }
+
+    #[test]
+    fn empty_window_is_a_no_op() {
+        let s = session(9, 3);
+        let mut a = make_array(9);
+        let before = a.snapshot(0);
+        s.run_with(&mut a, 5, 5, &Serial);
+        assert_eq!(a.snapshot(0), before);
+        assert_eq!(s.stats().runs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match the session's compiled extents")]
+    fn mismatched_extents_are_rejected() {
+        let s = session(12, 3);
+        let mut a = make_array(16);
+        s.run_with(&mut a, 0, 3, &Serial);
+    }
+
+    #[test]
+    fn loops_route_ignores_schedule_machinery() {
+        let s = CompiledStencil::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            ExecutionPlan::loops_serial(),
+            [11, 11],
+            6,
+        );
+        assert!(s.schedule().is_none());
+        let mut a = make_array(11);
+        s.run_with(&mut a, 0, 6, &Serial);
+        assert_eq!(s.stats().schedule_fetches, 0);
+        assert_eq!(s.stats().runs, 1);
+    }
+}

@@ -1,29 +1,49 @@
 //! The stencil execution engines: TRAP (hyperspace cuts), STRAP (single space cuts), and
 //! the loop baselines, plus the traced execution mode used by the cache experiments.
+//!
+//! All entry points here are thin wrappers over the [`executor`] session layer: they
+//! build a transient [`executor::CompiledProgram`] per call and execute through it, so
+//! callers that run a geometry once pay one schedule-cache lookup — while callers that
+//! run many windows should hold a [`CompiledStencil`] and pay none.
 
 pub mod base;
+pub mod executor;
 pub mod loops;
 pub mod plan;
 pub mod schedule;
 pub mod walker;
 
+pub use executor::{CompiledProgram, CompiledStencil, SessionStats};
 pub use plan::{
     BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode, ScheduleMode,
 };
 pub use schedule::{Schedule, ScheduledLeaf};
 pub use walker::CutStrategy;
 
-use crate::grid::{PochoirArray, RawGrid};
+use crate::grid::PochoirArray;
 use crate::kernel::{StencilKernel, StencilSpec};
-use crate::view::{AccessTracer, TracingView};
-use crate::zoid::Zoid;
-use pochoir_runtime::{Parallelism, Serial};
-use walker::Walker;
+use crate::view::AccessTracer;
+use pochoir_runtime::Parallelism;
+
+/// Builds the transient one-call session behind [`run`] / [`run_traced`].
+fn transient_program<T, const D: usize>(
+    array: &PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    plan: &ExecutionPlan<D>,
+    height: i64,
+) -> CompiledProgram<D>
+where
+    T: Copy,
+{
+    CompiledProgram::new(spec.clone(), *plan, array.sizes_i64(), height)
+}
 
 /// Runs the stencil described by `spec`/`kernel` over kernel-invocation times `[t0, t1)`
 /// on `array`, using the engine selected by `plan` and the parallelism provider `par`.
 ///
-/// This is the operation behind the paper's `name.Run(T, kern)`.
+/// This is the operation behind the paper's `name.Run(T, kern)`.  Each call builds a
+/// transient executor session; to amortize validation and schedule resolution across
+/// many runs, hold a [`CompiledStencil`] instead.
 pub fn run<T, K, P, const D: usize>(
     array: &mut PochoirArray<T, D>,
     spec: &StencilSpec<D>,
@@ -37,41 +57,7 @@ pub fn run<T, K, P, const D: usize>(
     K: StencilKernel<T, D>,
     P: Parallelism,
 {
-    assert!(
-        array.time_slices() >= spec.shape().time_slices(),
-        "array holds {} time slices but the stencil shape has depth {} and needs {}",
-        array.time_slices(),
-        spec.depth(),
-        spec.shape().time_slices()
-    );
-    if t1 <= t0 {
-        return;
-    }
-    let grid = array.raw();
-    match plan.engine {
-        EngineKind::Trap | EngineKind::Strap => {
-            let strategy = if plan.engine == EngineKind::Trap {
-                CutStrategy::Hyperspace
-            } else {
-                CutStrategy::SingleDimension
-            };
-            // The compiled-schedule path is the production default; (almost) uncoarsened
-            // decompositions of large grids would materialize enormous arenas, so those
-            // stay on the storeless recursive walker.
-            if plan.schedule == ScheduleMode::Compiled
-                && schedule::should_compile(grid.sizes(), &plan.coarsening, t1 - t0)
-            {
-                schedule::run_compiled(grid, spec, kernel, t0, t1, plan, par, strategy);
-            } else {
-                run_recursive(grid, spec, kernel, t0, t1, plan, par, strategy);
-            }
-        }
-        EngineKind::LoopsSerial => {
-            loops::run_loops(grid, spec, kernel, t0, t1, plan, &Serial, false)
-        }
-        EngineKind::LoopsParallel => loops::run_loops(grid, spec, kernel, t0, t1, plan, par, false),
-        EngineKind::LoopsBlocked => loops::run_loops(grid, spec, kernel, t0, t1, plan, par, true),
-    }
+    transient_program(array, spec, plan, t1 - t0).run(array, kernel, t0, t1, par);
 }
 
 /// Convenience wrapper over [`run`] using the process-global work-stealing runtime.
@@ -97,52 +83,12 @@ pub fn run_with_global_runtime<T, K, const D: usize>(
     );
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_recursive<T, K, P, const D: usize>(
-    grid: RawGrid<'_, T, D>,
-    spec: &StencilSpec<D>,
-    kernel: &K,
-    t0: i64,
-    t1: i64,
-    plan: &ExecutionPlan<D>,
-    par: &P,
-    strategy: CutStrategy,
-) where
-    T: Copy + Send + Sync,
-    K: StencilKernel<T, D>,
-    P: Parallelism,
-{
-    let sizes = grid.sizes();
-    let reach = spec.reach();
-    let force_boundary = plan.clone_mode == CloneMode::AlwaysBoundary;
-    let index_mode = plan.index_mode;
-    let base_case = plan.base_case;
-
-    // The base-case callback implements the *code cloning* of Section 4: interior zoids
-    // run the fast interior clone (monomorphized over `InteriorView`, row-oriented by
-    // default), everything else runs the boundary clone (monomorphized over
-    // `BoundaryView`).
-    let base = move |z: &Zoid<D>| {
-        let interior = !force_boundary && z.is_interior(sizes, reach);
-        base::execute_clone(z, grid, kernel, sizes, interior, index_mode, base_case);
-    };
-
-    // The unified periodic/nonperiodic scheme (Section 4): the decomposition always
-    // treats every dimension as a torus, so wraparound data dependencies — present
-    // whenever the boundary function reads wrapped interior values — are respected by the
-    // processing order.  Nonperiodic boundary conditions are recovered in the boundary
-    // clone's base case.
-    let params = crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
-    let walker =
-        Walker::with_params(params, plan.coarsening.dt, strategy, par, base).with_grain(plan.grain);
-    walker.walk(&Zoid::full_grid(sizes, t0, t1));
-}
-
 /// Runs the stencil single-threaded while reporting every grid access to `tracer`.
 ///
 /// This mode reproduces the instrumentation behind Figure 10: the same decomposition the
-/// selected engine would perform, with every read and write forwarded to a cache
-/// simulator (or any other [`AccessTracer`]).
+/// selected engine would perform — honouring the plan's [`ScheduleMode`], so compiled
+/// plans trace the arena sweep and recursive plans trace the recursion — with every read
+/// and write forwarded to a cache simulator (or any other [`AccessTracer`]).
 pub fn run_traced<T, K, C, const D: usize>(
     array: &mut PochoirArray<T, D>,
     spec: &StencilSpec<D>,
@@ -156,71 +102,15 @@ pub fn run_traced<T, K, C, const D: usize>(
     K: StencilKernel<T, D>,
     C: AccessTracer,
 {
-    if t1 <= t0 {
-        return;
-    }
-    let grid = array.raw();
-    let sizes = grid.sizes();
-    match plan.engine {
-        EngineKind::Trap | EngineKind::Strap => {
-            let strategy = if plan.engine == EngineKind::Trap {
-                CutStrategy::Hyperspace
-            } else {
-                CutStrategy::SingleDimension
-            };
-            let view = TracingView::new(grid, tracer);
-            let base =
-                |z: &Zoid<D>| base::execute_zoid(z, kernel, &view, Some(sizes), plan.base_case);
-            let params =
-                crate::hyperspace::CutParams::unified(spec.slopes(), plan.coarsening.dx, sizes);
-            walk_serial(
-                &Zoid::full_grid(sizes, t0, t1),
-                &params,
-                plan.coarsening.dt,
-                strategy,
-                &base,
-            );
-        }
-        EngineKind::LoopsSerial | EngineKind::LoopsParallel | EngineKind::LoopsBlocked => {
-            let view = TracingView::new(grid, tracer);
-            loops::run_loops_with_view(&view, sizes, kernel, t0, t1, plan.base_case);
-        }
-    }
-}
-
-/// Serial recursion mirroring [`walker::Walker::walk`] without `Sync` bounds on the base
-/// callback; used by the traced execution mode, whose tracers typically use plain `Cell`
-/// state and never leave the calling thread.
-fn walk_serial<B, const D: usize>(
-    zoid: &Zoid<D>,
-    params: &crate::hyperspace::CutParams<D>,
-    max_height: i64,
-    strategy: CutStrategy,
-    base: &B,
-) where
-    B: Fn(&Zoid<D>),
-{
-    if zoid.volume() == 0 {
-        return;
-    }
-    if let Some(cut) = walker::cut_with_strategy(zoid, params, strategy) {
-        for level in &cut.levels {
-            for sub in level {
-                walk_serial(sub, params, max_height, strategy, base);
-            }
-        }
-    } else if zoid.height() > max_height {
-        let (lower, upper) = zoid.time_cut();
-        walk_serial(&lower, params, max_height, strategy, base);
-        walk_serial(&upper, params, max_height, strategy, base);
-    } else {
-        base(zoid);
-    }
+    transient_program(array, spec, plan, t1 - t0).run_traced(array, kernel, t0, t1, tracer);
 }
 
 /// Runs every engine on identical copies of the initial state and asserts they produce
 /// identical results; returns the reference result.  Exposed for integration tests and
 /// examples that want to demonstrate the Pochoir Guarantee at the engine level.
+///
+/// Each plan executes through its own [`CompiledStencil`] session, so this doubles as
+/// an integration check of the executor layer.
 pub fn assert_engines_agree<T, K, const D: usize>(
     make_array: impl Fn() -> PochoirArray<T, D>,
     spec: &StencilSpec<D>,
@@ -238,7 +128,8 @@ where
     let mut reference: Option<Vec<T>> = None;
     for plan in plans {
         let mut array = make_array();
-        run(&mut array, spec, kernel, t0, t1, plan, rt);
+        let session = CompiledStencil::new(spec.clone(), kernel, *plan, array.sizes(), t1 - t0);
+        session.run_with(&mut array, t0, t1, rt);
         let snap = array.snapshot(t1 - 1 + spec.shape().home_dt() as i64);
         match &reference {
             None => reference = Some(snap),
@@ -258,6 +149,7 @@ mod tests {
     use crate::boundary::Boundary;
     use crate::shape::star_shape;
     use crate::view::GridAccess;
+    use pochoir_runtime::Serial;
 
     struct Heat2D {
         cx: f64,

@@ -1,6 +1,8 @@
 //! Execution plans: which engine to run, how to coarsen the base case, and which of the
 //! compiler's code-generation choices (Section 4) to emulate.
 
+use crate::engine::walker::CutStrategy;
+
 /// Which algorithm executes the stencil.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -198,6 +200,21 @@ impl<const D: usize> ExecutionPlan<D> {
         plan
     }
 
+    /// The space-cut strategy of the recursive engines: hyperspace cuts for
+    /// [`EngineKind::Trap`], one dimension at a time for [`EngineKind::Strap`], and
+    /// `None` for the loop engines (which never cut).
+    ///
+    /// This is the single source of the `EngineKind → CutStrategy` mapping; the
+    /// executor, the traced mode and the schedule compiler all resolve the strategy
+    /// through it.
+    pub fn cut_strategy(&self) -> Option<CutStrategy> {
+        match self.engine {
+            EngineKind::Trap => Some(CutStrategy::Hyperspace),
+            EngineKind::Strap => Some(CutStrategy::SingleDimension),
+            EngineKind::LoopsSerial | EngineKind::LoopsParallel | EngineKind::LoopsBlocked => None,
+        }
+    }
+
     /// Builder-style override of the coarsening thresholds.
     pub fn with_coarsening(mut self, coarsening: Coarsening<D>) -> Self {
         self.coarsening = coarsening;
@@ -270,6 +287,24 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_dt_rejected() {
         let _ = Coarsening::<2>::new(0, [1, 1]);
+    }
+
+    #[test]
+    fn cut_strategy_maps_engines() {
+        assert_eq!(
+            ExecutionPlan::<2>::trap().cut_strategy(),
+            Some(CutStrategy::Hyperspace)
+        );
+        assert_eq!(
+            ExecutionPlan::<2>::strap().cut_strategy(),
+            Some(CutStrategy::SingleDimension)
+        );
+        assert_eq!(ExecutionPlan::<2>::loops_serial().cut_strategy(), None);
+        assert_eq!(ExecutionPlan::<2>::loops_parallel().cut_strategy(), None);
+        assert_eq!(
+            ExecutionPlan::<2>::loops_blocked([8, 8]).cut_strategy(),
+            None
+        );
     }
 
     #[test]

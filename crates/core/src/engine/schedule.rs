@@ -78,21 +78,28 @@
 //! the same geometry: a process-global cache keyed by
 //! `(sizes, slopes, reach, coarsening, strategy, clone mode, height)` makes repeated
 //! `run()` calls — time stepping loops, autotuner pilots, benchmark reps — reuse the
-//! compiled decomposition instead of recompiling per call.  Cache outcomes are
-//! reported to [`Parallelism::note_schedule_cache`] so the runtime's metrics expose
-//! hits next to steal counters.
+//! compiled decomposition instead of recompiling per call.  The cache evicts
+//! least-recently-used entries under two limits: an entry-count capacity and a *leaf
+//! budget* (total leaves across all entries, the dominant memory term; configurable via
+//! [`set_cache_leaf_budget`]).  Cache outcomes are reported through the executor to
+//! [`Parallelism::note_schedule_cache`] so the runtime's metrics expose hits and
+//! evictions next to steal counters.
+//!
+//! Sessions ([`crate::engine::executor::CompiledStencil`]) pin the `Arc<Schedule>` they
+//! resolve, so even an evicted schedule stays alive for the sessions using it — eviction
+//! only drops the cache's reference.
 
 use crate::engine::base;
-use crate::engine::plan::{CloneMode, Coarsening, ExecutionPlan};
+use crate::engine::plan::{Coarsening, ExecutionPlan};
 use crate::engine::walker::{cut_with_strategy, CutStrategy};
 use crate::grid::RawGrid;
 use crate::hyperspace::CutParams;
-use crate::kernel::{StencilKernel, StencilSpec};
+use crate::kernel::StencilKernel;
 use crate::zoid::Zoid;
 use pochoir_runtime::Parallelism;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One leaf of a compiled schedule: a base-case zoid with its kernel clone pre-resolved.
@@ -241,7 +248,8 @@ fn coalesce<const D: usize>(leaves: &mut Vec<(ScheduledLeaf<D>, usize)>) {
 
 impl<const D: usize> Schedule<D> {
     /// Compiles the decomposition of the full grid over `[0, height)` under the given
-    /// geometry.  `force_boundary` mirrors [`CloneMode::AlwaysBoundary`].
+    /// geometry.  `force_boundary` mirrors
+    /// [`CloneMode::AlwaysBoundary`](crate::engine::plan::CloneMode::AlwaysBoundary).
     pub fn compile(
         sizes: [i64; D],
         slopes: [i64; D],
@@ -336,6 +344,12 @@ impl<const D: usize> Schedule<D> {
             .map(|&j| &self.leaves[j as usize])
     }
 
+    /// All leaves in depth-first emit order — the serial recursive walker's exact visit
+    /// order.  This is the iteration the serial executor and the traced mode sweep.
+    pub fn leaves(&self) -> impl Iterator<Item = &ScheduledLeaf<D>> {
+        self.leaves.iter()
+    }
+
     /// Total space-time volume covered by the leaves (every grid point of every time
     /// step appears in exactly one leaf, so this equals `height · ∏ sizes`).
     pub fn leaf_volume(&self) -> u128 {
@@ -367,34 +381,17 @@ impl<const D: usize> Schedule<D> {
         let base_case = plan.base_case;
         let run_leaf = move |leaf: &ScheduledLeaf<D>| {
             let z = leaf.zoid.shifted(t_offset);
-            if leaf.interior || !hybrid {
-                base::execute_clone(
-                    &z,
-                    grid,
-                    kernel,
-                    sizes,
-                    leaf.interior,
-                    index_mode,
-                    base_case,
-                );
-            } else {
-                // Boundary leaf: segment-level clone resolution (see `base`).
-                let boundary = crate::view::BoundaryView::new(grid);
-                match index_mode {
-                    crate::engine::plan::IndexMode::Unchecked => {
-                        let interior = crate::view::InteriorView::new(grid);
-                        base::execute_zoid_hybrid(
-                            &z, kernel, &interior, &boundary, sizes, reach, base_case,
-                        );
-                    }
-                    crate::engine::plan::IndexMode::Checked => {
-                        let interior = crate::view::CheckedInteriorView::new(grid);
-                        base::execute_zoid_hybrid(
-                            &z, kernel, &interior, &boundary, sizes, reach, base_case,
-                        );
-                    }
-                }
-            }
+            base::execute_leaf(
+                &z,
+                grid,
+                kernel,
+                sizes,
+                reach,
+                leaf.interior,
+                hybrid,
+                index_mode,
+                base_case,
+            );
         };
         if !par.is_parallel() {
             for leaf in &self.leaves {
@@ -436,54 +433,180 @@ struct CacheEntry {
 
 struct CacheState {
     map: HashMap<CacheKey, CacheEntry>,
+    /// Recency order: front = least recently used, back = most recently used.
     order: VecDeque<CacheKey>,
     /// Sum of `leaves` over all entries.
     total_leaves: usize,
 }
 
-/// Maximum number of cached schedules; beyond it the oldest entries are evicted (FIFO).
+/// Maximum number of cached schedules; beyond it least-recently-used entries are evicted.
 const CACHE_CAPACITY: usize = 128;
 
-/// Total leaves the cache may retain across all entries (size-aware eviction): leaves
-/// dominate a schedule's footprint (~120 B each in 3D), so this caps resident memory at
-/// a few hundred MB even for processes sweeping many large geometries.
-const CACHE_LEAF_BUDGET: usize = 1 << 21;
+/// Default total leaves the cache may retain across all entries (size-aware eviction):
+/// leaves dominate a schedule's footprint (~120 B each in 3D), so this caps resident
+/// memory at a few hundred MB even for processes sweeping many large geometries.
+/// Override with [`set_cache_leaf_budget`].
+const DEFAULT_CACHE_LEAF_BUDGET: usize = 1 << 21;
 
-static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_COMPILES: AtomicU64 = AtomicU64::new(0);
-
-fn cache() -> &'static Mutex<CacheState> {
-    CACHE.get_or_init(|| {
-        Mutex::new(CacheState {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            total_leaves: 0,
-        })
-    })
+/// Outcome of a schedule-cache lookup (see [`schedule_for`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheLookup {
+    /// Whether the schedule was served from the cache without compiling.
+    pub hit: bool,
+    /// Entries evicted (LRU-first) to make room for this insertion.
+    pub evicted: u64,
 }
 
-/// Process-global schedule-cache statistics: `(compiles, hits)` since process start.
-pub fn cache_stats() -> (u64, u64) {
-    (
-        CACHE_COMPILES.load(Ordering::Relaxed),
-        CACHE_HITS.load(Ordering::Relaxed),
-    )
+/// Cumulative schedule-cache counters (see [`cache_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that had to compile a fresh schedule.
+    pub compiles: u64,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Entries evicted under the capacity or leaf-budget limits.
+    pub evictions: u64,
+}
+
+/// An LRU schedule cache bounded by entry count and by total leaf count.
+///
+/// One process-global instance backs [`schedule_for`]; tests construct private
+/// instances to exercise the eviction policy without cross-test interference.
+pub(crate) struct ScheduleCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    leaf_budget: AtomicUsize,
+    hits: AtomicU64,
+    compiles: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ScheduleCache {
+    fn with_limits(capacity: usize, leaf_budget: usize) -> Self {
+        ScheduleCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                total_leaves: 0,
+            }),
+            capacity,
+            leaf_budget: AtomicUsize::new(leaf_budget),
+            hits: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache lookup with an LRU *touch*: a hit moves the entry to the back of the
+    /// recency order.
+    fn get<const D: usize>(&self, key: &CacheKey) -> Option<Arc<Schedule<D>>> {
+        let mut state = self.state.lock().unwrap();
+        let schedule = match state.map.get(key) {
+            Some(entry) => Arc::clone(&entry.schedule).downcast::<Schedule<D>>().ok()?,
+            None => return None,
+        };
+        if let Some(pos) = state.order.iter().position(|k| k == key) {
+            if let Some(k) = state.order.remove(pos) {
+                state.order.push_back(k);
+            }
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(schedule)
+    }
+
+    /// Inserts a freshly compiled schedule, evicting LRU entries until both the entry
+    /// count and the leaf budget have room (a single over-budget schedule is still
+    /// cached — it is in use).  Returns the canonical schedule (the first-inserted one
+    /// if a concurrent compile raced us), whether the insert lost such a race, and the
+    /// number of entries evicted.
+    fn insert<const D: usize>(
+        &self,
+        key: CacheKey,
+        schedule: Arc<Schedule<D>>,
+    ) -> (Arc<Schedule<D>>, bool, u64) {
+        let leaves = schedule.num_leaves();
+        let budget = self.leaf_budget.load(Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.map.get(&key) {
+            // Lost the race: keep the first-inserted schedule so callers observing
+            // `Arc::ptr_eq` reuse see one canonical object.
+            if let Ok(existing) = Arc::clone(&entry.schedule).downcast::<Schedule<D>>() {
+                return (existing, true, 0);
+            }
+        }
+        let mut evicted = 0u64;
+        while !state.order.is_empty()
+            && (state.map.len() >= self.capacity || state.total_leaves + leaves > budget)
+        {
+            if let Some(old) = state.order.pop_front() {
+                if let Some(entry) = state.map.remove(&old) {
+                    state.total_leaves -= entry.leaves;
+                    evicted += 1;
+                }
+            }
+        }
+        state.map.insert(
+            key.clone(),
+            CacheEntry {
+                schedule: Arc::clone(&schedule) as _,
+                leaves,
+            },
+        );
+        state.total_leaves += leaves;
+        state.order.push_back(key);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        (schedule, false, evicted)
+    }
+
+    fn clear(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.map.clear();
+        state.order.clear();
+        state.total_leaves = 0;
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+static CACHE: OnceLock<ScheduleCache> = OnceLock::new();
+
+fn cache() -> &'static ScheduleCache {
+    CACHE.get_or_init(|| ScheduleCache::with_limits(CACHE_CAPACITY, DEFAULT_CACHE_LEAF_BUDGET))
+}
+
+/// Process-global schedule-cache statistics since process start.
+pub fn cache_stats() -> CacheStats {
+    cache().stats()
+}
+
+/// Sets the process-global cache's leaf budget (total leaves retained across all
+/// entries).  Serving deployments sweeping many large geometries can raise it; memory
+/// constrained ones can shrink it.  Takes effect on subsequent insertions.
+pub fn set_cache_leaf_budget(leaves: usize) {
+    cache().leaf_budget.store(leaves.max(1), Ordering::Relaxed);
+}
+
+/// The process-global cache's current leaf budget.
+pub fn cache_leaf_budget() -> usize {
+    cache().leaf_budget.load(Ordering::Relaxed)
 }
 
 /// Empties the process-global schedule cache (the statistics are kept).  Benchmarks use
 /// this to measure cold-compile cost.
 pub fn clear_cache() {
-    let mut state = cache().lock().unwrap();
-    state.map.clear();
-    state.order.clear();
-    state.total_leaves = 0;
+    cache().clear();
 }
 
-/// Returns the cached schedule for the given geometry, compiling and inserting it on a
-/// miss.  The boolean reports whether the lookup was a cache hit.
+/// [`schedule_for`] against an explicit cache instance.
 #[allow(clippy::too_many_arguments)]
-pub fn schedule_for<const D: usize>(
+fn schedule_for_in<const D: usize>(
+    cache: &ScheduleCache,
     sizes: [i64; D],
     slopes: [i64; D],
     reach: [i64; D],
@@ -491,7 +614,7 @@ pub fn schedule_for<const D: usize>(
     strategy: CutStrategy,
     force_boundary: bool,
     height: i64,
-) -> (Arc<Schedule<D>>, bool) {
+) -> (Arc<Schedule<D>>, CacheLookup) {
     let key = CacheKey {
         sizes: sizes.to_vec(),
         slopes: slopes.to_vec(),
@@ -502,11 +625,14 @@ pub fn schedule_for<const D: usize>(
         strategy,
         force_boundary,
     };
-    if let Some(entry) = cache().lock().unwrap().map.get(&key) {
-        if let Ok(schedule) = Arc::clone(&entry.schedule).downcast::<Schedule<D>>() {
-            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return (schedule, true);
-        }
+    if let Some(schedule) = cache.get::<D>(&key) {
+        return (
+            schedule,
+            CacheLookup {
+                hit: true,
+                evicted: 0,
+            },
+        );
     }
     // Compile outside the lock; a concurrent compile of the same key wastes a little
     // work but never blocks unrelated lookups behind a long compilation.
@@ -519,37 +645,40 @@ pub fn schedule_for<const D: usize>(
         force_boundary,
         height,
     ));
-    CACHE_COMPILES.fetch_add(1, Ordering::Relaxed);
-    let leaves = schedule.num_leaves();
-    let mut state = cache().lock().unwrap();
-    if let Some(entry) = state.map.get(&key) {
-        // Lost the race: keep the first-inserted schedule so callers observing
-        // `Arc::ptr_eq` reuse see one canonical object.
-        if let Ok(existing) = Arc::clone(&entry.schedule).downcast::<Schedule<D>>() {
-            return (existing, true);
-        }
-    }
-    // Evict oldest-first until both the entry count and the leaf budget have room for
-    // the new entry (a single over-budget schedule is still cached — it is in use).
-    while !state.order.is_empty()
-        && (state.map.len() >= CACHE_CAPACITY || state.total_leaves + leaves > CACHE_LEAF_BUDGET)
-    {
-        if let Some(old) = state.order.pop_front() {
-            if let Some(entry) = state.map.remove(&old) {
-                state.total_leaves -= entry.leaves;
-            }
-        }
-    }
-    state.map.insert(
-        key.clone(),
-        CacheEntry {
-            schedule: Arc::clone(&schedule) as _,
-            leaves,
+    cache.compiles.fetch_add(1, Ordering::Relaxed);
+    let (schedule, raced, evicted) = cache.insert(key, schedule);
+    (
+        schedule,
+        CacheLookup {
+            hit: raced,
+            evicted,
         },
-    );
-    state.total_leaves += leaves;
-    state.order.push_back(key);
-    (schedule, false)
+    )
+}
+
+/// Returns the cached schedule for the given geometry, compiling and inserting it on a
+/// miss.  The [`CacheLookup`] reports whether the lookup was a hit and how many LRU
+/// entries were evicted to make room.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_for<const D: usize>(
+    sizes: [i64; D],
+    slopes: [i64; D],
+    reach: [i64; D],
+    coarsening: Coarsening<D>,
+    strategy: CutStrategy,
+    force_boundary: bool,
+    height: i64,
+) -> (Arc<Schedule<D>>, CacheLookup) {
+    schedule_for_in(
+        cache(),
+        sizes,
+        slopes,
+        reach,
+        coarsening,
+        strategy,
+        force_boundary,
+        height,
+    )
 }
 
 /// Whether compiling a schedule for this geometry is worthwhile: an (almost) uncoarsened
@@ -574,36 +703,6 @@ pub fn should_compile<const D: usize>(
         }
     }
     true
-}
-
-/// Runs `[t0, t1)` through the compiled-schedule path: fetch (or compile) the schedule
-/// for the window height, record the cache outcome, and replay it shifted to `t0`.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_compiled<T, K, P, const D: usize>(
-    grid: RawGrid<'_, T, D>,
-    spec: &StencilSpec<D>,
-    kernel: &K,
-    t0: i64,
-    t1: i64,
-    plan: &ExecutionPlan<D>,
-    par: &P,
-    strategy: CutStrategy,
-) where
-    T: Copy + Send + Sync,
-    K: StencilKernel<T, D>,
-    P: Parallelism,
-{
-    let (schedule, hit) = schedule_for(
-        grid.sizes(),
-        spec.slopes(),
-        spec.reach(),
-        plan.coarsening,
-        strategy,
-        plan.clone_mode == CloneMode::AlwaysBoundary,
-        t1 - t0,
-    );
-    par.note_schedule_cache(hit);
-    schedule.execute(grid, kernel, t0, plan, par);
 }
 
 #[cfg(test)]
@@ -704,7 +803,7 @@ mod tests {
             [1i64, 1],
             Coarsening::new(3, [5, 7]),
         );
-        let (a, hit_a) = schedule_for(
+        let (a, look_a) = schedule_for(
             args.0,
             args.1,
             args.2,
@@ -713,7 +812,7 @@ mod tests {
             false,
             11,
         );
-        let (b, hit_b) = schedule_for(
+        let (b, look_b) = schedule_for(
             args.0,
             args.1,
             args.2,
@@ -722,14 +821,14 @@ mod tests {
             false,
             11,
         );
-        assert!(!hit_a);
-        assert!(hit_b);
+        assert!(!look_a.hit);
+        assert!(look_b.hit);
         assert!(Arc::ptr_eq(&a, &b));
-        let (compiles, hits) = cache_stats();
-        assert!(compiles >= 1);
-        assert!(hits >= 1);
+        let stats = cache_stats();
+        assert!(stats.compiles >= 1);
+        assert!(stats.hits >= 1);
         // A different height is a different schedule.
-        let (c, hit_c) = schedule_for(
+        let (c, look_c) = schedule_for(
             args.0,
             args.1,
             args.2,
@@ -738,9 +837,80 @@ mod tests {
             false,
             12,
         );
-        assert!(!hit_c);
+        assert!(!look_c.hit);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.height(), 12);
+    }
+
+    /// Looks up height `h` of a fixed 2D geometry in a private cache instance.
+    fn lookup_height(cache: &ScheduleCache, h: i64) -> (Arc<Schedule<2>>, CacheLookup) {
+        schedule_for_in(
+            cache,
+            [40i64, 40],
+            [1, 1],
+            [1, 1],
+            Coarsening::new(2, [8, 8]),
+            CutStrategy::Hyperspace,
+            false,
+            h,
+        )
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        // Capacity 2: insert h=1 and h=2, touch h=1, insert h=3.  The LRU policy must
+        // evict h=2 (least recently used), not h=1 (FIFO would evict h=1).
+        let cache = ScheduleCache::with_limits(2, usize::MAX);
+        let (s1, _) = lookup_height(&cache, 1);
+        lookup_height(&cache, 2);
+        let (_, touch) = lookup_height(&cache, 1); // touch: h=1 is now most recent
+        assert!(touch.hit);
+        let (_, third) = lookup_height(&cache, 3);
+        assert_eq!(third.evicted, 1);
+        let (s1_again, after) = lookup_height(&cache, 1);
+        assert!(after.hit, "recently-touched entry must survive eviction");
+        assert!(Arc::ptr_eq(&s1, &s1_again));
+        let (_, h2) = lookup_height(&cache, 2);
+        assert!(!h2.hit, "least-recently-used entry must have been evicted");
+        assert_eq!(cache.stats().evictions, 2); // one for h=3's insert, one for h=2's re-insert
+    }
+
+    #[test]
+    fn leaf_budget_bounds_total_cached_leaves() {
+        // A budget below two schedules' combined leaves forces evictions on insert even
+        // though the entry capacity has room.
+        let probe = ScheduleCache::with_limits(64, usize::MAX);
+        let (s, _) = lookup_height(&probe, 4);
+        let per_schedule = s.num_leaves();
+        assert!(per_schedule > 0);
+
+        let cache = ScheduleCache::with_limits(64, per_schedule + per_schedule / 2);
+        let (_, first) = lookup_height(&cache, 4);
+        assert!(!first.hit);
+        assert_eq!(first.evicted, 0);
+        // Same leaf count (same geometry, different height ⇒ different key, ≥ same
+        // leaves): over budget, so the first entry is evicted.
+        let (_, second) = lookup_height(&cache, 8);
+        assert!(!second.hit);
+        assert!(second.evicted >= 1, "leaf budget must trigger eviction");
+        assert_eq!(cache.state.lock().unwrap().map.len(), 1);
+    }
+
+    #[test]
+    fn leaves_iterate_in_depth_first_order() {
+        let s = compile_2d(24, 6, 2, 4);
+        let from_iter: Vec<_> = s.leaves().copied().collect();
+        assert_eq!(from_iter.len(), s.num_leaves());
+        assert_eq!(&from_iter[..], &s.leaves[..]);
+    }
+
+    #[test]
+    fn global_leaf_budget_is_configurable() {
+        let original = cache_leaf_budget();
+        set_cache_leaf_budget(original + 1);
+        assert_eq!(cache_leaf_budget(), original + 1);
+        set_cache_leaf_budget(original);
+        assert_eq!(cache_leaf_budget(), original);
     }
 
     #[test]

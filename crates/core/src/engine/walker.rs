@@ -10,8 +10,21 @@
 //!    clones.
 //!
 //! The walker itself is generic over the base-case callback so that the same recursion
-//! drives the production engines, the cache-tracing runs of Figure 10, and the
-//! write-once verification used in tests.
+//! drives the executors, the cache-tracing runs of Figure 10, and the write-once
+//! verification used in tests.
+//!
+//! ## Status: reference path
+//!
+//! Since the compiled-schedule engine
+//! ([`ScheduleMode::Compiled`](crate::engine::plan::ScheduleMode), the TRAP/STRAP
+//! default) the walker is **demoted to the reference path**: the executor routes runs
+//! through it only under [`ScheduleMode::Recursive`](crate::engine::plan::ScheduleMode)
+//! — the equivalence-test reference and the fallback for (almost) uncoarsened giant
+//! geometries that [`schedule::should_compile`](crate::engine::schedule::should_compile)
+//! rejects.  Its leaves execute through the same
+//! [`base::execute_leaf`](crate::engine::base::execute_leaf) dispatch as compiled
+//! leaves — including segment-level clone resolution — so "reference" means *same
+//! bits, re-derived control flow*, not a second semantics.
 
 use crate::engine::plan::Coarsening;
 use crate::hyperspace::{hyperspace_cut_params, single_space_cut_params, CutParams, HyperspaceCut};

@@ -1,0 +1,241 @@
+//! Executor-session properties: a [`CompiledStencil`] built once and replayed across
+//! shifted time windows must (a) produce bitwise-identical results to one long run,
+//! (b) reuse the very same `Arc<Schedule>` across the windows (zero compilations after
+//! build), and (c) drive the traced mode so that compiled and recursive traced runs
+//! report identical access counts.
+
+use pochoir_core::engine::{schedule, CompiledStencil};
+use pochoir_core::prelude::*;
+use pochoir_runtime::Serial;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// 2D heat kernel.
+struct Heat2D {
+    cx: f64,
+    cy: f64,
+}
+
+impl StencilKernel<f64, 2> for Heat2D {
+    fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let c = g.get(t, x);
+        let v = c
+            + self.cx * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+            + self.cy * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+        g.set(t + 1, x, v);
+    }
+}
+
+fn make_array(n: usize, boundary: Boundary<f64, 2>) -> PochoirArray<f64, 2> {
+    let mut a: PochoirArray<f64, 2> = PochoirArray::new([n, n]);
+    a.register_boundary(boundary);
+    a.fill_time_slice(0, |x| ((x[0] * 37 + x[1] * 11) % 29) as f64 / 3.0);
+    a
+}
+
+/// Runs one session across `windows` shifted windows of height `period` and asserts
+/// bitwise equality with a single long run, plus `Arc<Schedule>` identity across the
+/// windows and zero post-build compilations.
+fn assert_session_replays(engine: EngineKind, boundary: Boundary<f64, 2>) {
+    let n = 27usize;
+    let period = 5i64;
+    let windows = 3i64;
+    let kernel = Heat2D { cx: 0.11, cy: 0.07 };
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(2, [6, 6]));
+
+    let session = CompiledStencil::new(
+        spec.clone(),
+        Heat2D { cx: 0.11, cy: 0.07 },
+        plan,
+        [n, n],
+        period,
+    );
+    let pinned_at_build = session.schedule().expect("eagerly compiled at build");
+    let built = session.stats();
+    assert_eq!(built.schedule_fetches, 1);
+
+    let mut stepped = make_array(n, boundary.clone());
+    for w in 0..windows {
+        session.run_with(&mut stepped, w * period, (w + 1) * period, &Serial);
+        // Identity: every window replays the very Arc pinned at build time.
+        let now = session.schedule().expect("still pinned");
+        assert!(
+            Arc::ptr_eq(&pinned_at_build, &now),
+            "{engine:?}: window {w} must reuse the schedule compiled at build"
+        );
+    }
+    let after = session.stats();
+    assert_eq!(after.runs, windows as u64);
+    assert_eq!(after.schedule_reuses, windows as u64);
+    assert_eq!(
+        after.schedule_fetches, built.schedule_fetches,
+        "{engine:?}: replays must not touch the schedule cache"
+    );
+    assert_eq!(
+        after.schedule_compiles, built.schedule_compiles,
+        "{engine:?}: replays must compile nothing"
+    );
+
+    // Bitwise equality with one long run over the whole range (through the plain entry
+    // point, which routes through a transient session of its own).
+    let mut whole = make_array(n, boundary);
+    run(
+        &mut whole,
+        &spec,
+        &kernel,
+        0,
+        windows * period,
+        &plan,
+        &Serial,
+    );
+    assert_eq!(
+        stepped.snapshot(windows * period),
+        whole.snapshot(windows * period),
+        "{engine:?}: stepped session windows must equal one long run bitwise"
+    );
+}
+
+#[test]
+fn trap_session_replays_shifted_windows_bitwise() {
+    assert_session_replays(EngineKind::Trap, Boundary::Periodic);
+    assert_session_replays(EngineKind::Trap, Boundary::Constant(0.25));
+}
+
+#[test]
+fn strap_session_replays_shifted_windows_bitwise() {
+    assert_session_replays(EngineKind::Strap, Boundary::Periodic);
+    assert_session_replays(EngineKind::Strap, Boundary::Clamp);
+}
+
+/// The recursive reference walker now shares segment-level clone resolution with the
+/// compiled path: both must agree bitwise with the loop nest on a boundary-heavy
+/// periodic problem (where hybrid resolution actually kicks in).
+#[test]
+fn recursive_walker_is_bitwise_equivalent_under_hybrid_clones() {
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let kernel = Heat2D { cx: 0.09, cy: 0.13 };
+    let steps = 7i64;
+    let mut snaps = Vec::new();
+    for mode in [ScheduleMode::Compiled, ScheduleMode::Recursive] {
+        let mut a = make_array(23, Boundary::Periodic);
+        let plan = ExecutionPlan::trap()
+            .with_coarsening(Coarsening::new(2, [5, 5]))
+            .with_schedule_mode(mode);
+        run(&mut a, &spec, &kernel, 0, steps, &plan, &Serial);
+        snaps.push(a.snapshot(steps));
+    }
+    let mut reference = make_array(23, Boundary::Periodic);
+    run(
+        &mut reference,
+        &spec,
+        &kernel,
+        0,
+        steps,
+        &ExecutionPlan::loops_serial(),
+        &Serial,
+    );
+    let loops = reference.snapshot(steps);
+    assert_eq!(snaps[0], loops, "compiled vs loops");
+    assert_eq!(snaps[1], loops, "recursive (hybrid clones) vs loops");
+}
+
+#[derive(Default)]
+struct Counter {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl AccessTracer for Counter {
+    fn on_read(&self, _addr: usize, _bytes: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_write(&self, _addr: usize, _bytes: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Traced decomposition honours `plan.schedule`: the compiled sweep and the recursive
+/// walk cover the same space-time points exactly once, so their read/write counts are
+/// identical — for both engines and both base-case styles.
+#[test]
+fn traced_compiled_and_recursive_report_identical_counts() {
+    let n = 19usize;
+    let steps = 6i64;
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let kernel = Heat2D { cx: 0.1, cy: 0.1 };
+    for engine in [EngineKind::Trap, EngineKind::Strap] {
+        for base_case in [BaseCase::Row, BaseCase::Point] {
+            let mut counts = Vec::new();
+            for mode in [ScheduleMode::Compiled, ScheduleMode::Recursive] {
+                let mut a = make_array(n, Boundary::Periodic);
+                let plan = ExecutionPlan::new(engine)
+                    .with_coarsening(Coarsening::new(2, [4, 4]))
+                    .with_base_case(base_case)
+                    .with_schedule_mode(mode);
+                let counter = Counter::default();
+                run_traced(&mut a, &spec, &kernel, 0, steps, &plan, &counter);
+                counts.push((
+                    counter.reads.load(Ordering::Relaxed),
+                    counter.writes.load(Ordering::Relaxed),
+                ));
+            }
+            assert_eq!(
+                counts[0], counts[1],
+                "{engine:?}/{base_case:?}: compiled and recursive traced runs must count \
+                 the same accesses"
+            );
+            // And the absolute counts match the kernel arithmetic: 5 reads and 1 write
+            // per space-time point.
+            let points = (n * n) as u64 * steps as u64;
+            assert_eq!(counts[0].1, points);
+            assert_eq!(counts[0].0, 5 * points);
+        }
+    }
+}
+
+/// A traced session resolves its schedule through the same pinned slot as ordinary
+/// runs: tracing twice performs one fetch.
+#[test]
+fn traced_session_reuses_the_pinned_schedule() {
+    let n = 15usize;
+    let steps = 4i64;
+    let session = CompiledStencil::new(
+        StencilSpec::new(star_shape::<2>(1)),
+        Heat2D { cx: 0.1, cy: 0.1 },
+        ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [4, 4])),
+        [n, n],
+        steps,
+    );
+    let counter = Counter::default();
+    let mut a = make_array(n, Boundary::Periodic);
+    session.run_traced(&mut a, 0, steps, &counter);
+    session.run_traced(&mut a, steps, 2 * steps, &counter);
+    let stats = session.stats();
+    assert_eq!(stats.schedule_fetches, 1, "one eager fetch at build only");
+    assert_eq!(stats.schedule_reuses, 2);
+}
+
+/// The global cache cooperates with sessions: two sessions over the same geometry
+/// share one canonical `Arc<Schedule>` (the second session's build is a cache hit).
+#[test]
+fn sessions_share_schedules_through_the_global_cache() {
+    let plan = ExecutionPlan::<2>::trap().with_coarsening(Coarsening::new(3, [7, 7]));
+    let spec = StencilSpec::new(star_shape::<2>(1));
+    let make =
+        || CompiledStencil::new(spec.clone(), Heat2D { cx: 0.1, cy: 0.1 }, plan, [33, 33], 9);
+    let a = make();
+    let b = make();
+    let (sa, sb) = (a.schedule().unwrap(), b.schedule().unwrap());
+    assert!(
+        Arc::ptr_eq(&sa, &sb),
+        "sessions must share the cached schedule"
+    );
+    // At most one of the two builds compiled; the other was served from the cache.
+    assert!(
+        a.stats().schedule_compiles + b.stats().schedule_compiles <= 1,
+        "at most one compile across the two sessions"
+    );
+    let stats = schedule::cache_stats();
+    assert!(stats.hits >= 1);
+}

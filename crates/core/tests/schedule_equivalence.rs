@@ -285,7 +285,7 @@ fn schedule_is_reused_across_shifted_windows() {
         false,
         period,
     );
-    let (second, hit) = schedule::schedule_for(
+    let (second, lookup) = schedule::schedule_for(
         [26, 26],
         spec.slopes(),
         spec.reach(),
@@ -294,7 +294,7 @@ fn schedule_is_reused_across_shifted_windows() {
         false,
         period,
     );
-    assert!(hit, "second identical lookup must be a cache hit");
+    assert!(lookup.hit, "second identical lookup must be a cache hit");
     assert!(Arc::ptr_eq(&first, &second));
     assert_eq!(first.height(), period);
 }

@@ -5,7 +5,7 @@
 
 use crate::speccheck::{run_checked, SpecViolation};
 use pochoir_core::boundary::Boundary;
-use pochoir_core::engine::{run, ExecutionPlan};
+use pochoir_core::engine::{CompiledProgram, ExecutionPlan, SessionStats};
 use pochoir_core::grid::PochoirArray;
 use pochoir_core::kernel::{StencilKernel, StencilSpec};
 use pochoir_core::shape::Shape;
@@ -63,12 +63,22 @@ impl std::error::Error for PochoirError {}
 /// * [`Pochoir::run_guaranteed`] chains the two, which is the operational statement of
 ///   the **Pochoir Guarantee**: a specification accepted by Phase 1 runs without error
 ///   under Phase 2 and produces the same results.
+///
+/// Phase 2 executes through a held executor session
+/// ([`CompiledProgram`]): the first `run` validates the geometry, resolves the
+/// engine strategy and compiles (or fetches) the schedule; every further `Run(T, kern)`
+/// on the same object replays the pinned schedule with zero validation and zero cache
+/// traffic.  The session is invalidated when the plan or the registered array changes.
 pub struct Pochoir<T, const D: usize> {
     spec: StencilSpec<D>,
     array: Option<PochoirArray<T, D>>,
     plan: ExecutionPlan<D>,
     runtime: Option<Arc<Runtime>>,
     steps_run: i64,
+    /// The executor session behind Phase 2 (kernels arrive by reference per `run`, so
+    /// the object holds the kernel-independent program half).  Rebuilt lazily after
+    /// `set_plan`/`register_array`.
+    session: Option<CompiledProgram<D>>,
 }
 
 impl<T, const D: usize> Pochoir<T, D>
@@ -84,6 +94,7 @@ where
             plan: ExecutionPlan::trap(),
             runtime: None,
             steps_run: 0,
+            session: None,
         }
     }
 
@@ -92,14 +103,16 @@ where
         &self.spec
     }
 
-    /// Overrides the execution plan (engine, coarsening, indexing mode).
+    /// Overrides the execution plan (engine, coarsening, indexing mode).  Invalidates
+    /// the held executor session; the next run rebuilds it.
     pub fn set_plan(&mut self, plan: ExecutionPlan<D>) {
         self.plan = plan;
+        self.session = None;
     }
 
     /// Builder-style plan override.
     pub fn with_plan(mut self, plan: ExecutionPlan<D>) -> Self {
-        self.plan = plan;
+        self.set_plan(plan);
         self
     }
 
@@ -121,6 +134,7 @@ where
         }
         self.array = Some(array);
         self.steps_run = 0;
+        self.session = None;
         Ok(())
     }
 
@@ -147,8 +161,9 @@ where
         self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)
     }
 
-    /// Removes and returns the registered array.
+    /// Removes and returns the registered array.  Invalidates the executor session.
     pub fn take_array(&mut self) -> Result<PochoirArray<T, D>, PochoirError> {
+        self.session = None;
         self.array.take().ok_or(PochoirError::NoArrayRegistered)
     }
 
@@ -168,21 +183,49 @@ where
         (t0, t0 + steps)
     }
 
+    /// Ensures the held executor session exists (building it compiles the schedule for
+    /// windows of height `window`) and returns it alongside the registered array.
+    fn session_and_array(
+        &mut self,
+        window: i64,
+    ) -> Result<(&CompiledProgram<D>, &mut PochoirArray<T, D>), PochoirError> {
+        let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
+        if self.session.is_none() {
+            self.session = Some(CompiledProgram::new(
+                self.spec.clone(),
+                self.plan,
+                array.sizes_i64(),
+                window,
+            ));
+        }
+        Ok((self.session.as_ref().expect("just built"), array))
+    }
+
+    /// Executor-session counters of the held Phase-2 session: runs, pinned-schedule
+    /// reuses, cache fetches and fresh compilations.  `None` before the first run (or
+    /// after a plan/array change invalidated the session).
+    ///
+    /// A steady-state object reports `schedule_compiles` and `schedule_fetches`
+    /// constant while `runs`/`schedule_reuses` grow — the observable form of the
+    /// "compile once, run many times" contract.
+    pub fn session_stats(&self) -> Option<SessionStats> {
+        self.session.as_ref().map(|s| s.stats())
+    }
+
     /// **Phase 2**: runs the optimized engine (TRAP by default) for `steps` further time
     /// steps with the given kernel (`heat.Run(T, heat_fn)` in Figure 6).  Runs may be
-    /// resumed: a second call continues from where the first one stopped.
+    /// resumed: a second call continues from where the first one stopped; repeated runs
+    /// of the same step count replay the session's pinned compiled schedule.
     pub fn run<K>(&mut self, steps: i64, kernel: &K) -> Result<(), PochoirError>
     where
         K: StencilKernel<T, D>,
     {
         let (t0, t1) = self.invocation_range(steps);
-        let plan = self.plan;
-        let spec = self.spec.clone();
         let runtime = self.runtime.clone();
-        let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
+        let (session, array) = self.session_and_array(t1 - t0)?;
         match runtime {
-            Some(rt) => run(array, &spec, kernel, t0, t1, &plan, rt.as_ref()),
-            None => run(array, &spec, kernel, t0, t1, &plan, Runtime::global()),
+            Some(rt) => session.run(array, kernel, t0, t1, rt.as_ref()),
+            None => session.run(array, kernel, t0, t1, Runtime::global()),
         }
         self.steps_run += steps;
         Ok(())
@@ -196,10 +239,8 @@ where
         P: Parallelism,
     {
         let (t0, t1) = self.invocation_range(steps);
-        let plan = self.plan;
-        let spec = self.spec.clone();
-        let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
-        run(array, &spec, kernel, t0, t1, &plan, par);
+        let (session, array) = self.session_and_array(t1 - t0)?;
+        session.run(array, kernel, t0, t1, par);
         self.steps_run += steps;
         Ok(())
     }
@@ -327,6 +368,43 @@ mod tests {
             a.array().unwrap().snapshot(a.result_time()),
             b.array().unwrap().snapshot(b.result_time())
         );
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_compiled_session() {
+        let mut p = heat_object(32);
+        assert!(
+            p.session_stats().is_none(),
+            "no session before the first run"
+        );
+        p.run(10, &Heat1D).unwrap();
+        let first = p.session_stats().unwrap();
+        p.run(10, &Heat1D).unwrap();
+        let second = p.session_stats().unwrap();
+        assert_eq!(
+            second.schedule_compiles, first.schedule_compiles,
+            "a second run on the same object must compile nothing"
+        );
+        assert_eq!(
+            second.schedule_fetches, first.schedule_fetches,
+            "a second run must not even touch the schedule cache"
+        );
+        assert_eq!(second.schedule_reuses, first.schedule_reuses + 1);
+        assert_eq!(second.runs, first.runs + 1);
+    }
+
+    #[test]
+    fn plan_change_invalidates_the_session() {
+        let mut p = heat_object(24);
+        p.run(6, &Heat1D).unwrap();
+        assert!(p.session_stats().is_some());
+        p.set_plan(ExecutionPlan::strap());
+        assert!(
+            p.session_stats().is_none(),
+            "set_plan must drop the stale session"
+        );
+        p.run(6, &Heat1D).unwrap();
+        assert_eq!(p.steps_run(), 12);
     }
 
     #[test]

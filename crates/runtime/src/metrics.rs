@@ -6,7 +6,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters accumulated over the lifetime of a [`Registry`](crate::registry::Registry).
+/// Counters accumulated over the lifetime of a worker registry (one per
+/// [`Runtime`](crate::Runtime)).
 #[derive(Debug, Default)]
 pub struct Metrics {
     spawned: AtomicU64,
@@ -14,6 +15,7 @@ pub struct Metrics {
     executed: AtomicU64,
     schedule_cache_hits: AtomicU64,
     schedule_cache_misses: AtomicU64,
+    schedule_cache_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -29,6 +31,9 @@ pub struct MetricsSnapshot {
     pub schedule_cache_hits: u64,
     /// Compiled-schedule lookups that had to compile a fresh schedule.
     pub schedule_cache_misses: u64,
+    /// Schedule-cache entries evicted (LRU, under the entry or leaf-budget limits) by
+    /// lookups reported to this runtime.
+    pub schedule_cache_evictions: u64,
 }
 
 impl Metrics {
@@ -61,6 +66,12 @@ impl Metrics {
         }
     }
 
+    #[inline]
+    pub(crate) fn note_schedule_evictions(&self, evicted: u64) {
+        self.schedule_cache_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -69,6 +80,7 @@ impl Metrics {
             executed: self.executed.load(Ordering::Relaxed),
             schedule_cache_hits: self.schedule_cache_hits.load(Ordering::Relaxed),
             schedule_cache_misses: self.schedule_cache_misses.load(Ordering::Relaxed),
+            schedule_cache_evictions: self.schedule_cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,6 +98,9 @@ impl MetricsSnapshot {
             schedule_cache_misses: later
                 .schedule_cache_misses
                 .saturating_sub(self.schedule_cache_misses),
+            schedule_cache_evictions: later
+                .schedule_cache_evictions
+                .saturating_sub(self.schedule_cache_evictions),
         }
     }
 }
@@ -113,9 +128,11 @@ mod tests {
         m.note_schedule_cache(false);
         m.note_schedule_cache(true);
         m.note_schedule_cache(true);
+        m.note_schedule_evictions(3);
         let s = m.snapshot();
         assert_eq!(s.schedule_cache_hits, 2);
         assert_eq!(s.schedule_cache_misses, 1);
+        assert_eq!(s.schedule_cache_evictions, 3);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub trait Parallelism: Sync {
     /// scheduler metrics.  The default is a no-op ([`Serial`] keeps no counters).
     fn note_schedule_cache(&self, _hit: bool) {}
 
+    /// Records schedule-cache entries evicted by a lookup this provider drove, if this
+    /// provider keeps scheduler metrics.  The default is a no-op.
+    fn note_schedule_evictions(&self, _evicted: u64) {}
+
     /// Number of hardware workers available to this provider.
     fn num_workers(&self) -> usize;
 
@@ -107,6 +111,10 @@ impl Parallelism for Runtime {
         Runtime::note_schedule_cache(self, hit);
     }
 
+    fn note_schedule_evictions(&self, evicted: u64) {
+        Runtime::note_schedule_evictions(self, evicted);
+    }
+
     fn num_workers(&self) -> usize {
         self.num_threads()
     }
@@ -132,6 +140,10 @@ impl<P: Parallelism> Parallelism for &P {
 
     fn note_schedule_cache(&self, hit: bool) {
         (**self).note_schedule_cache(hit);
+    }
+
+    fn note_schedule_evictions(&self, evicted: u64) {
+        (**self).note_schedule_evictions(evicted);
     }
 
     fn num_workers(&self) -> usize {

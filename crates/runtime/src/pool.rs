@@ -82,6 +82,11 @@ impl Runtime {
         self.registry.metrics().note_schedule_cache(hit);
     }
 
+    /// Records schedule-cache entries evicted by a lookup this pool drove.
+    pub fn note_schedule_evictions(&self, evicted: u64) {
+        self.registry.metrics().note_schedule_evictions(evicted);
+    }
+
     /// Runs `op` inside the pool, blocking the calling thread until it completes.
     ///
     /// If the calling thread is already a worker of this pool, `op` runs inline.

@@ -105,6 +105,21 @@ pub fn tuned_coarsening_2d() -> Coarsening<2> {
     Coarsening::new(5, [50, 4096])
 }
 
+/// A reusable executor session for the 2D heat kernel: TRAP on the compiled-schedule
+/// path with the tuned coarsening preset, pre-compiled for time windows of height
+/// `window` on grids of extent `sizes`.  Hold one per geometry and call
+/// [`run`](CompiledStencil::run) once per window; repeated windows replay the pinned
+/// schedule with zero compilations.
+pub fn session_2d(sizes: [usize; 2], window: i64) -> CompiledStencil<f64, HeatKernel<2>, 2> {
+    CompiledStencil::new(
+        StencilSpec::new(shape::<2>()),
+        HeatKernel::<2>::default(),
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening_2d()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
 /// noise, with the requested boundary condition.
 pub fn build<const D: usize>(

@@ -87,6 +87,19 @@ pub fn tuned_coarsening() -> Coarsening<2> {
     Coarsening::new(5, [64, 512])
 }
 
+/// A reusable executor session for Life: TRAP on the compiled-schedule path with the
+/// tuned coarsening preset, pre-compiled for windows of height `window` on boards of
+/// extent `sizes`.
+pub fn session(sizes: [usize; 2], window: i64) -> CompiledStencil<u8, LifeKernel, 2> {
+    CompiledStencil::new(
+        StencilSpec::new(shape()),
+        LifeKernel,
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds a toroidal Life board with a deterministic pseudo-random soup.
 pub fn build(sizes: [usize; 2], fill_permille: u64) -> PochoirArray<u8, 2> {
     let mut a = PochoirArray::new(sizes);

@@ -108,6 +108,19 @@ pub fn tuned_coarsening() -> Coarsening<3> {
     Coarsening::new(8, [8, 8, 1000])
 }
 
+/// A reusable executor session for the 3D wave kernel: TRAP on the compiled-schedule
+/// path with the tuned coarsening preset, pre-compiled for windows of height `window`
+/// on grids of extent `sizes`.
+pub fn session(sizes: [usize; 3], window: i64) -> CompiledStencil<f64, WaveKernel, 3> {
+    CompiledStencil::new(
+        StencilSpec::new(shape()),
+        WaveKernel::default(),
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds the wave array: a Gaussian pulse at the centre, at rest (slices 0 and 1 equal),
 /// with clamped (reflecting-ish) boundaries.
 pub fn build(sizes: [usize; 3]) -> PochoirArray<f64, 3> {

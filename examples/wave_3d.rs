@@ -1,5 +1,5 @@
 //! The 3D finite-difference wave equation — a depth-2 stencil (it reads two earlier time
-//! steps), demonstrating multi-slice arrays and engine selection.
+//! steps), demonstrating multi-slice arrays, executor sessions, and engine selection.
 //!
 //! Run with `cargo run --release --example wave_3d`.
 
@@ -9,6 +9,7 @@ use pochoir::stencils::wave;
 fn main() {
     let n = 48usize;
     let steps = 60i64;
+    let window = 20i64;
 
     let spec = StencilSpec::new(wave::shape());
     println!(
@@ -20,17 +21,22 @@ fn main() {
     let kernel = wave::WaveKernel::default();
     let t0 = spec.shape().first_step();
 
-    // Run the same simulation under TRAP and under the plain loop nest and confirm they
-    // agree bit-for-bit (the engine-level Pochoir Guarantee).
+    // Run the simulation through a reusable executor session — the stencil program is
+    // compiled once and the windows replay it — and compare against the plain loop
+    // nest, bit-for-bit (the engine-level Pochoir Guarantee).
+    let session = wave::session([n, n, n], window);
     let mut trap_grid = wave::build([n, n, n]);
-    run(
-        &mut trap_grid,
-        &spec,
-        &kernel,
-        t0,
-        t0 + steps,
-        &ExecutionPlan::trap(),
-        Runtime::global(),
+    for w in 0..steps / window {
+        session.run(&mut trap_grid, t0 + w * window, t0 + (w + 1) * window);
+    }
+    let stats = session.stats();
+    println!(
+        "session: {} windows, {} schedule compilations, {} pinned replays",
+        stats.runs, stats.schedule_compiles, stats.schedule_reuses
+    );
+    assert_eq!(
+        stats.schedule_fetches, 1,
+        "every window after the first replays the pinned schedule"
     );
 
     let mut loops_grid = wave::build([n, n, n]);
