@@ -4,7 +4,7 @@
 
 use crate::RunStats;
 use pochoir_core::boundary::Boundary;
-use pochoir_core::engine::{CompiledStencil, ExecutionPlan};
+use pochoir_core::engine::{CompiledStencil, ExecutionPlan, SessionStats};
 use pochoir_core::grid::PochoirArray;
 use pochoir_core::kernel::{StencilKernel, StencilSpec};
 use pochoir_runtime::{Runtime, Serial};
@@ -286,13 +286,30 @@ pub fn run_twenty_seven_point(
 /// The [`CompiledStencil`] session is built outside the timed window: the measurement
 /// is the per-window replay cost, not the one-time schedule compilation.
 pub fn time_with_plan<T, K, const D: usize>(
-    mut array: PochoirArray<T, D>,
+    array: PochoirArray<T, D>,
     spec: &StencilSpec<D>,
     kernel: &K,
     steps: i64,
     plan: &ExecutionPlan<D>,
     parallel: bool,
 ) -> RunStats
+where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+{
+    time_with_plan_stats(array, spec, kernel, steps, plan, parallel).0
+}
+
+/// [`time_with_plan`], also returning the session's executor counters so the JSON
+/// emitters can record compiles/fetches/reuses next to the throughput of each config.
+pub fn time_with_plan_stats<T, K, const D: usize>(
+    mut array: PochoirArray<T, D>,
+    spec: &StencilSpec<D>,
+    kernel: &K,
+    steps: i64,
+    plan: &ExecutionPlan<D>,
+    parallel: bool,
+) -> (RunStats, SessionStats)
 where
     T: Copy + Send + Sync,
     K: StencilKernel<T, D>,
@@ -306,11 +323,14 @@ where
     } else {
         session.run_with(&mut array, t0, t0 + steps, &Serial);
     }
-    RunStats {
-        seconds: start.elapsed().as_secs_f64(),
-        points,
-        steps,
-    }
+    (
+        RunStats {
+            seconds: start.elapsed().as_secs_f64(),
+            points,
+            steps,
+        },
+        session.stats(),
+    )
 }
 
 /// One row of Figure 3.

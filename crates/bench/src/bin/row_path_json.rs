@@ -6,7 +6,7 @@
 //! Usage: `row_path_json [--scale tiny|small|medium|paper] [--out PATH]`
 
 use pochoir_bench::apps::time_with_plan;
-use pochoir_bench::{scale_from_args, RunStats};
+use pochoir_bench::{out_path_from_args, scale_from_args, RunStats};
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan};
 use pochoir_core::kernel::StencilSpec;
@@ -95,13 +95,7 @@ fn main() {
     let scale = scale_from_args(
         "row_path_json: measure row vs. point base-case throughput and write BENCH_row_path.json",
     );
-    let out_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_row_path.json".to_string())
-    };
+    let out_path = out_path_from_args("BENCH_row_path.json");
     let cells = measure(scale);
 
     let mut json = String::new();

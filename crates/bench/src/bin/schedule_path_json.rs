@@ -1,7 +1,10 @@
 //! Emits `BENCH_schedule.json`: interior throughput (Mpoints/s) of the compiled
 //! schedule path vs. the recursive walker for TRAP and STRAP on heat2d, life and
 //! wave3d, plus the row-over-point ratio under the compiled path — recording the
-//! compiled-schedule perf trajectory from the PR that introduced it onward.
+//! compiled-schedule perf trajectory from the PR that introduced it onward.  Each
+//! config also records its executor-session counters (runs/compiles/fetches/reuses
+//! summed over the reps), and the report carries the process-wide schedule-cache and
+//! session-registry statistics.
 //!
 //! Each mode runs its own best-known configuration: the compiled path uses the
 //! per-app tuned coarsening presets (whose full-width rows rely on the compiled
@@ -11,18 +14,29 @@
 //!
 //! Usage: `schedule_path_json [--scale tiny|small|medium|paper] [--out PATH]`
 
-use pochoir_bench::apps::time_with_plan;
-use pochoir_bench::{scale_from_args, RunStats};
+use pochoir_bench::apps::time_with_plan_stats;
+use pochoir_bench::{out_path_from_args, scale_from_args, RunStats};
 use pochoir_core::boundary::Boundary;
-use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan, ScheduleMode};
+use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan, ScheduleMode, SessionStats};
 use pochoir_core::kernel::StencilSpec;
 use pochoir_stencils::{heat, life, wave, ProblemScale};
 
-/// Best-of-N wall-clock throughput for one configuration.
-fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> f64 {
-    (0..reps)
-        .map(|_| f().mpoints_per_second())
-        .fold(0.0, f64::max)
+/// Best-of-N wall-clock throughput for one configuration, plus the configuration's
+/// executor-session counters summed over the reps (each rep builds one session, so at
+/// steady state the sum shows `reps` fetches but at most one fresh compilation —
+/// "compile once, run many times" made visible per config).
+fn best_of<F: FnMut() -> (RunStats, SessionStats)>(reps: usize, mut f: F) -> (f64, SessionStats) {
+    let mut best = 0.0f64;
+    let mut sum = SessionStats::default();
+    for _ in 0..reps {
+        let (stats, session) = f();
+        best = best.max(stats.mpoints_per_second());
+        sum.runs += session.runs;
+        sum.schedule_reuses += session.schedule_reuses;
+        sum.schedule_fetches += session.schedule_fetches;
+        sum.schedule_compiles += session.schedule_compiles;
+    }
+    (best, sum)
 }
 
 struct Cell {
@@ -31,6 +45,8 @@ struct Cell {
     compiled: f64,
     recursive: f64,
     compiled_point: f64,
+    /// Session counters of the compiled row-path config, summed over its reps.
+    session: SessionStats,
 }
 
 fn measure(scale: ProblemScale) -> Vec<Cell> {
@@ -48,75 +64,80 @@ fn measure(scale: ProblemScale) -> Vec<Cell> {
 
     let mut cells = Vec::new();
     for engine in [EngineKind::Trap, EngineKind::Strap] {
-        let throughput = |mode: ScheduleMode, base_case: BaseCase, app: &'static str| -> f64 {
-            // The recursive walker keeps its default (paper-heuristic) coarsening; the
-            // tuned presets are measured for the compiled executor.
-            let tuned = mode == ScheduleMode::Compiled;
-            match app {
-                "heat2d" => {
-                    let mut plan = ExecutionPlan::<2>::new(engine)
-                        .with_schedule_mode(mode)
-                        .with_base_case(base_case);
-                    if tuned {
-                        plan = plan.with_coarsening(heat::tuned_coarsening_2d());
+        let throughput =
+            |mode: ScheduleMode, base_case: BaseCase, app: &'static str| -> (f64, SessionStats) {
+                // The recursive walker keeps its default (paper-heuristic) coarsening; the
+                // tuned presets are measured for the compiled executor.
+                let tuned = mode == ScheduleMode::Compiled;
+                match app {
+                    "heat2d" => {
+                        let mut plan = ExecutionPlan::<2>::new(engine)
+                            .with_schedule_mode(mode)
+                            .with_base_case(base_case);
+                        if tuned {
+                            plan = plan.with_coarsening(heat::tuned_coarsening_2d());
+                        }
+                        best_of(reps, || {
+                            time_with_plan_stats(
+                                heat::build([n2, n2], Boundary::Periodic),
+                                &heat_spec,
+                                &heat_kernel,
+                                steps2,
+                                &plan,
+                                false,
+                            )
+                        })
                     }
-                    best_of(reps, || {
-                        time_with_plan(
-                            heat::build([n2, n2], Boundary::Periodic),
-                            &heat_spec,
-                            &heat_kernel,
-                            steps2,
-                            &plan,
-                            false,
-                        )
-                    })
-                }
-                "life" => {
-                    let mut plan = ExecutionPlan::<2>::new(engine)
-                        .with_schedule_mode(mode)
-                        .with_base_case(base_case);
-                    if tuned {
-                        plan = plan.with_coarsening(life::tuned_coarsening());
+                    "life" => {
+                        let mut plan = ExecutionPlan::<2>::new(engine)
+                            .with_schedule_mode(mode)
+                            .with_base_case(base_case);
+                        if tuned {
+                            plan = plan.with_coarsening(life::tuned_coarsening());
+                        }
+                        best_of(reps, || {
+                            time_with_plan_stats(
+                                life::build([n2, n2], 350),
+                                &life_spec,
+                                &life::LifeKernel,
+                                steps2,
+                                &plan,
+                                false,
+                            )
+                        })
                     }
-                    best_of(reps, || {
-                        time_with_plan(
-                            life::build([n2, n2], 350),
-                            &life_spec,
-                            &life::LifeKernel,
-                            steps2,
-                            &plan,
-                            false,
-                        )
-                    })
-                }
-                "wave3d" => {
-                    let mut plan = ExecutionPlan::<3>::new(engine)
-                        .with_schedule_mode(mode)
-                        .with_base_case(base_case);
-                    if tuned {
-                        plan = plan.with_coarsening(wave::tuned_coarsening());
+                    "wave3d" => {
+                        let mut plan = ExecutionPlan::<3>::new(engine)
+                            .with_schedule_mode(mode)
+                            .with_base_case(base_case);
+                        if tuned {
+                            plan = plan.with_coarsening(wave::tuned_coarsening());
+                        }
+                        best_of(reps, || {
+                            time_with_plan_stats(
+                                wave::build([n3, n3, n3]),
+                                &wave_spec,
+                                &wave_kernel,
+                                steps3,
+                                &plan,
+                                false,
+                            )
+                        })
                     }
-                    best_of(reps, || {
-                        time_with_plan(
-                            wave::build([n3, n3, n3]),
-                            &wave_spec,
-                            &wave_kernel,
-                            steps3,
-                            &plan,
-                            false,
-                        )
-                    })
+                    _ => unreachable!(),
                 }
-                _ => unreachable!(),
-            }
-        };
+            };
         for app in ["heat2d", "life", "wave3d"] {
+            let (compiled, session) = throughput(ScheduleMode::Compiled, BaseCase::Row, app);
+            let (recursive, _) = throughput(ScheduleMode::Recursive, BaseCase::Row, app);
+            let (compiled_point, _) = throughput(ScheduleMode::Compiled, BaseCase::Point, app);
             cells.push(Cell {
                 app,
                 engine,
-                compiled: throughput(ScheduleMode::Compiled, BaseCase::Row, app),
-                recursive: throughput(ScheduleMode::Recursive, BaseCase::Row, app),
-                compiled_point: throughput(ScheduleMode::Compiled, BaseCase::Point, app),
+                compiled,
+                recursive,
+                compiled_point,
+                session,
             });
         }
     }
@@ -128,16 +149,11 @@ fn main() {
         "schedule_path_json: measure compiled vs. recursive TRAP/STRAP throughput and \
          write BENCH_schedule.json",
     );
-    let out_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_schedule.json".to_string())
-    };
+    let out_path = out_path_from_args("BENCH_schedule.json");
     let cells = measure(scale);
     let cache = pochoir_core::engine::schedule::cache_stats();
     let (compiles, hits, evictions) = (cache.compiles, cache.hits, cache.evictions);
+    let registry = pochoir_core::engine::serving::registry_stats();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -147,6 +163,10 @@ fn main() {
     json.push_str(&format!(
         "  \"schedule_cache\": {{\"compiles\": {compiles}, \"hits\": {hits}, \
          \"evictions\": {evictions}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"session_registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n",
+        registry.hits, registry.misses, registry.evictions
     ));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -163,13 +183,18 @@ fn main() {
         json.push_str(&format!(
             "    {{\"app\": \"{}\", \"engine\": \"{:?}\", \"compiled_mpoints_per_s\": {:.2}, \
              \"recursive_mpoints_per_s\": {:.2}, \"compiled_over_recursive\": {:.3}, \
-             \"row_over_point\": {:.3}}}{}\n",
+             \"row_over_point\": {:.3}, \"session\": {{\"runs\": {}, \"compiles\": {}, \
+             \"fetches\": {}, \"reuses\": {}}}}}{}\n",
             c.app,
             c.engine,
             c.compiled,
             c.recursive,
             ratio,
             row_over_point,
+            c.session.runs,
+            c.session.schedule_compiles,
+            c.session.schedule_fetches,
+            c.session.schedule_reuses,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

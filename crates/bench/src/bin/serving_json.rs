@@ -1,0 +1,192 @@
+//! Emits `BENCH_serving.json`: steady-state throughput of the serving layer — N
+//! independent same-geometry grids per batch, one shared compiled session — against
+//! the same N grids stepped sequentially through individual `run` calls, for heat2d
+//! and life.  The report includes the shared session's counters (proving one compile
+//! served every array) and the process-wide session-registry statistics, recording the
+//! serving-path perf trajectory from the PR that introduced it onward.
+//!
+//! Usage: `serving_json [--scale tiny|small|medium|paper] [--out PATH]`
+
+use pochoir_bench::{out_path_from_args, scale_from_args};
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::serving::registry_stats;
+use pochoir_core::engine::{SessionStats, StencilServer};
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::StencilKernel;
+use pochoir_stencils::{heat, life, ProblemScale};
+use std::time::Instant;
+
+/// Throughput of one measured serving configuration.
+struct Cell {
+    app: &'static str,
+    tenants: usize,
+    rounds: i64,
+    batched_mpoints: f64,
+    sequential_mpoints: f64,
+    /// The shared session's counters after the batched phase.
+    session: SessionStats,
+}
+
+/// Steady-state measurement: `rounds` submit-all/drain cycles of `tenants` grids
+/// through `server`, then the same traffic as sequential per-array `run` calls on the
+/// same shared program.  Returns best-of-`reps` Mpts/s for both modes.
+#[allow(clippy::too_many_arguments)]
+fn measure_app<T, K, const D: usize>(
+    app: &'static str,
+    mut server: StencilServer<T, K, D>,
+    make_grid: impl Fn(usize) -> PochoirArray<T, D>,
+    tenants: usize,
+    window: i64,
+    rounds: i64,
+    reps: usize,
+) -> Cell
+where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+{
+    let points: f64 = server
+        .program()
+        .sizes()
+        .iter()
+        .map(|&s| s as f64)
+        .product::<f64>()
+        * (window * rounds * tenants as i64) as f64;
+
+    // Warm-up drain so the registry lookup and first-touch costs leave the timed loop.
+    for seed in 0..tenants {
+        server.submit(make_grid(seed), 0, window);
+    }
+    server.drain();
+
+    let mut batched = 0.0f64;
+    for _ in 0..reps {
+        let mut grids: Vec<PochoirArray<T, D>> = (0..tenants).map(&make_grid).collect();
+        let start = Instant::now();
+        for round in 0..rounds {
+            for grid in grids.drain(..) {
+                server.submit(grid, round * window, (round + 1) * window);
+            }
+            grids = server.drain();
+        }
+        batched = batched.max(points / start.elapsed().as_secs_f64() / 1e6);
+    }
+    let session = server.stats();
+
+    // Sequential baseline: same program, same traffic, one array at a time.
+    let mut sequential = 0.0f64;
+    for _ in 0..reps {
+        let mut grids: Vec<PochoirArray<T, D>> = (0..tenants).map(&make_grid).collect();
+        let start = Instant::now();
+        for round in 0..rounds {
+            for grid in grids.iter_mut() {
+                let mut batch = [pochoir_core::engine::BatchRun {
+                    array: grid,
+                    t0: round * window,
+                    t1: (round + 1) * window,
+                }];
+                pochoir_core::engine::run_batch(
+                    server.program(),
+                    server.kernel(),
+                    &mut batch,
+                    1,
+                    pochoir_runtime::Runtime::global(),
+                );
+            }
+        }
+        sequential = sequential.max(points / start.elapsed().as_secs_f64() / 1e6);
+    }
+
+    Cell {
+        app,
+        tenants,
+        rounds,
+        batched_mpoints: batched,
+        sequential_mpoints: sequential,
+        session,
+    }
+}
+
+fn measure(scale: ProblemScale) -> Vec<Cell> {
+    let (n, window, rounds, tenants, reps) = match scale {
+        ProblemScale::Tiny => (96usize, 8i64, 2i64, 8usize, 2usize),
+        ProblemScale::Small => (256, 16, 3, 8, 3),
+        ProblemScale::Medium => (512, 25, 4, 16, 3),
+        ProblemScale::Paper => (1024, 50, 4, 32, 3),
+    };
+    vec![
+        measure_app(
+            "heat2d",
+            heat::serve_2d([n, n], window),
+            |seed| {
+                let mut a = heat::build([n, n], Boundary::Periodic);
+                a.set(0, [seed as i64, seed as i64], 100.0 + seed as f64);
+                a
+            },
+            tenants,
+            window,
+            rounds,
+            reps,
+        ),
+        measure_app(
+            "life",
+            life::serve([n, n], window),
+            |seed| life::build([n, n], 300 + seed as u64),
+            tenants,
+            window,
+            rounds,
+            reps,
+        ),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_args(
+        "serving_json: measure batched (StencilServer) vs. sequential same-session \
+         throughput and write BENCH_serving.json",
+    );
+    let out_path = out_path_from_args("BENCH_serving.json");
+    let cells = measure(scale);
+    let registry = registry_stats();
+    let workers = pochoir_runtime::Runtime::global().num_threads();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serving_batch_vs_sequential\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&format!(
+        "  \"session_registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n",
+        registry.hits, registry.misses, registry.evictions
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let ratio = if c.sequential_mpoints > 0.0 {
+            c.batched_mpoints / c.sequential_mpoints
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"tenants\": {}, \"rounds\": {}, \
+             \"batched_mpoints_per_s\": {:.2}, \"sequential_mpoints_per_s\": {:.2}, \
+             \"batched_over_sequential\": {:.3}, \"session\": {{\"runs\": {}, \
+             \"compiles\": {}, \"fetches\": {}, \"reuses\": {}}}}}{}\n",
+            c.app,
+            c.tenants,
+            c.rounds,
+            c.batched_mpoints,
+            c.sequential_mpoints,
+            ratio,
+            c.session.runs,
+            c.session.schedule_compiles,
+            c.session.schedule_fetches,
+            c.session.schedule_reuses,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the JSON report");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -98,6 +98,16 @@ pub fn scale_from_args(usage: &str) -> ProblemScale {
     scale
 }
 
+/// Parses `--out PATH` from the command line, falling back to `default`; shared by the
+/// `*_json` report emitters.
+pub fn out_path_from_args(default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// A fixed-width text table printer for the harness outputs.
 #[derive(Debug, Default)]
 pub struct Table {

@@ -27,8 +27,10 @@
 //!
 //! ## Execution routes
 //!
-//! * **Compiled** (TRAP/STRAP default): replay the pinned schedule; a window of a new
-//!   height fetches from the process-global schedule cache and re-pins.  Leaves execute
+//! * **Compiled** (TRAP/STRAP default): replay a pinned schedule; a window of a new
+//!   height fetches from the process-global schedule cache and joins the session's
+//!   small MRU pin set (so registry-shared sessions serving callers with different
+//!   window heights do not evict each other's pin).  Leaves execute
 //!   through [`base::execute_leaf`], whose segment-level clone resolution keeps
 //!   boundary-leaf interiors on the fast clone.
 //! * **Recursive** ([`ScheduleMode::Recursive`]): the storeless reference walker, kept
@@ -81,6 +83,13 @@ pub struct SessionStats {
     pub schedule_compiles: u64,
 }
 
+/// Maximum number of compiled schedules one session keeps pinned (MRU-first).  Sessions
+/// are shared process-wide through the serving registry, so callers of one geometry may
+/// replay a handful of distinct window heights; beyond this many, the least recently
+/// used pin is dropped (its schedule survives in the global cache and in any session
+/// still using it).
+const MAX_PINNED_SCHEDULES: usize = 4;
+
 /// How a run obtained its schedule; decides what is reported to the runtime's metrics.
 enum Resolution {
     /// Replayed the pinned `Arc<Schedule>` without touching the global cache.
@@ -101,8 +110,12 @@ pub struct CompiledProgram<const D: usize> {
     sizes: [i64; D],
     /// Resolved once from the plan: `None` for the loop engines.
     strategy: Option<CutStrategy>,
-    /// The session's pinned schedule, replayed for every window of its height.
-    schedule: Mutex<Option<Arc<Schedule<D>>>>,
+    /// The session's pinned schedules, most recently used first, replayed for every
+    /// window of a matching height.  A small *set* rather than a single slot: the
+    /// serving registry shares one program across callers, and callers replaying
+    /// different window heights must not evict each other's pin on every run.  Capped
+    /// at [`MAX_PINNED_SCHEDULES`].
+    schedule: Mutex<Vec<Arc<Schedule<D>>>>,
     /// Cache outcome of the eager build-time compilation, reported to the runtime's
     /// metrics by the first run (so per-run cache accounting matches the pre-session
     /// behaviour of `engine::run`).
@@ -120,7 +133,7 @@ impl<const D: usize> CompiledProgram<D> {
             spec,
             plan,
             sizes,
-            schedule: Mutex::new(None),
+            schedule: Mutex::new(Vec::new()),
             pending: Mutex::new(None),
             metrics: SessionMetrics::default(),
         };
@@ -148,9 +161,10 @@ impl<const D: usize> CompiledProgram<D> {
         self.sizes
     }
 
-    /// The currently pinned compiled schedule, if the session has resolved one.
+    /// The most recently used pinned compiled schedule, if the session has resolved
+    /// one.
     pub fn schedule(&self) -> Option<Arc<Schedule<D>>> {
-        self.schedule.lock().unwrap().clone()
+        self.schedule.lock().unwrap().first().cloned()
     }
 
     /// A snapshot of the session's executor counters.
@@ -171,18 +185,20 @@ impl<const D: usize> CompiledProgram<D> {
             && schedule::should_compile(self.sizes, &self.plan.coarsening, height)
     }
 
-    /// Returns the schedule for windows of `height`: the pinned one when its height
-    /// matches, otherwise a (counted) global-cache fetch that re-pins the slot.
+    /// Returns the schedule for windows of `height`: a pinned one when a pin of that
+    /// height exists (an MRU *touch*), otherwise a (counted) global-cache fetch that
+    /// pins the result, dropping the least recently used pin beyond
+    /// [`MAX_PINNED_SCHEDULES`].
     fn resolve_schedule(&self, height: i64) -> (Arc<Schedule<D>>, Resolution) {
         let strategy = self
             .strategy
             .expect("compiled route requires a cut strategy");
         let mut slot = self.schedule.lock().unwrap();
-        if let Some(pinned) = slot.as_ref() {
-            if pinned.height() == height {
-                self.metrics.schedule_reuses.fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(pinned), Resolution::Reused);
-            }
+        if let Some(pos) = slot.iter().position(|s| s.height() == height) {
+            let pinned = slot.remove(pos);
+            slot.insert(0, Arc::clone(&pinned));
+            self.metrics.schedule_reuses.fetch_add(1, Ordering::Relaxed);
+            return (pinned, Resolution::Reused);
         }
         let (fetched, lookup) = schedule::schedule_for(
             self.sizes,
@@ -201,7 +217,8 @@ impl<const D: usize> CompiledProgram<D> {
                 .schedule_compiles
                 .fetch_add(1, Ordering::Relaxed);
         }
-        *slot = Some(Arc::clone(&fetched));
+        slot.insert(0, Arc::clone(&fetched));
+        slot.truncate(MAX_PINNED_SCHEDULES);
         (fetched, Resolution::Fetched(lookup))
     }
 
@@ -374,8 +391,9 @@ where
     /// Builds a session for grids of spatial extent `sizes`, compiling the schedule
     /// eagerly for time windows of height `window`.
     ///
-    /// Runs of a different height still work — the session re-pins the schedule for
-    /// the new height (one cache fetch), so `window` is a hint, not a contract.
+    /// Runs of a different height still work — the session pins the schedule for the
+    /// new height alongside the old one (one cache fetch; a few distinct heights stay
+    /// pinned at once), so `window` is a hint, not a contract.
     pub fn new(
         spec: StencilSpec<D>,
         kernel: K,
@@ -425,12 +443,31 @@ where
     /// Executes kernel-invocation times `[t0, t1)` on `array`, using the pinned
     /// runtime if one was set and the process-global runtime otherwise.
     pub fn run(&self, array: &mut PochoirArray<T, D>, t0: i64, t1: i64) {
+        self.program
+            .run(array, &self.kernel, t0, t1, self.runtime_par());
+    }
+
+    /// The parallelism provider [`run`](Self::run) and [`run_batch`](Self::run_batch)
+    /// use: the pinned runtime if one was set, the process-global one otherwise.
+    fn runtime_par(&self) -> &Runtime {
         match &self.runtime {
-            Some(rt) => self.program.run(array, &self.kernel, t0, t1, rt.as_ref()),
-            None => self
-                .program
-                .run(array, &self.kernel, t0, t1, Runtime::global()),
+            Some(rt) => rt.as_ref(),
+            None => Runtime::global(),
         }
+    }
+
+    /// Executes a batch of same-geometry requests through this session, whole-array
+    /// parallel across requests with at most `grain` requests per task (see
+    /// [`serving::run_batch`](crate::engine::serving::run_batch)), using the pinned
+    /// runtime if one was set and the process-global one otherwise.
+    pub fn run_batch(&self, jobs: &mut [crate::engine::serving::BatchRun<'_, T, D>], grain: usize) {
+        crate::engine::serving::run_batch(
+            &self.program,
+            &self.kernel,
+            jobs,
+            grain,
+            self.runtime_par(),
+        );
     }
 
     /// [`run`](Self::run) with an explicit parallelism provider (e.g. [`Serial`] for
@@ -604,6 +641,26 @@ mod tests {
         s.run_with(&mut a, 10, 16, &Serial); // height 6 again: replay
         assert_eq!(s.stats().schedule_fetches, 2);
         assert_eq!(s.stats().schedule_reuses, 2);
+    }
+
+    #[test]
+    fn alternating_heights_keep_both_schedules_pinned() {
+        // Registry-shared sessions serve callers with different window heights; the
+        // MRU pin set must stop fetching once both heights are pinned instead of
+        // letting the callers evict each other's pin on every run.
+        let s = session(19, 4);
+        let mut a = make_array(19);
+        s.run_with(&mut a, 0, 4, &Serial); // height 4: pinned at build, reuse
+        s.run_with(&mut a, 4, 10, &Serial); // height 6: fetch, second pin
+        assert_eq!(s.stats().schedule_fetches, 2);
+        s.run_with(&mut a, 10, 14, &Serial); // height 4 again: still pinned
+        s.run_with(&mut a, 14, 20, &Serial); // height 6 again: still pinned
+        let stats = s.stats();
+        assert_eq!(
+            stats.schedule_fetches, 2,
+            "both heights stay pinned; alternating runs fetch nothing"
+        );
+        assert_eq!(stats.schedule_reuses, 3);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod executor;
 pub mod loops;
 pub mod plan;
 pub mod schedule;
+pub mod serving;
 pub mod walker;
 
 pub use executor::{CompiledProgram, CompiledStencil, SessionStats};
@@ -18,6 +19,10 @@ pub use plan::{
     BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode, ScheduleMode,
 };
 pub use schedule::{Schedule, ScheduledLeaf};
+pub use serving::{
+    run_batch, shared_program, BatchRun, RegistryLookup, RegistryStats, SessionRegistry,
+    StencilServer,
+};
 pub use walker::CutStrategy;
 
 use crate::grid::PochoirArray;

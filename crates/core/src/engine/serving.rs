@@ -1,0 +1,698 @@
+//! The serving layer: share compiled sessions across arrays and batch their execution.
+//!
+//! ## From library to service substrate
+//!
+//! The executor layer (PR 3) gave every *caller* a session object: build a
+//! [`CompiledProgram`] / [`CompiledStencil`](crate::engine::CompiledStencil) once,
+//! replay it across shifted time
+//! windows.  A serving deployment, however, does not run *one* array — it runs **many
+//! independent arrays of the same geometry** (one grid per user, per region, per
+//! simulation instance), and every caller constructing its own session re-does the
+//! validation and schedule resolution the paper's "compile once" model says should
+//! happen once per *geometry*, not once per caller.  This module is that missing layer:
+//!
+//! ```text
+//!   StencilServer (submit / drain, owned arrays)            stencils::*::serve presets
+//!        │  fetches its program from                        dsl::Pochoir (same registry)
+//!        ▼
+//!   SessionRegistry  —  process-global, keyed by (spec fingerprint, sizes, plan, window)
+//!        │               LRU-bounded · exactly-once compile per key · hit/miss/eviction
+//!        │               counters surfaced through `pochoir_runtime` metrics
+//!        ▼
+//!   Arc<CompiledProgram>  —  one per geometry, shared by every caller
+//!        │
+//!   run_batch  —  whole-array parallelism across requests (for_each_with_grain),
+//!                 composing with the phase parallelism inside each request
+//! ```
+//!
+//! ## Registry keying
+//!
+//! Two callers share a session exactly when *every* input of schedule compilation
+//! matches: the stencil **spec fingerprint** (the shape's cells — which determine
+//! slopes, reach and depth), the grid **sizes**, the full **execution plan** (engine,
+//! coarsening, index/base-case/clone modes, schedule mode, block, grain) and the
+//! **window** height the program pre-compiles for.  The key deliberately excludes the
+//! element type and the kernel: a [`CompiledProgram`] is the kernel-free session half,
+//! so an `f64` heat solver and a `u8` cellular automaton with the same shape, plan and
+//! geometry share one decomposition.  Differing plans or windows therefore never
+//! collide, and the sizes vector doubles as the dimensionality tag (its length is `D`).
+//!
+//! Lookups are **exactly-once** under concurrency: the registry stores a once-cell per
+//! key, so N threads racing on a cold key perform one compilation while the other N−1
+//! block briefly and then share the result — unlike the schedule cache, which tolerates
+//! racing duplicate compiles to keep its lock narrow.  The registry is LRU-bounded
+//! ([`set_registry_capacity`]); eviction only drops the registry's `Arc`, never a
+//! session a caller still holds, and in-flight entries (compile still running) are
+//! pinned against eviction so the exactly-once guarantee survives capacity pressure.
+//!
+//! ## Batching
+//!
+//! [`run_batch`] drives many `(array, t0, t1)` requests through *one* program.  Each
+//! request is a whole-array task handed to
+//! [`Parallelism::for_each_with_grain`], so on a work-stealing runtime the batch-level
+//! parallelism (independent arrays) composes with the phase-level parallelism inside
+//! each request (independent leaves of one dependency level) — small batches on big
+//! machines still fill the workers, and big batches of small grids amortize the
+//! fork-join overhead across requests.  Results are bitwise identical to running the
+//! requests sequentially: arrays are disjoint and each request's own execution is
+//! deterministic.
+//!
+//! ## When to use `StencilServer` vs. a raw `CompiledStencil`
+//!
+//! * **One long-lived array, one owner** — hold a
+//!   [`CompiledStencil`](crate::engine::CompiledStencil); it is the cheapest object
+//!   with a bound kernel and a pinned runtime.
+//! * **Many arrays of one geometry, or many short-lived owners** — use a
+//!   [`StencilServer`] (or fetch from the registry directly via [`shared_program`]):
+//!   sessions dedupe process-wide, and `submit`/`drain` batches steady-state traffic.
+//! * **The DSL** — `Pochoir` already fetches its program from this registry, so two
+//!   `Pochoir` objects over identical geometry share one schedule automatically.
+
+use crate::engine::executor::{CompiledProgram, SessionStats};
+use crate::engine::plan::ExecutionPlan;
+use crate::grid::PochoirArray;
+use crate::kernel::{StencilKernel, StencilSpec};
+use pochoir_runtime::{Parallelism, Runtime};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Outcome of a session-registry lookup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryLookup {
+    /// Whether an already-compiled program was served (`false` = this lookup compiled).
+    pub hit: bool,
+    /// Entries evicted (LRU-first) to make room for this insertion.
+    pub evicted: u64,
+}
+
+impl RegistryLookup {
+    /// Forwards this lookup to the provider's scheduler metrics
+    /// ([`Parallelism::note_session_registry`] and, when entries were evicted,
+    /// [`Parallelism::note_session_registry_evictions`]).  The single reporting
+    /// protocol shared by [`StencilServer`] and the DSL's `Pochoir` object.
+    pub fn report_to<P: Parallelism>(&self, par: &P) {
+        par.note_session_registry(self.hit);
+        if self.evicted > 0 {
+            par.note_session_registry_evictions(self.evicted);
+        }
+    }
+}
+
+/// Cumulative session-registry counters (see [`registry_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Lookups served by an already-compiled program.
+    pub hits: u64,
+    /// Lookups that compiled a fresh program (under concurrency, one per cold key).
+    pub misses: u64,
+    /// Entries evicted under the capacity limit.
+    pub evictions: u64,
+}
+
+/// Geometry key of a registry entry: every input of schedule compilation, flattened to
+/// vectors so one map serves every dimensionality (the `sizes` length encodes `D`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RegistryKey {
+    /// The spec fingerprint: the shape's cells (`(dt, dx)` offsets).
+    cells: Vec<(i32, Vec<i32>)>,
+    sizes: Vec<i64>,
+    window: i64,
+    engine: crate::engine::plan::EngineKind,
+    coarsening_dt: i64,
+    coarsening_dx: Vec<i64>,
+    index_mode: crate::engine::plan::IndexMode,
+    base_case: crate::engine::plan::BaseCase,
+    clone_mode: crate::engine::plan::CloneMode,
+    schedule: crate::engine::plan::ScheduleMode,
+    block: Vec<usize>,
+    grain: usize,
+}
+
+impl RegistryKey {
+    fn new<const D: usize>(
+        spec: &StencilSpec<D>,
+        plan: &ExecutionPlan<D>,
+        sizes: [i64; D],
+        window: i64,
+    ) -> Self {
+        RegistryKey {
+            cells: spec
+                .shape()
+                .cells()
+                .iter()
+                .map(|c| (c.dt, c.dx.to_vec()))
+                .collect(),
+            sizes: sizes.to_vec(),
+            window,
+            engine: plan.engine,
+            coarsening_dt: plan.coarsening.dt,
+            coarsening_dx: plan.coarsening.dx.to_vec(),
+            index_mode: plan.index_mode,
+            base_case: plan.base_case,
+            clone_mode: plan.clone_mode,
+            schedule: plan.schedule,
+            block: plan.block.to_vec(),
+            grain: plan.grain,
+        }
+    }
+}
+
+/// A slot holds the program behind a once-cell so a cold key compiles exactly once:
+/// the first caller runs the compilation, concurrent callers block on the cell.
+type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
+struct RegistryState {
+    map: HashMap<RegistryKey, Slot>,
+    /// Recency order: front = least recently used, back = most recently used.
+    order: VecDeque<RegistryKey>,
+}
+
+/// Default number of sessions the process-global registry retains.  Entries are small
+/// (the heavy part — the pinned `Arc<Schedule>` — is bounded separately by the schedule
+/// cache's leaf budget), but each pin keeps its schedule alive, so the capacity also
+/// caps schedule retention by idle geometries.
+const DEFAULT_REGISTRY_CAPACITY: usize = 64;
+
+/// An LRU-bounded registry of compiled executor sessions, keyed by
+/// `(spec fingerprint, sizes, plan, window)`.
+///
+/// One process-global instance backs [`shared_program`] (and, through it, the DSL's
+/// `Pochoir` object and [`StencilServer::new`]); multi-tenant deployments or tests can
+/// construct private instances with [`SessionRegistry::with_capacity`].
+pub struct SessionRegistry {
+    state: Mutex<RegistryState>,
+    capacity: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// Creates a registry retaining at most `capacity` sessions (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SessionRegistry {
+            state: Mutex::new(RegistryState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: AtomicUsize::new(capacity.max(1)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the shared program for the given geometry, compiling it (exactly once,
+    /// even under concurrent lookups of the same key) on a cold key.
+    ///
+    /// The [`RegistryLookup`] reports whether an existing program was served and how
+    /// many LRU entries were evicted to make room.  Callers with a
+    /// [`Parallelism`] provider at hand should forward the lookup to
+    /// [`Parallelism::note_session_registry`] so the runtime's metrics observe
+    /// registry traffic ([`StencilServer`] and the DSL do this on their next run).
+    pub fn get_or_compile<const D: usize>(
+        &self,
+        spec: &StencilSpec<D>,
+        plan: &ExecutionPlan<D>,
+        sizes: [i64; D],
+        window: i64,
+    ) -> (Arc<CompiledProgram<D>>, RegistryLookup) {
+        let key = RegistryKey::new(spec, plan, sizes, window);
+        let (slot, evicted) = self.slot_for(key);
+        let mut compiled_here = false;
+        let any = slot.get_or_init(|| {
+            compiled_here = true;
+            Arc::new(CompiledProgram::new(spec.clone(), *plan, sizes, window))
+                as Arc<dyn Any + Send + Sync>
+        });
+        let program = Arc::clone(any)
+            .downcast::<CompiledProgram<D>>()
+            .expect("registry keys encode the dimensionality via the sizes length");
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        (
+            program,
+            RegistryLookup {
+                hit: !compiled_here,
+                evicted,
+            },
+        )
+    }
+
+    /// Returns the slot for `key` (inserting an empty one on a cold key, evicting LRU
+    /// entries beyond capacity) and the number of entries evicted.  A hit is an LRU
+    /// *touch*: the key moves to the back of the recency order.
+    fn slot_for(&self, key: RegistryKey) -> (Slot, u64) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        if let Some(slot) = state.map.get(&key) {
+            let slot = Arc::clone(slot);
+            if let Some(pos) = state.order.iter().position(|k| k == &key) {
+                if let Some(k) = state.order.remove(pos) {
+                    state.order.push_back(k);
+                }
+            }
+            return (slot, 0);
+        }
+        let mut evicted = 0u64;
+        while state.map.len() >= capacity {
+            // Evict the least recently used *completed* entry.  An in-flight slot
+            // (its once-cell not yet initialized) is pinned against eviction: a
+            // concurrent lookup of its key must keep finding it and block on the
+            // cell, or the exactly-once compile guarantee would break.
+            let victim = state
+                .order
+                .iter()
+                .position(|k| state.map.get(k).is_none_or(|slot| slot.get().is_some()));
+            match victim {
+                Some(pos) => {
+                    if let Some(old) = state.order.remove(pos) {
+                        if state.map.remove(&old).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                }
+                // Every entry is mid-compile: transiently exceed the capacity rather
+                // than break exactly-once compilation.
+                None => break,
+            }
+        }
+        let slot: Slot = Arc::new(OnceLock::new());
+        state.map.insert(key.clone(), Arc::clone(&slot));
+        state.order.push_back(key);
+        (slot, evicted)
+    }
+
+    /// Number of sessions currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().map.len()
+    }
+
+    /// Whether the registry retains no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sets the capacity (clamped to ≥ 1); takes effect on subsequent insertions.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity.max(1), Ordering::Relaxed);
+    }
+
+    /// A snapshot of the cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every retained session (the counters are kept).  Sessions callers still
+    /// hold stay alive; only the registry's references are released.
+    pub fn clear(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.map.clear();
+        state.order.clear();
+    }
+}
+
+static REGISTRY: OnceLock<SessionRegistry> = OnceLock::new();
+
+fn registry() -> &'static SessionRegistry {
+    REGISTRY.get_or_init(|| SessionRegistry::with_capacity(DEFAULT_REGISTRY_CAPACITY))
+}
+
+/// Fetches the process-global shared [`CompiledProgram`] for the given geometry,
+/// compiling it exactly once per `(spec fingerprint, sizes, plan, window)` key.
+///
+/// This is the entry point the DSL's `Pochoir` object and [`StencilServer::new`] use;
+/// callers managing their own registry (multi-tenant isolation, tests) should call
+/// [`SessionRegistry::get_or_compile`] on a private instance instead.
+pub fn shared_program<const D: usize>(
+    spec: &StencilSpec<D>,
+    plan: &ExecutionPlan<D>,
+    sizes: [i64; D],
+    window: i64,
+) -> (Arc<CompiledProgram<D>>, RegistryLookup) {
+    registry().get_or_compile(spec, plan, sizes, window)
+}
+
+/// Process-global session-registry statistics since process start.
+pub fn registry_stats() -> RegistryStats {
+    registry().stats()
+}
+
+/// Sets the process-global registry's capacity (sessions retained; clamped to ≥ 1).
+pub fn set_registry_capacity(capacity: usize) {
+    registry().set_capacity(capacity);
+}
+
+/// Empties the process-global session registry (the statistics are kept).  Sessions
+/// still held by callers stay alive.
+pub fn clear_registry() {
+    registry().clear();
+}
+
+/// One request of a batch: a borrowed array and the time window to execute on it.
+pub struct BatchRun<'a, T, const D: usize> {
+    /// The array to step (its extents must match the program's compiled geometry).
+    pub array: &'a mut PochoirArray<T, D>,
+    /// First kernel-invocation time (inclusive).
+    pub t0: i64,
+    /// Last kernel-invocation time (exclusive).
+    pub t1: i64,
+}
+
+/// Executes every request of `jobs` against one shared `program`, whole-array-parallel
+/// across requests via [`Parallelism::for_each_with_grain`] (at most `grain` requests
+/// per task).
+///
+/// Each request runs through the ordinary session pipeline — per-request validation,
+/// pinned-schedule replay, phase parallelism — with the *same* provider `par`, so on a
+/// work-stealing runtime idle workers steal across requests and within them alike.
+/// Results are bitwise identical to running the requests sequentially in any order:
+/// the arrays are disjoint and each request's execution is deterministic.
+pub fn run_batch<T, K, P, const D: usize>(
+    program: &CompiledProgram<D>,
+    kernel: &K,
+    jobs: &mut [BatchRun<'_, T, D>],
+    grain: usize,
+    par: &P,
+) where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+    P: Parallelism,
+{
+    match jobs {
+        [] => {}
+        [only] => program.run(only.array, kernel, only.t0, only.t1, par),
+        many => {
+            // `for_each_with_grain` hands out shared references; a per-request mutex
+            // restores exclusive access (each slot is locked exactly once, so the
+            // locks never contend — they only carry the `&mut` across the fork).
+            let slots: Vec<Mutex<&mut BatchRun<'_, T, D>>> =
+                many.iter_mut().map(Mutex::new).collect();
+            par.for_each_with_grain(&slots, grain.max(1), |slot| {
+                let job = &mut *slot.lock().unwrap();
+                program.run(job.array, kernel, job.t0, job.t1, par);
+            });
+        }
+    }
+}
+
+/// A queued [`StencilServer`] request: an owned array plus its window.
+struct Submission<T, const D: usize> {
+    array: PochoirArray<T, D>,
+    t0: i64,
+    t1: i64,
+}
+
+/// The serving facade: one shared session, a bound kernel, and a submit/drain queue
+/// that executes accumulated requests as one parallel batch.
+///
+/// A server is the per-geometry object a deployment holds: [`new`](StencilServer::new)
+/// fetches the [`CompiledProgram`] from the process-global [`SessionRegistry`] (so N
+/// servers — or N DSL `Pochoir` objects — over identical geometry compile once),
+/// [`submit`](StencilServer::submit) enqueues `(array, t0, t1)` requests,
+/// and [`drain`](StencilServer::drain) runs the whole batch through [`run_batch`] and
+/// hands the arrays back in submission order.  [`stats`](StencilServer::stats) exposes
+/// the shared session's counters: at steady state `runs` grows by the batch size per
+/// drain while `schedule_compiles` stays constant — one compile, N arrays.
+pub struct StencilServer<T, K, const D: usize> {
+    program: Arc<CompiledProgram<D>>,
+    kernel: K,
+    runtime: Option<Arc<Runtime>>,
+    batch_grain: usize,
+    queue: Vec<Submission<T, D>>,
+    /// The construction-time registry lookup, reported to the runtime's metrics by the
+    /// first drain (the registry itself has no metrics sink).
+    pending_lookup: Option<RegistryLookup>,
+}
+
+impl<T, K, const D: usize> StencilServer<T, K, D>
+where
+    T: Copy + Send + Sync,
+    K: StencilKernel<T, D>,
+{
+    /// Creates a server for grids of extent `sizes`, fetching the shared program for
+    /// `(spec, plan, sizes, window)` from the process-global registry (compiling it if
+    /// this geometry was never seen).
+    pub fn new(
+        spec: StencilSpec<D>,
+        kernel: K,
+        plan: ExecutionPlan<D>,
+        sizes: [usize; D],
+        window: i64,
+    ) -> Self {
+        let mut extents = [0i64; D];
+        for i in 0..D {
+            extents[i] = sizes[i] as i64;
+        }
+        let (program, lookup) = shared_program(&spec, &plan, extents, window);
+        Self::from_program(program, kernel).with_pending_lookup(lookup)
+    }
+
+    /// Creates a server around an explicit shared program (e.g. one fetched from a
+    /// private [`SessionRegistry`]).
+    pub fn from_program(program: Arc<CompiledProgram<D>>, kernel: K) -> Self {
+        StencilServer {
+            program,
+            kernel,
+            runtime: None,
+            batch_grain: 1,
+            queue: Vec::new(),
+            pending_lookup: None,
+        }
+    }
+
+    fn with_pending_lookup(mut self, lookup: RegistryLookup) -> Self {
+        self.pending_lookup = Some(lookup);
+        self
+    }
+
+    /// Pins a dedicated work-stealing runtime; [`drain`](Self::drain) uses it instead
+    /// of the process-global one.
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Sets how many requests one batch task executes (default 1: every array is an
+    /// independently stealable task).  Raise it for large batches of tiny grids.
+    pub fn with_batch_grain(mut self, grain: usize) -> Self {
+        self.batch_grain = grain.max(1);
+        self
+    }
+
+    /// The shared session program (one per geometry, process-wide).
+    pub fn program(&self) -> &Arc<CompiledProgram<D>> {
+        &self.program
+    }
+
+    /// The bound kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// A snapshot of the shared session's executor counters.
+    ///
+    /// Note the counters belong to the *shared* program: other servers or `Pochoir`
+    /// objects over the same geometry contribute to them too — which is the point
+    /// (they prove one compile serves all callers).
+    pub fn stats(&self) -> SessionStats {
+        self.program.stats()
+    }
+
+    /// Enqueues a request to run kernel-invocation times `[t0, t1)` on `array`;
+    /// returns its ticket (the index of its array in the next [`drain`](Self::drain)).
+    ///
+    /// The array's extents must match the server's compiled geometry.
+    pub fn submit(&mut self, array: PochoirArray<T, D>, t0: i64, t1: i64) -> usize {
+        assert!(
+            array.sizes_i64() == self.program.sizes(),
+            "submitted array extents {:?} do not match the server's compiled extents {:?}",
+            array.sizes_i64(),
+            self.program.sizes()
+        );
+        self.queue.push(Submission { array, t0, t1 });
+        self.queue.len() - 1
+    }
+
+    /// Number of requests waiting for the next drain.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Executes every queued request as one parallel batch and returns the arrays in
+    /// submission order, using the pinned runtime if one was set and the process-global
+    /// runtime otherwise.
+    pub fn drain(&mut self) -> Vec<PochoirArray<T, D>> {
+        match self.runtime.clone() {
+            Some(rt) => self.drain_with(rt.as_ref()),
+            None => self.drain_with(Runtime::global()),
+        }
+    }
+
+    /// [`drain`](Self::drain) with an explicit parallelism provider (e.g. `Serial` for
+    /// deterministic test runs).
+    pub fn drain_with<P: Parallelism>(&mut self, par: &P) -> Vec<PochoirArray<T, D>> {
+        if let Some(lookup) = self.pending_lookup.take() {
+            lookup.report_to(par);
+        }
+        let mut queue = std::mem::take(&mut self.queue);
+        let mut jobs: Vec<BatchRun<'_, T, D>> = queue
+            .iter_mut()
+            .map(|s| BatchRun {
+                array: &mut s.array,
+                t0: s.t0,
+                t1: s.t1,
+            })
+            .collect();
+        run_batch(
+            &self.program,
+            &self.kernel,
+            &mut jobs,
+            self.batch_grain,
+            par,
+        );
+        drop(jobs);
+        queue.into_iter().map(|s| s.array).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::Boundary;
+    use crate::engine::executor::CompiledStencil;
+    use crate::engine::plan::Coarsening;
+    use crate::shape::star_shape;
+    use crate::view::GridAccess;
+    use pochoir_runtime::Serial;
+
+    struct Heat2D;
+    impl StencilKernel<f64, 2> for Heat2D {
+        fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+            let c = g.get(t, x);
+            let v = c
+                + 0.1 * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+                + 0.1 * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+            g.set(t + 1, x, v);
+        }
+    }
+
+    fn make_array(n: usize, seed: i64) -> PochoirArray<f64, 2> {
+        let mut a = PochoirArray::new([n, n]);
+        a.register_boundary(Boundary::Periodic);
+        a.fill_time_slice(0, |x| ((x[0] * 7 + x[1] * 3 + seed) % 13) as f64);
+        a
+    }
+
+    fn plan() -> ExecutionPlan<2> {
+        ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6]))
+    }
+
+    #[test]
+    fn private_registry_dedups_and_counts() {
+        let reg = SessionRegistry::with_capacity(8);
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let (a, la) = reg.get_or_compile(&spec, &plan(), [18, 18], 4);
+        let (b, lb) = reg.get_or_compile(&spec, &plan(), [18, 18], 4);
+        assert!(!la.hit);
+        assert!(lb.hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            reg.stats(),
+            RegistryStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_dimensionalities_never_collide() {
+        let reg = SessionRegistry::with_capacity(8);
+        let spec2 = StencilSpec::new(star_shape::<2>(1));
+        let spec1 = StencilSpec::new(star_shape::<1>(1));
+        let (_, l2) = reg.get_or_compile(&spec2, &plan(), [9, 9], 3);
+        let (_, l1) = reg.get_or_compile(&spec1, &ExecutionPlan::<1>::trap(), [9], 3);
+        assert!(!l2.hit);
+        assert!(!l1.hit, "a 1D key must not collide with a 2D key");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let reg = SessionRegistry::with_capacity(4);
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        reg.get_or_compile(&spec, &plan(), [11, 11], 3);
+        assert!(!reg.is_empty());
+        reg.clear();
+        assert!(reg.is_empty());
+        assert_eq!(reg.stats().misses, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let program = CompiledProgram::new(spec, plan(), [10, 10], 3);
+        let mut jobs: Vec<BatchRun<'_, f64, 2>> = Vec::new();
+        run_batch(&program, &Heat2D, &mut jobs, 1, &Serial);
+        assert_eq!(program.stats().runs, 0);
+    }
+
+    #[test]
+    fn server_returns_arrays_in_submission_order() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [13, 13],
+            3,
+        );
+        for seed in 0..4 {
+            let ticket = server.submit(make_array(13, seed), 0, 3);
+            assert_eq!(ticket, seed as usize);
+        }
+        assert_eq!(server.pending(), 4);
+        let drained = server.drain_with(&Serial);
+        assert_eq!(drained.len(), 4);
+        assert_eq!(server.pending(), 0);
+        for (seed, array) in drained.iter().enumerate() {
+            let mut expected = make_array(13, seed as i64);
+            let session = CompiledStencil::new(
+                StencilSpec::new(star_shape::<2>(1)),
+                Heat2D,
+                plan(),
+                [13, 13],
+                3,
+            );
+            session.run_with(&mut expected, 0, 3, &Serial);
+            assert_eq!(array.snapshot(3), expected.snapshot(3), "ticket {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match the server's compiled extents")]
+    fn server_rejects_mismatched_geometry_at_submit() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [14, 14],
+            3,
+        );
+        server.submit(make_array(15, 0), 0, 3);
+    }
+}

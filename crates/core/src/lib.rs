@@ -63,9 +63,9 @@ pub mod zoid;
 pub mod prelude {
     pub use crate::boundary::{AxisRule, Boundary, BoundaryProbe};
     pub use crate::engine::{
-        run, run_traced, run_with_global_runtime, BaseCase, CloneMode, Coarsening, CompiledProgram,
-        CompiledStencil, EngineKind, ExecutionPlan, IndexMode, Schedule, ScheduleMode,
-        SessionStats,
+        run, run_traced, run_with_global_runtime, BaseCase, BatchRun, CloneMode, Coarsening,
+        CompiledProgram, CompiledStencil, EngineKind, ExecutionPlan, IndexMode, Schedule,
+        ScheduleMode, SessionStats, StencilServer,
     };
     pub use crate::grid::{PochoirArray, RowWriter, SpaceIter};
     pub use crate::hyperspace::{hyperspace_cut, single_space_cut, HyperspaceCut};

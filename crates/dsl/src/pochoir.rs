@@ -5,6 +5,7 @@
 
 use crate::speccheck::{run_checked, SpecViolation};
 use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::serving::{shared_program, RegistryLookup};
 use pochoir_core::engine::{CompiledProgram, ExecutionPlan, SessionStats};
 use pochoir_core::grid::PochoirArray;
 use pochoir_core::kernel::{StencilKernel, StencilSpec};
@@ -52,6 +53,14 @@ impl fmt::Display for PochoirError {
 
 impl std::error::Error for PochoirError {}
 
+/// What a run needs from the object: the shared executor session, the registered
+/// array, and any registry lookup not yet reported to a metrics sink.
+type SessionAndArray<'a, T, const D: usize> = (
+    Arc<CompiledProgram<D>>,
+    &'a mut PochoirArray<T, D>,
+    Option<RegistryLookup>,
+);
+
 /// A stencil computation object (the paper's `Pochoir_dimD`).
 ///
 /// Holds the static information of the computation — the shape, the registered array and
@@ -69,6 +78,11 @@ impl std::error::Error for PochoirError {}
 /// engine strategy and compiles (or fetches) the schedule; every further `Run(T, kern)`
 /// on the same object replays the pinned schedule with zero validation and zero cache
 /// traffic.  The session is invalidated when the plan or the registered array changes.
+///
+/// The session is fetched from the process-global
+/// [`SessionRegistry`](pochoir_core::engine::serving::SessionRegistry), so two
+/// `Pochoir` objects over identical geometry (same shape, plan, extents and window)
+/// share one compiled program — and hence one schedule — rather than compiling twice.
 pub struct Pochoir<T, const D: usize> {
     spec: StencilSpec<D>,
     array: Option<PochoirArray<T, D>>,
@@ -76,9 +90,13 @@ pub struct Pochoir<T, const D: usize> {
     runtime: Option<Arc<Runtime>>,
     steps_run: i64,
     /// The executor session behind Phase 2 (kernels arrive by reference per `run`, so
-    /// the object holds the kernel-independent program half).  Rebuilt lazily after
-    /// `set_plan`/`register_array`.
-    session: Option<CompiledProgram<D>>,
+    /// the object holds the kernel-independent program half), shared through the
+    /// session registry with every other caller of the same geometry.  Re-fetched
+    /// lazily after `set_plan`/`register_array`.
+    session: Option<Arc<CompiledProgram<D>>>,
+    /// The registry lookup that produced `session`, reported to the runtime's metrics
+    /// by the next run (the registry itself has no metrics sink).
+    pending_registry: Option<RegistryLookup>,
 }
 
 impl<T, const D: usize> Pochoir<T, D>
@@ -95,6 +113,7 @@ where
             runtime: None,
             steps_run: 0,
             session: None,
+            pending_registry: None,
         }
     }
 
@@ -108,6 +127,7 @@ where
     pub fn set_plan(&mut self, plan: ExecutionPlan<D>) {
         self.plan = plan;
         self.session = None;
+        self.pending_registry = None;
     }
 
     /// Builder-style plan override.
@@ -135,6 +155,7 @@ where
         self.array = Some(array);
         self.steps_run = 0;
         self.session = None;
+        self.pending_registry = None;
         Ok(())
     }
 
@@ -164,6 +185,7 @@ where
     /// Removes and returns the registered array.  Invalidates the executor session.
     pub fn take_array(&mut self) -> Result<PochoirArray<T, D>, PochoirError> {
         self.session = None;
+        self.pending_registry = None;
         self.array.take().ok_or(PochoirError::NoArrayRegistered)
     }
 
@@ -183,22 +205,34 @@ where
         (t0, t0 + steps)
     }
 
-    /// Ensures the held executor session exists (building it compiles the schedule for
-    /// windows of height `window`) and returns it alongside the registered array.
+    /// Ensures the held executor session exists — fetching the shared program for this
+    /// geometry from the process-global session registry, which compiles it (for
+    /// windows of height `window`) only if no caller has seen the geometry before —
+    /// and returns it alongside the registered array and any registry lookup not yet
+    /// reported to a metrics sink.
     fn session_and_array(
         &mut self,
         window: i64,
-    ) -> Result<(&CompiledProgram<D>, &mut PochoirArray<T, D>), PochoirError> {
+    ) -> Result<SessionAndArray<'_, T, D>, PochoirError> {
         let array = self.array.as_mut().ok_or(PochoirError::NoArrayRegistered)?;
         if self.session.is_none() {
-            self.session = Some(CompiledProgram::new(
-                self.spec.clone(),
-                self.plan,
-                array.sizes_i64(),
-                window,
-            ));
+            let (program, lookup) =
+                shared_program(&self.spec, &self.plan, array.sizes_i64(), window);
+            self.session = Some(program);
+            self.pending_registry = Some(lookup);
         }
-        Ok((self.session.as_ref().expect("just built"), array))
+        Ok((
+            Arc::clone(self.session.as_ref().expect("just built")),
+            array,
+            self.pending_registry.take(),
+        ))
+    }
+
+    /// Forwards a pending registry lookup to the parallelism provider's metrics.
+    fn report_registry<P: Parallelism>(pending: Option<RegistryLookup>, par: &P) {
+        if let Some(lookup) = pending {
+            lookup.report_to(par);
+        }
     }
 
     /// Executor-session counters of the held Phase-2 session: runs, pinned-schedule
@@ -207,7 +241,11 @@ where
     ///
     /// A steady-state object reports `schedule_compiles` and `schedule_fetches`
     /// constant while `runs`/`schedule_reuses` grow — the observable form of the
-    /// "compile once, run many times" contract.
+    /// "compile once, run many times" contract.  The session is *shared* through the
+    /// process-global registry, so the counters aggregate over every `Pochoir` object
+    /// (and [`StencilServer`](pochoir_core::engine::serving::StencilServer)) of the
+    /// same geometry — a second object over an already-served geometry contributes
+    /// runs without ever fetching or compiling.
     pub fn session_stats(&self) -> Option<SessionStats> {
         self.session.as_ref().map(|s| s.stats())
     }
@@ -222,10 +260,16 @@ where
     {
         let (t0, t1) = self.invocation_range(steps);
         let runtime = self.runtime.clone();
-        let (session, array) = self.session_and_array(t1 - t0)?;
+        let (session, array, pending) = self.session_and_array(t1 - t0)?;
         match runtime {
-            Some(rt) => session.run(array, kernel, t0, t1, rt.as_ref()),
-            None => session.run(array, kernel, t0, t1, Runtime::global()),
+            Some(rt) => {
+                Self::report_registry(pending, rt.as_ref());
+                session.run(array, kernel, t0, t1, rt.as_ref());
+            }
+            None => {
+                Self::report_registry(pending, Runtime::global());
+                session.run(array, kernel, t0, t1, Runtime::global());
+            }
         }
         self.steps_run += steps;
         Ok(())
@@ -239,7 +283,8 @@ where
         P: Parallelism,
     {
         let (t0, t1) = self.invocation_range(steps);
-        let (session, array) = self.session_and_array(t1 - t0)?;
+        let (session, array, pending) = self.session_and_array(t1 - t0)?;
+        Self::report_registry(pending, par);
         session.run(array, kernel, t0, t1, par);
         self.steps_run += steps;
         Ok(())
@@ -372,7 +417,9 @@ mod tests {
 
     #[test]
     fn repeated_runs_reuse_the_compiled_session() {
-        let mut p = heat_object(32);
+        // A geometry no other test uses: the session is shared through the global
+        // registry, so stats deltas are only deterministic on a private geometry.
+        let mut p = heat_object(34);
         assert!(
             p.session_stats().is_none(),
             "no session before the first run"
@@ -391,6 +438,31 @@ mod tests {
         );
         assert_eq!(second.schedule_reuses, first.schedule_reuses + 1);
         assert_eq!(second.runs, first.runs + 1);
+    }
+
+    #[test]
+    fn identical_geometry_objects_share_one_program() {
+        // Two independent Pochoir objects over the same (shape, plan, sizes, window)
+        // must share one registry program: the second object's first run performs no
+        // schedule fetch and no compilation — the observable form of "one session,
+        // many callers".  The geometry is unique to this test.
+        let mut a = heat_object(46);
+        let mut b = heat_object(46);
+        a.run_with(9, &Heat1D, &Serial).unwrap();
+        let after_a = a.session_stats().unwrap();
+        b.run_with(9, &Heat1D, &Serial).unwrap();
+        let after_b = b.session_stats().unwrap();
+        assert_eq!(
+            after_b.schedule_fetches, after_a.schedule_fetches,
+            "the second object must reuse the first object's program"
+        );
+        assert_eq!(after_b.schedule_compiles, after_a.schedule_compiles);
+        assert_eq!(after_b.runs, after_a.runs + 1, "shared counters aggregate");
+        // And the results agree, of course.
+        assert_eq!(
+            a.array().unwrap().snapshot(a.result_time()),
+            b.array().unwrap().snapshot(b.result_time())
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub struct Metrics {
     schedule_cache_hits: AtomicU64,
     schedule_cache_misses: AtomicU64,
     schedule_cache_evictions: AtomicU64,
+    session_registry_hits: AtomicU64,
+    session_registry_misses: AtomicU64,
+    session_registry_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -34,6 +37,12 @@ pub struct MetricsSnapshot {
     /// Schedule-cache entries evicted (LRU, under the entry or leaf-budget limits) by
     /// lookups reported to this runtime.
     pub schedule_cache_evictions: u64,
+    /// Session-registry lookups served by an already-compiled `CompiledProgram`.
+    pub session_registry_hits: u64,
+    /// Session-registry lookups that had to compile a fresh `CompiledProgram`.
+    pub session_registry_misses: u64,
+    /// Session-registry entries evicted (LRU) by lookups reported to this runtime.
+    pub session_registry_evictions: u64,
 }
 
 impl Metrics {
@@ -72,6 +81,21 @@ impl Metrics {
             .fetch_add(evicted, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn note_session_registry(&self, hit: bool) {
+        if hit {
+            self.session_registry_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.session_registry_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_session_registry_evictions(&self, evicted: u64) {
+        self.session_registry_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -81,6 +105,9 @@ impl Metrics {
             schedule_cache_hits: self.schedule_cache_hits.load(Ordering::Relaxed),
             schedule_cache_misses: self.schedule_cache_misses.load(Ordering::Relaxed),
             schedule_cache_evictions: self.schedule_cache_evictions.load(Ordering::Relaxed),
+            session_registry_hits: self.session_registry_hits.load(Ordering::Relaxed),
+            session_registry_misses: self.session_registry_misses.load(Ordering::Relaxed),
+            session_registry_evictions: self.session_registry_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +128,15 @@ impl MetricsSnapshot {
             schedule_cache_evictions: later
                 .schedule_cache_evictions
                 .saturating_sub(self.schedule_cache_evictions),
+            session_registry_hits: later
+                .session_registry_hits
+                .saturating_sub(self.session_registry_hits),
+            session_registry_misses: later
+                .session_registry_misses
+                .saturating_sub(self.session_registry_misses),
+            session_registry_evictions: later
+                .session_registry_evictions
+                .saturating_sub(self.session_registry_evictions),
         }
     }
 }
@@ -120,6 +156,19 @@ mod tests {
         assert_eq!(s.spawned, 2);
         assert_eq!(s.stolen, 1);
         assert_eq!(s.executed, 1);
+    }
+
+    #[test]
+    fn session_registry_counters() {
+        let m = Metrics::new();
+        m.note_session_registry(false);
+        m.note_session_registry(true);
+        m.note_session_registry(true);
+        m.note_session_registry_evictions(2);
+        let s = m.snapshot();
+        assert_eq!(s.session_registry_hits, 2);
+        assert_eq!(s.session_registry_misses, 1);
+        assert_eq!(s.session_registry_evictions, 2);
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub trait Parallelism: Sync {
     /// provider keeps scheduler metrics.  The default is a no-op.
     fn note_schedule_evictions(&self, _evicted: u64) {}
 
+    /// Records the outcome of a session-registry lookup (a shared `CompiledProgram`
+    /// served vs. freshly compiled), if this provider keeps scheduler metrics.  The
+    /// default is a no-op ([`Serial`] keeps no counters).
+    fn note_session_registry(&self, _hit: bool) {}
+
+    /// Records session-registry entries evicted by a lookup this provider drove, if
+    /// this provider keeps scheduler metrics.  The default is a no-op.
+    fn note_session_registry_evictions(&self, _evicted: u64) {}
+
     /// Number of hardware workers available to this provider.
     fn num_workers(&self) -> usize;
 
@@ -115,6 +124,14 @@ impl Parallelism for Runtime {
         Runtime::note_schedule_evictions(self, evicted);
     }
 
+    fn note_session_registry(&self, hit: bool) {
+        Runtime::note_session_registry(self, hit);
+    }
+
+    fn note_session_registry_evictions(&self, evicted: u64) {
+        Runtime::note_session_registry_evictions(self, evicted);
+    }
+
     fn num_workers(&self) -> usize {
         self.num_threads()
     }
@@ -144,6 +161,14 @@ impl<P: Parallelism> Parallelism for &P {
 
     fn note_schedule_evictions(&self, evicted: u64) {
         (**self).note_schedule_evictions(evicted);
+    }
+
+    fn note_session_registry(&self, hit: bool) {
+        (**self).note_session_registry(hit);
+    }
+
+    fn note_session_registry_evictions(&self, evicted: u64) {
+        (**self).note_session_registry_evictions(evicted);
     }
 
     fn num_workers(&self) -> usize {

@@ -87,6 +87,20 @@ impl Runtime {
         self.registry.metrics().note_schedule_evictions(evicted);
     }
 
+    /// Records a session-registry lookup (shared `CompiledProgram` served vs. freshly
+    /// compiled) in this pool's metrics, so serving deployments can observe session
+    /// reuse next to the steal counters.
+    pub fn note_session_registry(&self, hit: bool) {
+        self.registry.metrics().note_session_registry(hit);
+    }
+
+    /// Records session-registry entries evicted by a lookup this pool drove.
+    pub fn note_session_registry_evictions(&self, evicted: u64) {
+        self.registry
+            .metrics()
+            .note_session_registry_evictions(evicted);
+    }
+
     /// Runs `op` inside the pool, blocking the calling thread until it completes.
     ///
     /// If the calling thread is already a worker of this pool, `op` runs inline.

@@ -120,6 +120,20 @@ pub fn session_2d(sizes: [usize; 2], window: i64) -> CompiledStencil<f64, HeatKe
     )
 }
 
+/// A serving preset for the 2D heat kernel: a [`StencilServer`] over the tuned TRAP
+/// plan whose program is fetched from the process-global session registry — every
+/// server (and every `Pochoir` object) of this geometry shares one compiled schedule.
+/// Submit many same-extent grids, then `drain()` to run them as one parallel batch.
+pub fn serve_2d(sizes: [usize; 2], window: i64) -> StencilServer<f64, HeatKernel<2>, 2> {
+    StencilServer::new(
+        StencilSpec::new(shape::<2>()),
+        HeatKernel::<2>::default(),
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening_2d()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
 /// noise, with the requested boundary condition.
 pub fn build<const D: usize>(

@@ -100,6 +100,19 @@ pub fn session(sizes: [usize; 2], window: i64) -> CompiledStencil<u8, LifeKernel
     )
 }
 
+/// A serving preset for Life: a [`StencilServer`] over the tuned TRAP plan, its
+/// program shared process-wide through the session registry.  Submit many same-extent
+/// boards, then `drain()` to step them as one parallel batch.
+pub fn serve(sizes: [usize; 2], window: i64) -> StencilServer<u8, LifeKernel, 2> {
+    StencilServer::new(
+        StencilSpec::new(shape()),
+        LifeKernel,
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds a toroidal Life board with a deterministic pseudo-random soup.
 pub fn build(sizes: [usize; 2], fill_permille: u64) -> PochoirArray<u8, 2> {
     let mut a = PochoirArray::new(sizes);

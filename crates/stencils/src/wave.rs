@@ -121,6 +121,19 @@ pub fn session(sizes: [usize; 3], window: i64) -> CompiledStencil<f64, WaveKerne
     )
 }
 
+/// A serving preset for the 3D wave kernel: a [`StencilServer`] over the tuned TRAP
+/// plan, its program shared process-wide through the session registry.  Submit many
+/// same-extent grids, then `drain()` to run them as one parallel batch.
+pub fn serve(sizes: [usize; 3], window: i64) -> StencilServer<f64, WaveKernel, 3> {
+    StencilServer::new(
+        StencilSpec::new(shape()),
+        WaveKernel::default(),
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds the wave array: a Gaussian pulse at the centre, at rest (slices 0 and 1 equal),
 /// with clamped (reflecting-ish) boundaries.
 pub fn build(sizes: [usize; 3]) -> PochoirArray<f64, 3> {
