@@ -333,6 +333,47 @@ where
     )
 }
 
+/// Serving-scheduler counters observed by the process-global runtime while a closure
+/// ran: per-window work items, ready-queue high-water mark, logical-deadline misses,
+/// and the pool's per-worker executed-job distribution (all from
+/// [`Runtime::metrics`] / [`Runtime::worker_executed`] deltas).
+pub struct ServingTraffic {
+    /// Per-window work items dispatched by pipelined drains.
+    pub windows: u64,
+    /// Ready-queue high-water mark (process lifetime; a gauge, not a delta).
+    pub queue_depth_peak: u64,
+    /// Submissions whose final window missed its logical deadline.
+    pub deadline_misses: u64,
+    /// Jobs executed per pool worker while the closure ran.
+    pub worker_executed: Vec<u64>,
+}
+
+/// Runs `f` and reports the serving-scheduler traffic the process-global runtime
+/// observed meanwhile.  The JSON emitters use it to record queue-depth and
+/// deadline-miss counters next to throughput numbers.
+pub fn observe_serving_traffic<R>(f: impl FnOnce() -> R) -> (R, ServingTraffic) {
+    let rt = Runtime::global();
+    let before = rt.metrics();
+    let workers_before = rt.worker_executed();
+    let result = f();
+    let delta = before.delta(&rt.metrics());
+    let worker_executed = rt
+        .worker_executed()
+        .iter()
+        .zip(workers_before)
+        .map(|(now, then)| now.saturating_sub(then))
+        .collect();
+    (
+        result,
+        ServingTraffic {
+            windows: delta.serving_windows,
+            queue_depth_peak: delta.serving_queue_depth_peak,
+            deadline_misses: delta.serving_deadline_misses,
+            worker_executed,
+        },
+    )
+}
+
 /// One row of Figure 3.
 pub struct Fig3Row {
     /// Benchmark name as printed in the paper.

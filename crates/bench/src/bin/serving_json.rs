@@ -1,16 +1,26 @@
-//! Emits `BENCH_serving.json`: steady-state throughput of the serving layer — N
-//! independent same-geometry grids per batch, one shared compiled session — against
-//! the same N grids stepped sequentially through individual `run` calls, for heat2d
-//! and life.  The report includes the shared session's counters (proving one compile
-//! served every array) and the process-wide session-registry statistics, recording the
-//! serving-path perf trajectory from the PR that introduced it onward.
+//! Emits `BENCH_serving.json`: steady-state throughput of the serving layer for heat2d
+//! and life under three drain disciplines over identical traffic —
+//!
+//! * **pipelined** — each tenant submits its whole time range once; the drain splits it
+//!   into per-window work items flowing through the weighted/deadline ready queue with
+//!   no cross-tenant barrier (the `StencilServer::drain` default);
+//! * **barrier** — the pre-pipelining discipline: one submit-all/`drain_barrier` cycle
+//!   per window round, every tenant waiting for the slowest;
+//! * **sequential** — the same traffic as individual per-array runs on the shared
+//!   session.
+//!
+//! The report includes the shared session's counters (one compile serves every window
+//! of every tenant), the process-wide session-registry statistics, and the new
+//! pipelined-scheduler counters (windows dispatched, ready-queue high-water mark,
+//! deadline misses) observed by the runtime's metrics.
 //!
 //! Usage: `serving_json [--scale tiny|small|medium|paper] [--out PATH]`
 
+use pochoir_bench::apps::observe_serving_traffic;
 use pochoir_bench::{out_path_from_args, scale_from_args};
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::serving::registry_stats;
-use pochoir_core::engine::{SessionStats, StencilServer};
+use pochoir_core::engine::{DrainReport, SessionStats, StencilServer};
 use pochoir_core::grid::PochoirArray;
 use pochoir_core::kernel::StencilKernel;
 use pochoir_stencils::{heat, life, ProblemScale};
@@ -21,16 +31,20 @@ struct Cell {
     app: &'static str,
     tenants: usize,
     rounds: i64,
-    batched_mpoints: f64,
+    pipelined_mpoints: f64,
+    barrier_mpoints: f64,
     sequential_mpoints: f64,
-    /// The shared session's counters after the batched phase.
+    /// The last pipelined drain's scheduler report (this cell's drain, not the
+    /// process-lifetime gauges).
+    report: DrainReport,
+    /// Jobs executed per pool worker during the last pipelined drain.
+    worker_executed: Vec<u64>,
+    /// The shared session's counters after the pipelined phase.
     session: SessionStats,
 }
 
-/// Steady-state measurement: `rounds` submit-all/drain cycles of `tenants` grids
-/// through `server`, then the same traffic as sequential per-array `run` calls on the
-/// same shared program.  Returns best-of-`reps` Mpts/s for both modes.
-#[allow(clippy::too_many_arguments)]
+/// Steady-state measurement of `tenants` grids stepped `rounds * window` steps each,
+/// under the three drain disciplines.  Returns best-of-`reps` Mpts/s per discipline.
 fn measure_app<T, K, const D: usize>(
     app: &'static str,
     mut server: StencilServer<T, K, D>,
@@ -51,6 +65,10 @@ where
         .map(|&s| s as f64)
         .product::<f64>()
         * (window * rounds * tenants as i64) as f64;
+    let horizon = rounds * window;
+    // Pre-pin the chunk height (the remainder is empty: horizon is a multiple), so
+    // the timed loops replay pinned schedules only.
+    server.program().precompile_windows(&[window]);
 
     // Warm-up drain so the registry lookup and first-touch costs leave the timed loop.
     for seed in 0..tenants {
@@ -58,7 +76,30 @@ where
     }
     server.drain();
 
-    let mut batched = 0.0f64;
+    // Pipelined: one submission per tenant covering the whole horizon; the scheduler
+    // chops it into `rounds` windows and interleaves tenants without barriers.
+    let mut pipelined = 0.0f64;
+    let mut worker_executed = Vec::new();
+    for _ in 0..reps {
+        for seed in 0..tenants {
+            server.submit(make_grid(seed), 0, horizon);
+        }
+        let (elapsed, traffic) = observe_serving_traffic(|| {
+            let start = Instant::now();
+            let _ = server.drain();
+            start.elapsed().as_secs_f64()
+        });
+        pipelined = pipelined.max(points / elapsed / 1e6);
+        worker_executed = traffic.worker_executed;
+    }
+    let report = server
+        .last_drain()
+        .expect("reps >= 1: a pipelined drain ran")
+        .clone();
+    let session = server.stats();
+
+    // Barrier: the historical discipline — a submit-all/drain cycle per round.
+    let mut barrier = 0.0f64;
     for _ in 0..reps {
         let mut grids: Vec<PochoirArray<T, D>> = (0..tenants).map(&make_grid).collect();
         let start = Instant::now();
@@ -66,11 +107,10 @@ where
             for grid in grids.drain(..) {
                 server.submit(grid, round * window, (round + 1) * window);
             }
-            grids = server.drain();
+            grids = server.drain_barrier();
         }
-        batched = batched.max(points / start.elapsed().as_secs_f64() / 1e6);
+        barrier = barrier.max(points / start.elapsed().as_secs_f64() / 1e6);
     }
-    let session = server.stats();
 
     // Sequential baseline: same program, same traffic, one array at a time.
     let mut sequential = 0.0f64;
@@ -100,8 +140,11 @@ where
         app,
         tenants,
         rounds,
-        batched_mpoints: batched,
+        pipelined_mpoints: pipelined,
+        barrier_mpoints: barrier,
         sequential_mpoints: sequential,
+        report,
+        worker_executed,
         session,
     }
 }
@@ -139,9 +182,17 @@ fn measure(scale: ProblemScale) -> Vec<Cell> {
     ]
 }
 
+fn ratio(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
+
 fn main() {
     let scale = scale_from_args(
-        "serving_json: measure batched (StencilServer) vs. sequential same-session \
+        "serving_json: measure pipelined vs. barrier vs. sequential same-session \
          throughput and write BENCH_serving.json",
     );
     let out_path = out_path_from_args("BENCH_serving.json");
@@ -151,7 +202,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"serving_batch_vs_sequential\",\n");
+    json.push_str("  \"bench\": \"serving_pipelined_vs_barrier\",\n");
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
     json.push_str("  \"unit\": \"Mpoints/s\",\n");
@@ -161,22 +212,28 @@ fn main() {
     ));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
-        let ratio = if c.sequential_mpoints > 0.0 {
-            c.batched_mpoints / c.sequential_mpoints
-        } else {
-            0.0
-        };
+        let workers_json: Vec<String> = c.worker_executed.iter().map(|w| w.to_string()).collect();
         json.push_str(&format!(
             "    {{\"app\": \"{}\", \"tenants\": {}, \"rounds\": {}, \
-             \"batched_mpoints_per_s\": {:.2}, \"sequential_mpoints_per_s\": {:.2}, \
-             \"batched_over_sequential\": {:.3}, \"session\": {{\"runs\": {}, \
-             \"compiles\": {}, \"fetches\": {}, \"reuses\": {}}}}}{}\n",
+             \"pipelined_mpoints_per_s\": {:.2}, \"barrier_mpoints_per_s\": {:.2}, \
+             \"sequential_mpoints_per_s\": {:.2}, \"pipelined_over_barrier\": {:.3}, \
+             \"barrier_over_sequential\": {:.3}, \
+             \"scheduler\": {{\"windows\": {}, \"queue_depth_peak\": {}, \
+             \"deadline_misses\": {}, \"worker_executed\": [{}]}}, \
+             \"session\": {{\"runs\": {}, \"compiles\": {}, \"fetches\": {}, \
+             \"reuses\": {}}}}}{}\n",
             c.app,
             c.tenants,
             c.rounds,
-            c.batched_mpoints,
+            c.pipelined_mpoints,
+            c.barrier_mpoints,
             c.sequential_mpoints,
-            ratio,
+            ratio(c.pipelined_mpoints, c.barrier_mpoints),
+            ratio(c.barrier_mpoints, c.sequential_mpoints),
+            c.report.windows,
+            c.report.peak_ready,
+            c.report.deadline_misses,
+            workers_json.join(", "),
             c.session.runs,
             c.session.schedule_compiles,
             c.session.schedule_fetches,

@@ -56,7 +56,7 @@ use crate::view::{AccessTracer, TracingView};
 use crate::zoid::Zoid;
 use pochoir_runtime::{Parallelism, Runtime, Serial};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Per-session executor counters (relaxed atomics; advisory, like the runtime's
@@ -83,12 +83,13 @@ pub struct SessionStats {
     pub schedule_compiles: u64,
 }
 
-/// Maximum number of compiled schedules one session keeps pinned (MRU-first).  Sessions
-/// are shared process-wide through the serving registry, so callers of one geometry may
-/// replay a handful of distinct window heights; beyond this many, the least recently
-/// used pin is dropped (its schedule survives in the global cache and in any session
-/// still using it).
-const MAX_PINNED_SCHEDULES: usize = 4;
+/// Default maximum number of compiled schedules one session keeps pinned (MRU-first).
+/// Sessions are shared process-wide through the serving registry, so callers of one
+/// geometry may replay a handful of distinct window heights; beyond the pin capacity,
+/// the least recently used pin is dropped (its schedule survives in the global cache
+/// and in any session still using it).  [`CompiledProgram::precompile_windows`] raises
+/// the capacity when more heights are pre-compiled deliberately.
+const DEFAULT_PINNED_SCHEDULES: usize = 4;
 
 /// How a run obtained its schedule; decides what is reported to the runtime's metrics.
 enum Resolution {
@@ -108,18 +109,31 @@ pub struct CompiledProgram<const D: usize> {
     spec: StencilSpec<D>,
     plan: ExecutionPlan<D>,
     sizes: [i64; D],
+    /// The window height the program was built (and eagerly compiled) for; the
+    /// serving layer uses it as the per-window chunk height of pipelined drains.
+    window: i64,
     /// Resolved once from the plan: `None` for the loop engines.
     strategy: Option<CutStrategy>,
     /// The session's pinned schedules, most recently used first, replayed for every
     /// window of a matching height.  A small *set* rather than a single slot: the
     /// serving registry shares one program across callers, and callers replaying
     /// different window heights must not evict each other's pin on every run.  Capped
-    /// at [`MAX_PINNED_SCHEDULES`].
+    /// at `pin_capacity`.
     schedule: Mutex<Vec<Arc<Schedule<D>>>>,
-    /// Cache outcome of the eager build-time compilation, reported to the runtime's
-    /// metrics by the first run (so per-run cache accounting matches the pre-session
-    /// behaviour of `engine::run`).
-    pending: Mutex<Option<CacheLookup>>,
+    /// How many schedules may stay pinned at once (default
+    /// [`DEFAULT_PINNED_SCHEDULES`]; raised by
+    /// [`precompile_windows`](Self::precompile_windows)).
+    pin_capacity: AtomicUsize,
+    /// Total leaves across the pinned schedules, maintained on every pin-set change
+    /// so readers (the serving registry's leaf-budget weigher) never take the
+    /// `schedule` mutex — which [`resolve_schedule`](Self::resolve_schedule) holds
+    /// across whole schedule compilations.
+    pinned_leaves: AtomicUsize,
+    /// Cache outcomes of eager compilations ([`new`](Self::new) and
+    /// [`precompile_windows`](Self::precompile_windows)), reported to the runtime's
+    /// metrics by the next run that has a metrics sink (so per-run cache accounting
+    /// matches the pre-session behaviour of `engine::run`).
+    pending: Mutex<Vec<CacheLookup>>,
     metrics: SessionMetrics,
 }
 
@@ -133,14 +147,17 @@ impl<const D: usize> CompiledProgram<D> {
             spec,
             plan,
             sizes,
+            window,
             schedule: Mutex::new(Vec::new()),
-            pending: Mutex::new(None),
+            pin_capacity: AtomicUsize::new(DEFAULT_PINNED_SCHEDULES),
+            pinned_leaves: AtomicUsize::new(0),
+            pending: Mutex::new(Vec::new()),
             metrics: SessionMetrics::default(),
         };
         if window > 0 && program.takes_compiled_route(window) {
             let (_, resolution) = program.resolve_schedule(window);
             if let Resolution::Fetched(lookup) = resolution {
-                *program.pending.lock().unwrap() = Some(lookup);
+                program.pending.lock().unwrap().push(lookup);
             }
         }
         program
@@ -161,10 +178,62 @@ impl<const D: usize> CompiledProgram<D> {
         self.sizes
     }
 
+    /// The window height the session was built (and eagerly compiled) for.  Runs of
+    /// other heights still work — they pin additional schedules — but this height is
+    /// the steady-state replay unit, and the serving layer's pipelined drain chops
+    /// submissions into chunks of it.
+    pub fn window(&self) -> i64 {
+        self.window
+    }
+
     /// The most recently used pinned compiled schedule, if the session has resolved
     /// one.
     pub fn schedule(&self) -> Option<Arc<Schedule<D>>> {
         self.schedule.lock().unwrap().first().cloned()
+    }
+
+    /// Total base-case leaves across the session's pinned schedules — the dominant
+    /// memory term of a retained session, and the weight the serving registry's
+    /// leaf budget charges this program against.
+    ///
+    /// A lock-free read of a count maintained on every pin-set change: registry
+    /// bookkeeping (which calls this while holding the registry lock) must never
+    /// block behind this session's `schedule` mutex, held across whole schedule
+    /// compilations.
+    pub fn pinned_leaf_count(&self) -> usize {
+        self.pinned_leaves.load(Ordering::Relaxed)
+    }
+
+    /// Eagerly compiles (or fetches from the process-global cache) and pins the
+    /// schedules for every window height in `heights`, growing the session's pin
+    /// capacity so all of them stay pinned together.  Returns the number of heights
+    /// that had to be fetched (the rest were already pinned).
+    ///
+    /// A serving deployment replaying a known mix of window heights — say a steady
+    /// chunk height plus the shorter remainder windows of pipelined drains — calls
+    /// this once at startup so no drain ever touches the schedule cache.
+    pub fn precompile_windows(&self, heights: &[i64]) -> usize {
+        // Size the capacity for the union of the requested heights and the pins the
+        // session already holds (e.g. the build window): counting only `heights`
+        // would let this call evict the steady-state pin it is meant to protect.
+        let kept_existing = {
+            let slot = self.schedule.lock().unwrap();
+            slot.iter()
+                .filter(|s| !heights.contains(&s.height()))
+                .count()
+        };
+        let wanted = (heights.len() + kept_existing).max(DEFAULT_PINNED_SCHEDULES);
+        self.pin_capacity.fetch_max(wanted, Ordering::Relaxed);
+        let mut fetched = 0;
+        for &height in heights {
+            if height > 0 && self.takes_compiled_route(height) {
+                if let (_, Resolution::Fetched(lookup)) = self.resolve_schedule(height) {
+                    fetched += 1;
+                    self.pending.lock().unwrap().push(lookup);
+                }
+            }
+        }
+        fetched
     }
 
     /// A snapshot of the session's executor counters.
@@ -187,8 +256,8 @@ impl<const D: usize> CompiledProgram<D> {
 
     /// Returns the schedule for windows of `height`: a pinned one when a pin of that
     /// height exists (an MRU *touch*), otherwise a (counted) global-cache fetch that
-    /// pins the result, dropping the least recently used pin beyond
-    /// [`MAX_PINNED_SCHEDULES`].
+    /// pins the result, dropping the least recently used pin beyond the session's
+    /// pin capacity.
     fn resolve_schedule(&self, height: i64) -> (Arc<Schedule<D>>, Resolution) {
         let strategy = self
             .strategy
@@ -218,7 +287,9 @@ impl<const D: usize> CompiledProgram<D> {
                 .fetch_add(1, Ordering::Relaxed);
         }
         slot.insert(0, Arc::clone(&fetched));
-        slot.truncate(MAX_PINNED_SCHEDULES);
+        slot.truncate(self.pin_capacity.load(Ordering::Relaxed));
+        self.pinned_leaves
+            .store(slot.iter().map(|s| s.num_leaves()).sum(), Ordering::Relaxed);
         (fetched, Resolution::Fetched(lookup))
     }
 
@@ -270,22 +341,23 @@ impl<const D: usize> CompiledProgram<D> {
                             par.note_schedule_evictions(lookup.evicted);
                         }
                     };
-                    // Report the eager build-time lookup on the first run that has a
-                    // metrics sink (even when this run fetched a different height), so
-                    // runtime counters match the global cache's actual traffic; pinned
-                    // replays beyond that count as hits.
-                    let pending = self.pending.lock().unwrap().take();
-                    match (pending, resolution) {
-                        (Some(built), Resolution::Reused) => report(built),
-                        (Some(built), Resolution::Fetched(lookup)) => {
-                            report(built);
-                            report(lookup);
-                        }
-                        (None, Resolution::Reused) => report(CacheLookup {
+                    // Report the eager build/precompile-time lookups on the first run
+                    // that has a metrics sink (even when this run fetched a different
+                    // height), so runtime counters match the global cache's actual
+                    // traffic; pinned replays beyond that count as hits.
+                    let pending = std::mem::take(&mut *self.pending.lock().unwrap());
+                    let had_pending = !pending.is_empty();
+                    for lookup in pending {
+                        report(lookup);
+                    }
+                    match resolution {
+                        // An eager lookup already accounts for this run's schedule.
+                        Resolution::Reused if had_pending => {}
+                        Resolution::Reused => report(CacheLookup {
                             hit: true,
                             evicted: 0,
                         }),
-                        (None, Resolution::Fetched(lookup)) => report(lookup),
+                        Resolution::Fetched(lookup) => report(lookup),
                     }
                     schedule.execute(grid, kernel, t0, &self.plan, par);
                 } else {
@@ -376,6 +448,41 @@ impl<const D: usize> CompiledProgram<D> {
 /// [`run`](CompiledStencil::run) replays it across shifted time windows.  Session
 /// counters ([`stats`](CompiledStencil::stats)) let callers assert reuse: a steady
 ///-state session performs zero schedule fetches and zero compilations per run.
+///
+/// ```
+/// use pochoir_core::boundary::Boundary;
+/// use pochoir_core::engine::{CompiledStencil, Coarsening, ExecutionPlan};
+/// use pochoir_core::grid::PochoirArray;
+/// use pochoir_core::kernel::{StencilKernel, StencilSpec};
+/// use pochoir_core::shape::star_shape;
+/// use pochoir_core::view::GridAccess;
+///
+/// struct Blur; // 1D three-point average
+/// impl StencilKernel<f64, 1> for Blur {
+///     fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+///         let v = (g.get(t, [x[0] - 1]) + g.get(t, [x[0]]) + g.get(t, [x[0] + 1])) / 3.0;
+///         g.set(t + 1, x, v);
+///     }
+/// }
+///
+/// // Compile once for 20-cell grids stepping 4 time steps per window...
+/// let session = CompiledStencil::new(
+///     StencilSpec::new(star_shape::<1>(1)),
+///     Blur,
+///     ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [4])),
+///     [20],
+///     4,
+/// );
+/// // ...then replay it across shifted windows with zero further compilations.
+/// let mut grid = PochoirArray::<f64, 1>::new([20]);
+/// grid.register_boundary(Boundary::Periodic);
+/// grid.fill_time_slice(0, |x| x[0] as f64);
+/// session.run(&mut grid, 0, 4);
+/// session.run(&mut grid, 4, 8);
+/// let stats = session.stats();
+/// assert_eq!(stats.runs, 2);
+/// assert_eq!(stats.schedule_fetches, 1, "only the eager build fetched");
+/// ```
 pub struct CompiledStencil<T, K, const D: usize> {
     program: CompiledProgram<D>,
     kernel: K,
@@ -433,6 +540,12 @@ where
     /// The currently pinned compiled schedule, if the session has resolved one.
     pub fn schedule(&self) -> Option<Arc<Schedule<D>>> {
         self.program.schedule()
+    }
+
+    /// Eagerly pins the schedules for several window heights (see
+    /// [`CompiledProgram::precompile_windows`]); returns the number fetched.
+    pub fn precompile_windows(&self, heights: &[i64]) -> usize {
+        self.program.precompile_windows(heights)
     }
 
     /// A snapshot of the session's executor counters.
@@ -661,6 +774,29 @@ mod tests {
             "both heights stay pinned; alternating runs fetch nothing"
         );
         assert_eq!(stats.schedule_reuses, 3);
+    }
+
+    #[test]
+    fn precompile_windows_pins_every_height_up_front() {
+        let s = session(23, 5);
+        // Height 5 is already pinned from the eager build; 3, 4 and 6 are fresh.
+        let fetched = s.precompile_windows(&[5, 3, 4, 6]);
+        assert_eq!(fetched, 3);
+        assert_eq!(s.stats().schedule_fetches, 4);
+        let mut a = make_array(23);
+        s.run_with(&mut a, 0, 3, &Serial);
+        s.run_with(&mut a, 3, 7, &Serial);
+        s.run_with(&mut a, 7, 12, &Serial);
+        s.run_with(&mut a, 12, 18, &Serial);
+        let stats = s.stats();
+        assert_eq!(
+            stats.schedule_fetches, 4,
+            "every height was pre-pinned; runs fetch nothing"
+        );
+        // 4 replayed runs plus the precompile touch of the already-pinned height 5.
+        assert_eq!(stats.schedule_reuses, 5);
+        assert!(s.program().pinned_leaf_count() > 0);
+        assert_eq!(s.program().window(), 5);
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub use plan::{
 };
 pub use schedule::{Schedule, ScheduledLeaf};
 pub use serving::{
-    run_batch, shared_program, BatchRun, RegistryLookup, RegistryStats, SessionRegistry,
-    StencilServer,
+    run_batch, shared_program, BatchRun, DrainReport, RegistryLookup, RegistryStats,
+    SessionRegistry, StencilServer, SubmitOptions,
 };
 pub use walker::CutStrategy;
 

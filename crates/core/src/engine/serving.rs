@@ -1,4 +1,5 @@
-//! The serving layer: share compiled sessions across arrays and batch their execution.
+//! The serving layer: share compiled sessions across arrays, pipeline their windows,
+//! and schedule tenants by weight and deadline.
 //!
 //! ## From library to service substrate
 //!
@@ -16,14 +17,43 @@
 //!        │  fetches its program from                        dsl::Pochoir (same registry)
 //!        ▼
 //!   SessionRegistry  —  process-global, keyed by (spec fingerprint, sizes, plan, window)
-//!        │               LRU-bounded · exactly-once compile per key · hit/miss/eviction
-//!        │               counters surfaced through `pochoir_runtime` metrics
+//!        │               LRU under an entry cap *and* a pinned-leaf budget ·
+//!        │               exactly-once compile per key · hit/miss/eviction counters
+//!        │               surfaced through `pochoir_runtime` metrics
 //!        ▼
 //!   Arc<CompiledProgram>  —  one per geometry, shared by every caller
 //!        │
+//!   drain (pipelined)  —  per-window work items, EDF + weighted-stride ready queue,
+//!        │                no cross-tenant barrier (see "Pipelined drains" below)
 //!   run_batch  —  whole-array parallelism across requests (for_each_with_grain),
 //!                 composing with the phase parallelism inside each request
 //! ```
+//!
+//! ## Pipelined drains
+//!
+//! [`StencilServer::drain`] does **not** execute each submission as one monolithic run
+//! behind a batch barrier.  Each submission `[t0, t1)` is split into per-window work
+//! items of the program's compiled chunk height (the executor's time-origin shifting
+//! makes every chunk a pinned-schedule replay), and the items flow through a single
+//! ready queue: window N+1 of one tenant overlaps window N of another, and a tenant
+//! with a short request finishes without waiting for a long-running neighbour.  The
+//! ready queue orders items by
+//!
+//! 1. **deadline** — submissions with a [`SubmitOptions::deadline`] dispatch
+//!    earliest-deadline-first, ahead of deadline-less work;
+//! 2. **weighted virtual time** — stride scheduling: each dispatched window advances
+//!    its tenant's pass by `1/weight`, and the lowest pass runs next, so a
+//!    weight-4 tenant receives 4× the dispatch slots of a weight-1 tenant while the
+//!    weight-1 tenant keeps making proportional progress (no starvation);
+//! 3. **ticket order** — the deterministic tiebreak.
+//!
+//! Results are handed back in ticket order regardless of execution order, and are
+//! bitwise identical to the barrier drain ([`StencilServer::drain_barrier`], kept for
+//! comparison benchmarks): every grid point of every step is computed once, by the
+//! same kernel expression, from the same inputs — the decomposition never affects the
+//! values.  [`StencilServer::last_drain`] reports windows executed, the ready-queue
+//! high-water mark, logical-deadline misses and per-ticket completion ticks; the same
+//! numbers reach the runtime's metrics (`serving_*` counters).
 //!
 //! ## Registry keying
 //!
@@ -40,10 +70,15 @@
 //! Lookups are **exactly-once** under concurrency: the registry stores a once-cell per
 //! key, so N threads racing on a cold key perform one compilation while the other N−1
 //! block briefly and then share the result — unlike the schedule cache, which tolerates
-//! racing duplicate compiles to keep its lock narrow.  The registry is LRU-bounded
-//! ([`set_registry_capacity`]); eviction only drops the registry's `Arc`, never a
-//! session a caller still holds, and in-flight entries (compile still running) are
-//! pinned against eviction so the exactly-once guarantee survives capacity pressure.
+//! racing duplicate compiles to keep its lock narrow.  The registry is LRU-bounded two
+//! ways, mirroring the schedule cache's limits: an entry capacity
+//! ([`set_registry_capacity`]) and a **pinned-leaf budget**
+//! ([`set_registry_leaf_budget`]) charging each retained session the total base-case
+//! leaves of its pinned schedules — the dominant memory term, so a few giant
+//! geometries cannot silently pin hundreds of megabytes while the entry count looks
+//! small.  Eviction only drops the registry's `Arc`, never a session a caller still
+//! holds, and in-flight entries (compile still running) are pinned against eviction so
+//! the exactly-once guarantee survives capacity pressure.
 //!
 //! ## Batching
 //!
@@ -159,14 +194,60 @@ impl RegistryKey {
     }
 }
 
-/// A slot holds the program behind a once-cell so a cold key compiles exactly once:
-/// the first caller runs the compilation, concurrent callers block on the cell.
-type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+/// A slot holds the program behind a once-cell so a cold key compiles exactly once
+/// (the first caller runs the compilation, concurrent callers block on the cell),
+/// plus a type-erased weigher reporting the entry's **live** pinned-leaf count for
+/// the registry's leaf budget.
+struct SlotState {
+    cell: OnceLock<Arc<dyn Any + Send + Sync>>,
+    /// Reports the program's current `pinned_leaf_count()`.  A closure rather than a
+    /// recorded number because the weight changes *between* lookups: callers grow a
+    /// shared session's pin set directly (`precompile_windows`, runs of new window
+    /// heights), and a stale recorded weight would let pinned memory exceed the
+    /// budget invisibly.  Installed when the compile resolves (the slot is the only
+    /// dimension-aware point); in-flight slots weigh zero.
+    weigher: OnceLock<Box<dyn Fn() -> usize + Send + Sync>>,
+}
+
+impl SlotState {
+    /// The entry's current pinned-leaf weight (zero while the compile is in flight).
+    fn leaves(&self) -> usize {
+        self.weigher.get().map_or(0, |w| w())
+    }
+}
+
+type Slot = Arc<SlotState>;
 
 struct RegistryState {
     map: HashMap<RegistryKey, Slot>,
     /// Recency order: front = least recently used, back = most recently used.
     order: VecDeque<RegistryKey>,
+}
+
+impl RegistryState {
+    /// Sum of the completed entries' live pinned-leaf weights.
+    fn total_leaves(&self) -> usize {
+        self.map.values().map(|slot| slot.leaves()).sum()
+    }
+
+    /// Evicts the least recently used *completed* entry, never touching `skip` and
+    /// never an in-flight slot (its once-cell not yet initialized): a concurrent
+    /// lookup of an in-flight key must keep finding it and block on the cell, or
+    /// the exactly-once compile guarantee would break.  Returns whether an entry
+    /// was removed (`false` = every candidate is pinned).  The single eviction
+    /// primitive behind both the entry-capacity and the leaf-budget limits.
+    fn evict_lru(&mut self, skip: Option<&RegistryKey>) -> bool {
+        let victim = self.order.iter().position(|k| {
+            skip != Some(k) && self.map.get(k).is_none_or(|slot| slot.cell.get().is_some())
+        });
+        match victim {
+            Some(pos) => match self.order.remove(pos) {
+                Some(old) => self.map.remove(&old).is_some(),
+                None => false,
+            },
+            None => false,
+        }
+    }
 }
 
 /// Default number of sessions the process-global registry retains.  Entries are small
@@ -175,29 +256,64 @@ struct RegistryState {
 /// caps schedule retention by idle geometries.
 const DEFAULT_REGISTRY_CAPACITY: usize = 64;
 
+/// Default total pinned leaves the registry may retain across all sessions, mirroring
+/// the schedule cache's leaf budget (`set_cache_leaf_budget`): leaves dominate a
+/// retained session's footprint, so this bounds resident memory by what sessions
+/// actually pin rather than by how many keys exist.  Override with
+/// [`set_registry_leaf_budget`].
+const DEFAULT_REGISTRY_LEAF_BUDGET: usize = 1 << 20;
+
 /// An LRU-bounded registry of compiled executor sessions, keyed by
 /// `(spec fingerprint, sizes, plan, window)`.
 ///
-/// One process-global instance backs [`shared_program`] (and, through it, the DSL's
-/// `Pochoir` object and [`StencilServer::new`]); multi-tenant deployments or tests can
-/// construct private instances with [`SessionRegistry::with_capacity`].
+/// Retention is bounded by an entry capacity *and* a pinned-leaf budget (the memory
+/// bound; see [`set_registry_leaf_budget`]).  One process-global instance backs
+/// [`shared_program`] (and, through it, the DSL's `Pochoir` object and
+/// [`StencilServer::new`]); multi-tenant deployments or tests can construct private
+/// instances with [`SessionRegistry::with_capacity`] / [`SessionRegistry::with_limits`].
+///
+/// ```
+/// use pochoir_core::engine::serving::SessionRegistry;
+/// use pochoir_core::engine::{Coarsening, ExecutionPlan};
+/// use pochoir_core::kernel::StencilSpec;
+/// use pochoir_core::shape::star_shape;
+/// use std::sync::Arc;
+///
+/// let registry = SessionRegistry::with_capacity(8);
+/// let spec = StencilSpec::new(star_shape::<2>(1));
+/// let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6]));
+/// // First lookup of a geometry compiles; the second is served the same session.
+/// let (first, miss) = registry.get_or_compile(&spec, &plan, [16, 16], 4);
+/// let (second, hit) = registry.get_or_compile(&spec, &plan, [16, 16], 4);
+/// assert!(!miss.hit && hit.hit);
+/// assert!(Arc::ptr_eq(&first, &second));
+/// ```
 pub struct SessionRegistry {
     state: Mutex<RegistryState>,
     capacity: AtomicUsize,
+    leaf_budget: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl SessionRegistry {
-    /// Creates a registry retaining at most `capacity` sessions (clamped to ≥ 1).
+    /// Creates a registry retaining at most `capacity` sessions (clamped to ≥ 1),
+    /// with the default pinned-leaf budget.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_limits(capacity, DEFAULT_REGISTRY_LEAF_BUDGET)
+    }
+
+    /// Creates a registry bounded by `capacity` entries and `leaf_budget` total
+    /// pinned leaves (both clamped to ≥ 1).
+    pub fn with_limits(capacity: usize, leaf_budget: usize) -> Self {
         SessionRegistry {
             state: Mutex::new(RegistryState {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
             capacity: AtomicUsize::new(capacity.max(1)),
+            leaf_budget: AtomicUsize::new(leaf_budget.max(1)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -220,9 +336,9 @@ impl SessionRegistry {
         window: i64,
     ) -> (Arc<CompiledProgram<D>>, RegistryLookup) {
         let key = RegistryKey::new(spec, plan, sizes, window);
-        let (slot, evicted) = self.slot_for(key);
+        let (slot, mut evicted) = self.slot_for(key.clone());
         let mut compiled_here = false;
-        let any = slot.get_or_init(|| {
+        let any = slot.cell.get_or_init(|| {
             compiled_here = true;
             Arc::new(CompiledProgram::new(spec.clone(), *plan, sizes, window))
                 as Arc<dyn Any + Send + Sync>
@@ -230,6 +346,16 @@ impl SessionRegistry {
         let program = Arc::clone(any)
             .downcast::<CompiledProgram<D>>()
             .expect("registry keys encode the dimensionality via the sizes length");
+        // Install the live weigher (first resolution of this slot) and re-enforce
+        // the leaf budget: the entry is charged whatever its session pins *now*,
+        // including pins grown since the previous lookup.  `pinned_leaf_count` is a
+        // lock-free atomic read, so weighing entries under the registry lock never
+        // blocks behind a session's in-progress schedule compilation.
+        slot.weigher.get_or_init(|| {
+            let weighed = Arc::clone(&program);
+            Box::new(move || weighed.pinned_leaf_count())
+        });
+        evicted += self.enforce_leaf_budget(&key);
         if compiled_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -264,31 +390,40 @@ impl SessionRegistry {
         }
         let mut evicted = 0u64;
         while state.map.len() >= capacity {
-            // Evict the least recently used *completed* entry.  An in-flight slot
-            // (its once-cell not yet initialized) is pinned against eviction: a
-            // concurrent lookup of its key must keep finding it and block on the
-            // cell, or the exactly-once compile guarantee would break.
-            let victim = state
-                .order
-                .iter()
-                .position(|k| state.map.get(k).is_none_or(|slot| slot.get().is_some()));
-            match victim {
-                Some(pos) => {
-                    if let Some(old) = state.order.remove(pos) {
-                        if state.map.remove(&old).is_some() {
-                            evicted += 1;
-                        }
-                    }
-                }
+            if !state.evict_lru(None) {
                 // Every entry is mid-compile: transiently exceed the capacity rather
                 // than break exactly-once compilation.
-                None => break,
+                break;
             }
+            evicted += 1;
         }
-        let slot: Slot = Arc::new(OnceLock::new());
+        let slot: Slot = Arc::new(SlotState {
+            cell: OnceLock::new(),
+            weigher: OnceLock::new(),
+        });
         state.map.insert(key.clone(), Arc::clone(&slot));
         state.order.push_back(key);
         (slot, evicted)
+    }
+
+    /// Evicts LRU completed entries (never `current`, never in-flight slots) until the
+    /// total pinned-leaf weight fits the leaf budget; returns the number evicted.
+    ///
+    /// Runs after a lookup resolves, when the entry's weight is actually known — a
+    /// compile's footprint cannot be charged before it finishes.  A single
+    /// over-budget session stays retained (it is in use), matching the schedule
+    /// cache's policy for oversized entries.
+    fn enforce_leaf_budget(&self, current: &RegistryKey) -> u64 {
+        let budget = self.leaf_budget.load(Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        let mut evicted = 0u64;
+        while state.total_leaves() > budget {
+            if !state.evict_lru(Some(current)) {
+                break;
+            }
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Number of sessions currently retained.
@@ -304,6 +439,23 @@ impl SessionRegistry {
     /// Sets the capacity (clamped to ≥ 1); takes effect on subsequent insertions.
     pub fn set_capacity(&self, capacity: usize) {
         self.capacity.store(capacity.max(1), Ordering::Relaxed);
+    }
+
+    /// Sets the pinned-leaf budget (clamped to ≥ 1); takes effect on subsequent
+    /// lookups.
+    pub fn set_leaf_budget(&self, leaves: usize) {
+        self.leaf_budget.store(leaves.max(1), Ordering::Relaxed);
+    }
+
+    /// The current pinned-leaf budget.
+    pub fn leaf_budget(&self) -> usize {
+        self.leaf_budget.load(Ordering::Relaxed)
+    }
+
+    /// Total pinned leaves currently charged against the budget (completed entries
+    /// only; in-flight compiles weigh zero until they finish).
+    pub fn pinned_leaves(&self) -> usize {
+        self.state.lock().unwrap().total_leaves()
     }
 
     /// A snapshot of the cumulative hit/miss/eviction counters.
@@ -353,6 +505,20 @@ pub fn registry_stats() -> RegistryStats {
 /// Sets the process-global registry's capacity (sessions retained; clamped to ≥ 1).
 pub fn set_registry_capacity(capacity: usize) {
     registry().set_capacity(capacity);
+}
+
+/// Sets the process-global registry's pinned-leaf budget — the memory-weighted bound
+/// mirroring the schedule cache's
+/// [`set_cache_leaf_budget`](crate::engine::schedule::set_cache_leaf_budget): each
+/// retained session is charged the total base-case leaves of its pinned schedules,
+/// and least-recently-used sessions are dropped once the sum exceeds the budget.
+pub fn set_registry_leaf_budget(leaves: usize) {
+    registry().set_leaf_budget(leaves);
+}
+
+/// The process-global registry's current pinned-leaf budget.
+pub fn registry_leaf_budget() -> usize {
+    registry().leaf_budget()
 }
 
 /// Empties the process-global session registry (the statistics are kept).  Sessions
@@ -408,30 +574,255 @@ pub fn run_batch<T, K, P, const D: usize>(
     }
 }
 
-/// A queued [`StencilServer`] request: an owned array plus its window.
+/// Per-submission scheduling options (see [`StencilServer::submit_with`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Relative share of dispatch slots under weighted-stride scheduling (clamped to
+    /// ≥ 1): a weight-4 tenant's windows dispatch 4× as often as a weight-1 tenant's
+    /// while both are ready.
+    pub weight: u32,
+    /// Optional logical deadline: the drain tick (1-based count of dispatched
+    /// windows) by which this submission's final window should have been dispatched.
+    /// Deadline submissions are scheduled earliest-deadline-first, ahead of
+    /// deadline-less work; a missed deadline is counted in
+    /// [`DrainReport::deadline_misses`] and the runtime's
+    /// `serving_deadline_misses` metric.
+    pub deadline: Option<u64>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            weight: 1,
+            deadline: None,
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// Options with the given scheduling weight (clamped to ≥ 1) and no deadline.
+    pub fn weighted(weight: u32) -> Self {
+        SubmitOptions {
+            weight: weight.max(1),
+            deadline: None,
+        }
+    }
+
+    /// Adds a logical deadline (the drain tick by which the final window should have
+    /// dispatched).
+    pub fn with_deadline(mut self, tick: u64) -> Self {
+        self.deadline = Some(tick);
+        self
+    }
+}
+
+/// What the last pipelined [`StencilServer::drain`] did (see
+/// [`StencilServer::last_drain`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Per-window work items dispatched (the drain's logical clock ran to this tick).
+    pub windows: u64,
+    /// High-water mark of the ready queue (work items dispatchable at one instant).
+    pub peak_ready: usize,
+    /// Submissions whose final window dispatched after their logical deadline.
+    pub deadline_misses: u64,
+    /// Per ticket: the 1-based tick at which the submission's final window
+    /// dispatched (0 for empty submissions).  Earlier ticks finished earlier under
+    /// serial drains; tests use this to assert deadline and fairness ordering.
+    pub completion_tick: Vec<u64>,
+}
+
+/// A queued [`StencilServer`] request: an owned array plus its window and options.
 struct Submission<T, const D: usize> {
     array: PochoirArray<T, D>,
     t0: i64,
     t1: i64,
+    opts: SubmitOptions,
+}
+
+/// Virtual-time increment of one dispatched window at weight 1 (stride scheduling:
+/// a weight-w tenant's pass advances by `STRIDE_ONE / w` per window).
+const STRIDE_ONE: u64 = 1 << 20;
+
+/// One tenant's chain of per-window work items inside a pipelined drain.  Windows of
+/// one chain are sequentially dependent (window N+1 reads window N's slices), so at
+/// most one item per chain is in flight; chains of different tenants interleave
+/// freely.
+struct Chain {
+    next_t: i64,
+    t1: i64,
+    /// Stride-scheduling virtual time: advanced by `stride` per dispatched window.
+    pass: u64,
+    stride: u64,
+    deadline: Option<u64>,
+}
+
+/// The ready queue and clocks of one pipelined drain, shared behind a mutex by the
+/// drain's workers.
+struct SchedulerState {
+    chains: Vec<Chain>,
+    /// Tickets whose next window may dispatch now.
+    ready: Vec<usize>,
+    in_flight: usize,
+    /// Logical clock: total windows dispatched so far.
+    ticks: u64,
+    peak_ready: usize,
+    deadline_misses: u64,
+    completion_tick: Vec<u64>,
+    /// Set when a window panicked: no further windows dispatch or ready, the drain
+    /// winds down as the other in-flight windows finish.
+    aborted: bool,
+}
+
+impl SchedulerState {
+    fn new(windows: &[(i64, i64, SubmitOptions)]) -> Self {
+        let chains: Vec<Chain> = windows
+            .iter()
+            .map(|&(t0, t1, opts)| Chain {
+                next_t: t0,
+                t1,
+                pass: 0,
+                // Clamped to ≥ 1: a zero stride (weight above STRIDE_ONE) would let
+                // the tenant's pass sit at 0 forever and monopolize dispatch —
+                // exactly the lockout stride scheduling exists to prevent.
+                stride: (STRIDE_ONE / u64::from(opts.weight.max(1))).max(1),
+                deadline: opts.deadline,
+            })
+            .collect();
+        let ready: Vec<usize> = chains
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.next_t < c.t1)
+            .map(|(i, _)| i)
+            .collect();
+        SchedulerState {
+            peak_ready: ready.len(),
+            completion_tick: vec![0; chains.len()],
+            ready,
+            in_flight: 0,
+            ticks: 0,
+            deadline_misses: 0,
+            chains,
+            aborted: false,
+        }
+    }
+
+    /// Dispatches the highest-priority ready window — (deadline, pass, ticket)
+    /// ascending — advancing the clock and the tenant's virtual time.  Returns the
+    /// ticket and the window to run, or `None` if nothing is ready right now.
+    fn pop(&mut self, chunk: i64) -> Option<(usize, i64, i64)> {
+        let pos = (0..self.ready.len()).min_by_key(|&i| {
+            let ticket = self.ready[i];
+            let c = &self.chains[ticket];
+            (c.deadline.unwrap_or(u64::MAX), c.pass, ticket)
+        })?;
+        let ticket = self.ready.swap_remove(pos);
+        self.ticks += 1;
+        self.in_flight += 1;
+        let chain = &mut self.chains[ticket];
+        chain.pass += chain.stride;
+        let t0 = chain.next_t;
+        let t1 = (t0 + chunk).min(chain.t1);
+        if t1 == chain.t1 {
+            self.completion_tick[ticket] = self.ticks;
+            if chain.deadline.is_some_and(|d| self.ticks > d) {
+                self.deadline_misses += 1;
+            }
+        }
+        Some((ticket, t0, t1))
+    }
+
+    /// Marks the window ending at `end` of `ticket` complete, readying the chain's
+    /// next window (if any, and unless the drain has been aborted by a panic).
+    fn complete(&mut self, ticket: usize, end: i64) {
+        self.in_flight -= 1;
+        let chain = &mut self.chains[ticket];
+        chain.next_t = end;
+        if !self.aborted && chain.next_t < chain.t1 {
+            self.ready.push(ticket);
+            self.peak_ready = self.peak_ready.max(self.ready.len());
+        }
+    }
+
+    /// Whether every window of every chain has completed (or the drain aborted and
+    /// the surviving in-flight windows have finished).
+    fn finished(&self) -> bool {
+        self.ready.is_empty() && self.in_flight == 0
+    }
+
+    /// Winds the drain down after a window panicked: retires the panicking item and
+    /// cancels all not-yet-dispatched work — the cleared ready queue stays empty
+    /// because `complete` stops readying successors once `aborted` is set — so the
+    /// surviving crew workers observe [`finished`](Self::finished) as soon as the
+    /// other in-flight windows complete and the panic is re-thrown from the drain.
+    fn abort_in_flight(&mut self) {
+        self.aborted = true;
+        self.in_flight -= 1;
+        self.ready.clear();
+    }
 }
 
 /// The serving facade: one shared session, a bound kernel, and a submit/drain queue
-/// that executes accumulated requests as one parallel batch.
+/// scheduled as a pipelined multi-tenant workload.
 ///
 /// A server is the per-geometry object a deployment holds: [`new`](StencilServer::new)
 /// fetches the [`CompiledProgram`] from the process-global [`SessionRegistry`] (so N
 /// servers — or N DSL `Pochoir` objects — over identical geometry compile once),
-/// [`submit`](StencilServer::submit) enqueues `(array, t0, t1)` requests,
-/// and [`drain`](StencilServer::drain) runs the whole batch through [`run_batch`] and
-/// hands the arrays back in submission order.  [`stats`](StencilServer::stats) exposes
-/// the shared session's counters: at steady state `runs` grows by the batch size per
-/// drain while `schedule_compiles` stays constant — one compile, N arrays.
+/// [`submit`](StencilServer::submit) / [`submit_with`](StencilServer::submit_with)
+/// enqueue `(array, t0, t1)` requests with optional per-tenant weight and deadline,
+/// and [`drain`](StencilServer::drain) runs the queue as per-window work items through
+/// the weighted/deadline ready queue (see the module docs), handing the arrays back in
+/// submission order.  [`stats`](StencilServer::stats) exposes the shared session's
+/// counters: at steady state `runs` grows by the window count per drain while
+/// `schedule_compiles` stays constant — one compile, any number of windows.
+///
+/// ```
+/// use pochoir_core::boundary::Boundary;
+/// use pochoir_core::engine::serving::{StencilServer, SubmitOptions};
+/// use pochoir_core::engine::{Coarsening, ExecutionPlan};
+/// use pochoir_core::grid::PochoirArray;
+/// use pochoir_core::kernel::{StencilKernel, StencilSpec};
+/// use pochoir_core::shape::star_shape;
+/// use pochoir_core::view::GridAccess;
+///
+/// struct Decay; // each cell loses 10% per step
+/// impl StencilKernel<f64, 2> for Decay {
+///     fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+///         g.set(t + 1, x, 0.9 * g.get(t, x));
+///     }
+/// }
+///
+/// let mut server = StencilServer::new(
+///     StencilSpec::new(star_shape::<2>(1)),
+///     Decay,
+///     ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [5, 5])),
+///     [12, 12],
+///     4, // windows of 4 steps: the pipelined drain's chunk height
+/// );
+/// let make = || {
+///     let mut a = PochoirArray::<f64, 2>::new([12, 12]);
+///     a.register_boundary(Boundary::Periodic);
+///     a.fill_time_slice(0, |x| (x[0] + x[1]) as f64);
+///     a
+/// };
+/// // An 8-step background request and a 4-step deadline request.
+/// let slow = server.submit(make(), 0, 8);
+/// let urgent = server.submit_with(make(), 0, 4, SubmitOptions::weighted(2).with_deadline(1));
+/// let results = server.drain(); // pipelined: the urgent window dispatches first
+/// assert_eq!(results.len(), 2);
+/// let report = server.last_drain().unwrap();
+/// assert_eq!(report.windows, 3); // 2 windows for `slow`, 1 for `urgent`
+/// assert_eq!(report.deadline_misses, 0);
+/// assert!(report.completion_tick[urgent] < report.completion_tick[slow]);
+/// ```
 pub struct StencilServer<T, K, const D: usize> {
     program: Arc<CompiledProgram<D>>,
     kernel: K,
     runtime: Option<Arc<Runtime>>,
     batch_grain: usize,
     queue: Vec<Submission<T, D>>,
+    /// What the last pipelined drain did.
+    last_drain: Option<DrainReport>,
     /// The construction-time registry lookup, reported to the runtime's metrics by the
     /// first drain (the registry itself has no metrics sink).
     pending_lookup: Option<RegistryLookup>,
@@ -469,6 +860,7 @@ where
             runtime: None,
             batch_grain: 1,
             queue: Vec::new(),
+            last_drain: None,
             pending_lookup: None,
         }
     }
@@ -485,8 +877,10 @@ where
         self
     }
 
-    /// Sets how many requests one batch task executes (default 1: every array is an
-    /// independently stealable task).  Raise it for large batches of tiny grids.
+    /// Sets how many requests one [`drain_barrier`](Self::drain_barrier) batch task
+    /// executes (default 1: every array is an independently stealable task).  Raise
+    /// it for large batches of tiny grids.  The pipelined [`drain`](Self::drain)
+    /// schedules per-window items instead and ignores this grain.
     pub fn with_batch_grain(mut self, grain: usize) -> Self {
         self.batch_grain = grain.max(1);
         self
@@ -511,18 +905,37 @@ where
         self.program.stats()
     }
 
-    /// Enqueues a request to run kernel-invocation times `[t0, t1)` on `array`;
-    /// returns its ticket (the index of its array in the next [`drain`](Self::drain)).
+    /// Enqueues a request to run kernel-invocation times `[t0, t1)` on `array` with
+    /// default options (weight 1, no deadline); returns its ticket (the index of its
+    /// array in the next [`drain`](Self::drain)).
     ///
     /// The array's extents must match the server's compiled geometry.
     pub fn submit(&mut self, array: PochoirArray<T, D>, t0: i64, t1: i64) -> usize {
+        self.submit_with(array, t0, t1, SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with explicit scheduling options: a per-tenant weight
+    /// (share of dispatch slots) and an optional logical deadline (see
+    /// [`SubmitOptions`]).
+    pub fn submit_with(
+        &mut self,
+        array: PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        opts: SubmitOptions,
+    ) -> usize {
         assert!(
             array.sizes_i64() == self.program.sizes(),
             "submitted array extents {:?} do not match the server's compiled extents {:?}",
             array.sizes_i64(),
             self.program.sizes()
         );
-        self.queue.push(Submission { array, t0, t1 });
+        self.queue.push(Submission {
+            array,
+            t0,
+            t1,
+            opts,
+        });
         self.queue.len() - 1
     }
 
@@ -531,9 +944,21 @@ where
         self.queue.len()
     }
 
-    /// Executes every queued request as one parallel batch and returns the arrays in
-    /// submission order, using the pinned runtime if one was set and the process-global
-    /// runtime otherwise.
+    /// What the last pipelined [`drain`](Self::drain) did: windows dispatched,
+    /// ready-queue high-water mark, deadline misses, and per-ticket completion ticks.
+    /// `None` before the first pipelined drain.
+    pub fn last_drain(&self) -> Option<&DrainReport> {
+        self.last_drain.as_ref()
+    }
+
+    /// Executes every queued request through the pipelined scheduler and returns the
+    /// arrays in submission order, using the pinned runtime if one was set and the
+    /// process-global runtime otherwise.
+    ///
+    /// Each submission is split into per-window work items of the program's compiled
+    /// chunk height; the items dispatch in (deadline, weighted virtual time, ticket)
+    /// order with no cross-tenant barrier — see the module docs for the semantics.
+    /// Results are bitwise identical to [`drain_barrier`](Self::drain_barrier).
     pub fn drain(&mut self) -> Vec<PochoirArray<T, D>> {
         match self.runtime.clone() {
             Some(rt) => self.drain_with(rt.as_ref()),
@@ -542,11 +967,115 @@ where
     }
 
     /// [`drain`](Self::drain) with an explicit parallelism provider (e.g. `Serial` for
-    /// deterministic test runs).
+    /// deterministic test runs: windows then execute exactly in priority order).
     pub fn drain_with<P: Parallelism>(&mut self, par: &P) -> Vec<PochoirArray<T, D>> {
-        if let Some(lookup) = self.pending_lookup.take() {
-            lookup.report_to(par);
+        self.report_pending(par);
+        let queue = std::mem::take(&mut self.queue);
+        let windows: Vec<(i64, i64, SubmitOptions)> =
+            queue.iter().map(|s| (s.t0, s.t1, s.opts)).collect();
+        let arrays: Vec<Mutex<PochoirArray<T, D>>> =
+            queue.into_iter().map(|s| Mutex::new(s.array)).collect();
+        let chunk = self.program.window().max(1);
+        let sched = Mutex::new(SchedulerState::new(&windows));
+        {
+            // Runs one work item: at most one window per chain is ever in flight, so
+            // the per-ticket mutex is uncontended — it only carries the `&mut` to
+            // whichever worker dispatched the item.
+            let run_one = |ticket: usize, t0: i64, t1: i64| {
+                let array = &mut *arrays[ticket].lock().unwrap();
+                self.program.run(array, &self.kernel, t0, t1, par);
+            };
+            let width = par.num_workers().min(arrays.len());
+            if width <= 1 {
+                // Serial (or single-worker) drain: strict priority order.  (The lock
+                // guard must not live across the body — a `while let` on the pop would
+                // hold it into `complete` and self-deadlock.)
+                loop {
+                    let next = sched.lock().unwrap().pop(chunk);
+                    let Some((ticket, t0, t1)) = next else { break };
+                    run_one(ticket, t0, t1);
+                    sched.lock().unwrap().complete(ticket, t1);
+                }
+            } else {
+                // A small fixed crew of worker loops shares the ready queue.  A worker
+                // finding the queue momentarily empty must not exit while items are in
+                // flight (completing a window readies its successor); meanwhile it
+                // helps execute pool work — typically the in-flight windows' own phase
+                // jobs — via `help_one` rather than spinning.  A panicking kernel must
+                // be caught and re-thrown after the crew disbands: letting it unwind a
+                // crew task would leave its window permanently in flight and the other
+                // workers waiting on `finished()` forever.
+                let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+                let crew: Vec<usize> = (0..width).collect();
+                par.for_each_with_grain(&crew, 1, |_| loop {
+                    let next = sched.lock().unwrap().pop(chunk);
+                    match next {
+                        Some((ticket, t0, t1)) => {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_one(ticket, t0, t1)
+                                }));
+                            match outcome {
+                                Ok(()) => sched.lock().unwrap().complete(ticket, t1),
+                                Err(payload) => {
+                                    sched.lock().unwrap().abort_in_flight();
+                                    let mut first = panicked.lock().unwrap();
+                                    if first.is_none() {
+                                        *first = Some(payload);
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        None => {
+                            if sched.lock().unwrap().finished() {
+                                break;
+                            }
+                            if !par.help_one() {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+                if let Some(payload) = panicked.into_inner().unwrap() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
+        let state = sched.into_inner().unwrap();
+        par.note_serving_windows(state.ticks);
+        par.note_serving_queue_depth(state.peak_ready as u64);
+        if state.deadline_misses > 0 {
+            par.note_serving_deadline_misses(state.deadline_misses);
+        }
+        self.last_drain = Some(DrainReport {
+            windows: state.ticks,
+            peak_ready: state.peak_ready,
+            deadline_misses: state.deadline_misses,
+            completion_tick: state.completion_tick,
+        });
+        arrays
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+
+    /// Executes every queued request as one barrier batch — each submission is a
+    /// single monolithic run, executed through [`run_batch`] — and returns the arrays
+    /// in submission order.  This is the pre-pipelining drain, kept as the reference
+    /// and comparison path: results are bitwise identical to [`drain`](Self::drain),
+    /// but weights and deadlines are ignored and every tenant waits for the whole
+    /// batch.
+    pub fn drain_barrier(&mut self) -> Vec<PochoirArray<T, D>> {
+        match self.runtime.clone() {
+            Some(rt) => self.drain_barrier_with(rt.as_ref()),
+            None => self.drain_barrier_with(Runtime::global()),
+        }
+    }
+
+    /// [`drain_barrier`](Self::drain_barrier) with an explicit parallelism provider.
+    pub fn drain_barrier_with<P: Parallelism>(&mut self, par: &P) -> Vec<PochoirArray<T, D>> {
+        self.report_pending(par);
         let mut queue = std::mem::take(&mut self.queue);
         let mut jobs: Vec<BatchRun<'_, T, D>> = queue
             .iter_mut()
@@ -565,6 +1094,14 @@ where
         );
         drop(jobs);
         queue.into_iter().map(|s| s.array).collect()
+    }
+
+    /// Forwards the construction-time registry lookup to the first drain's metrics
+    /// sink (the registry itself has none).
+    fn report_pending<P: Parallelism>(&mut self, par: &P) {
+        if let Some(lookup) = self.pending_lookup.take() {
+            lookup.report_to(par);
+        }
     }
 }
 
@@ -680,6 +1217,89 @@ mod tests {
             );
             session.run_with(&mut expected, 0, 3, &Serial);
             assert_eq!(array.snapshot(3), expected.snapshot(3), "ticket {seed}");
+        }
+    }
+
+    #[test]
+    fn pipelined_drain_reports_windows_and_completion_ticks() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [11, 11],
+            2, // chunk height 2
+        );
+        // Ticket 0: 6 steps = 3 windows; ticket 1: 2 steps = 1 window.
+        server.submit(make_array(11, 0), 0, 6);
+        server.submit(make_array(11, 1), 0, 2);
+        let _ = server.drain_with(&Serial);
+        let report = server.last_drain().unwrap().clone();
+        assert_eq!(report.windows, 4);
+        assert_eq!(report.deadline_misses, 0);
+        // Equal weights round-robin: ticket 1's only window dispatches second.
+        assert_eq!(report.completion_tick[1], 2);
+        assert_eq!(report.completion_tick[0], 4);
+        assert!(report.peak_ready >= 2);
+    }
+
+    #[test]
+    fn deadline_submissions_dispatch_first_and_misses_are_counted() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [11, 11],
+            2,
+        );
+        server.submit(make_array(11, 0), 0, 6); // no deadline
+        server.submit_with(
+            make_array(11, 1),
+            0,
+            4,
+            SubmitOptions::default().with_deadline(2),
+        );
+        let _ = server.drain_with(&Serial);
+        let report = server.last_drain().unwrap().clone();
+        // The deadline tenant's 2 windows dispatch at ticks 1 and 2: made it exactly.
+        assert_eq!(report.completion_tick[1], 2);
+        assert_eq!(report.deadline_misses, 0);
+        // An impossible deadline is counted as missed.
+        server.submit_with(
+            make_array(11, 2),
+            0,
+            6,
+            SubmitOptions::default().with_deadline(1),
+        );
+        let _ = server.drain_with(&Serial);
+        assert_eq!(server.last_drain().unwrap().deadline_misses, 1);
+    }
+
+    #[test]
+    fn pipelined_drain_is_bitwise_identical_to_barrier_drain() {
+        let make_server = || {
+            StencilServer::new(
+                StencilSpec::new(star_shape::<2>(1)),
+                Heat2D,
+                plan(),
+                [13, 13],
+                3,
+            )
+        };
+        // Mixed window lengths, including a non-multiple of the chunk height and an
+        // empty submission.
+        let requests = [(0i64, 7i64), (0, 3), (0, 9), (2, 2), (0, 6)];
+        let mut pipelined = make_server();
+        let mut barrier = make_server();
+        for (i, &(t0, t1)) in requests.iter().enumerate() {
+            let opts = SubmitOptions::weighted(1 + i as u32 % 3);
+            pipelined.submit_with(make_array(13, i as i64), t0, t1, opts);
+            barrier.submit(make_array(13, i as i64), t0, t1);
+        }
+        let a = pipelined.drain_with(&Serial);
+        let b = barrier.drain_barrier_with(&Serial);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            let t = requests[i].1;
+            assert_eq!(x.snapshot(t), y.snapshot(t), "ticket {i}");
         }
     }
 

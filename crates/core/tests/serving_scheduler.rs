@@ -1,0 +1,406 @@
+//! Scheduler properties of the pipelined serving drain: bitwise equivalence with the
+//! barrier drain, earliest-deadline-first dispatch, weighted fairness, the starvation
+//! regression (a heavy tenant cannot lock out a light one), parallel/serial agreement,
+//! and the surfacing of the new `serving_*` runtime metrics.
+//!
+//! Ordering assertions drive the drain with `Serial`, where windows execute exactly in
+//! priority order and [`DrainReport::completion_tick`] is deterministic.
+
+use pochoir_core::engine::serving::{DrainReport, StencilServer, SubmitOptions};
+use pochoir_core::prelude::*;
+use pochoir_runtime::{Runtime, Serial};
+use std::sync::Arc;
+
+/// 2D heat kernel.
+struct Heat2D;
+
+impl StencilKernel<f64, 2> for Heat2D {
+    fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let c = g.get(t, x);
+        let v = c
+            + 0.09 * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+            + 0.11 * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+        g.set(t + 1, x, v);
+    }
+}
+
+fn make_array(n: usize, seed: i64) -> PochoirArray<f64, 2> {
+    let mut a: PochoirArray<f64, 2> = PochoirArray::new([n, n]);
+    a.register_boundary(Boundary::Periodic);
+    a.fill_time_slice(0, |x| {
+        ((x[0] * 31 + x[1] * 7 + seed * 13) % 23) as f64 / 4.0
+    });
+    a
+}
+
+fn server(n: usize, window: i64) -> StencilServer<f64, Heat2D, 2> {
+    StencilServer::new(
+        StencilSpec::new(star_shape::<2>(1)),
+        Heat2D,
+        ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6])),
+        [n, n],
+        window,
+    )
+}
+
+/// The acceptance property: the pipelined drain is bitwise identical to the barrier
+/// drain for the same submissions — mixed window lengths (including non-multiples of
+/// the chunk height and empty windows), weights and deadlines never change values,
+/// only order.
+#[test]
+fn pipelined_drain_matches_barrier_drain_bitwise() {
+    let n = 21;
+    let requests: [(i64, i64, SubmitOptions); 6] = [
+        (0, 10, SubmitOptions::default()),
+        (0, 4, SubmitOptions::weighted(4)),
+        (0, 13, SubmitOptions::default().with_deadline(3)),
+        (0, 4, SubmitOptions::weighted(2).with_deadline(100)),
+        (3, 3, SubmitOptions::default()), // empty window
+        (0, 7, SubmitOptions::weighted(7)),
+    ];
+    let mut pipelined = server(n, 4);
+    let mut barrier = server(n, 4);
+    for (i, &(t0, t1, opts)) in requests.iter().enumerate() {
+        pipelined.submit_with(make_array(n, i as i64), t0, t1, opts);
+        barrier.submit(make_array(n, i as i64), t0, t1);
+    }
+    let a = pipelined.drain_with(&Serial);
+    let b = barrier.drain_barrier_with(&Serial);
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        let t = requests[i].1;
+        assert_eq!(
+            x.snapshot(t),
+            y.snapshot(t),
+            "ticket {i}: pipelined and barrier drains must agree bitwise"
+        );
+    }
+}
+
+/// The pipelined drain under a multi-worker runtime produces the same bits as under
+/// `Serial`, for the same submissions (arrays are disjoint; execution order never
+/// affects values).
+#[test]
+fn parallel_pipelined_drain_matches_serial() {
+    let n = 23;
+    let rt = Runtime::new(3);
+    let mut parallel = server(n, 3);
+    let mut serial = server(n, 3);
+    for i in 0..5i64 {
+        let opts = SubmitOptions::weighted(1 + (i as u32) % 3);
+        parallel.submit_with(make_array(n, i), 0, 5 + i, opts);
+        serial.submit_with(make_array(n, i), 0, 5 + i, opts);
+    }
+    let a = parallel.drain_with(&rt);
+    let b = serial.drain_with(&Serial);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        let t = 5 + i as i64;
+        assert_eq!(x.snapshot(t), y.snapshot(t), "ticket {i}");
+    }
+    // The parallel drain dispatched every window exactly once.
+    assert_eq!(
+        parallel.last_drain().unwrap().windows,
+        serial.last_drain().unwrap().windows
+    );
+}
+
+/// Deadline submissions dispatch earliest-deadline-first, ahead of deadline-less
+/// work, regardless of ticket order.
+#[test]
+fn deadlines_order_dispatch_earliest_first() {
+    let n = 17;
+    let mut s = server(n, 2);
+    s.submit(make_array(n, 0), 0, 6); // no deadline
+    s.submit_with(
+        make_array(n, 1),
+        0,
+        4,
+        SubmitOptions::default().with_deadline(50),
+    );
+    s.submit_with(
+        make_array(n, 2),
+        0,
+        4,
+        SubmitOptions::default().with_deadline(2),
+    );
+    let _ = s.drain_with(&Serial);
+    let report: DrainReport = s.last_drain().unwrap().clone();
+    // Tightest deadline (ticket 2) completes first: its 2 windows dispatch at ticks
+    // 1 and 2.  Ticket 1 follows; the deadline-less ticket 0 runs last.
+    assert_eq!(report.completion_tick[2], 2);
+    assert_eq!(report.completion_tick[1], 4);
+    assert_eq!(report.completion_tick[0], 7);
+    assert_eq!(report.deadline_misses, 0);
+}
+
+/// A deadline that cannot be met is dispatched as early as EDF allows and counted as
+/// missed.
+#[test]
+fn impossible_deadlines_are_counted_as_misses() {
+    let n = 17;
+    let mut s = server(n, 2);
+    s.submit_with(
+        make_array(n, 0),
+        0,
+        8, // 4 windows: the final one cannot dispatch by tick 2
+        SubmitOptions::default().with_deadline(2),
+    );
+    s.submit_with(
+        make_array(n, 1),
+        0,
+        2,
+        SubmitOptions::default().with_deadline(8),
+    );
+    let _ = s.drain_with(&Serial);
+    let report = s.last_drain().unwrap();
+    assert_eq!(report.deadline_misses, 1);
+    assert_eq!(report.completion_tick[0], 4, "EDF still ran it first");
+}
+
+/// Weighted fairness: with equal work, a weight-3 tenant's windows dispatch ~3× as
+/// often as a weight-1 tenant's, so it completes markedly earlier — while the
+/// weight-1 tenant still progresses throughout (stride scheduling, not priority
+/// lockout).
+#[test]
+fn weights_bias_dispatch_proportionally() {
+    let n = 17;
+    let windows_each = 9i64;
+    let mut s = server(n, 1);
+    let heavy = s.submit_with(
+        make_array(n, 0),
+        0,
+        windows_each,
+        SubmitOptions::weighted(3),
+    );
+    let light = s.submit_with(
+        make_array(n, 1),
+        0,
+        windows_each,
+        SubmitOptions::weighted(1),
+    );
+    let _ = s.drain_with(&Serial);
+    let report = s.last_drain().unwrap();
+    let heavy_done = report.completion_tick[heavy];
+    let light_done = report.completion_tick[light];
+    assert!(
+        heavy_done < light_done,
+        "weight 3 must finish before weight 1 ({heavy_done} vs {light_done})"
+    );
+    // With strides 1/3 and 1, the weight-3 tenant's 9 windows finish within the
+    // first 12 dispatches (9 heavy + at most 3 light interleaved).
+    assert!(
+        heavy_done <= 12,
+        "weight-3 tenant should finish by tick 12, finished at {heavy_done}"
+    );
+    assert_eq!(report.windows, 2 * windows_each as u64);
+}
+
+/// Weights beyond the stride scale must not truncate to a zero stride: two
+/// mega-weight tenants still round-robin (a zero stride would freeze their virtual
+/// time at 0 and let the lower ticket run its whole chain first on the tiebreak).
+#[test]
+fn mega_weights_still_share_dispatch() {
+    let n = 17;
+    let mut s = server(n, 1);
+    let a = s.submit_with(make_array(n, 0), 0, 4, SubmitOptions::weighted(u32::MAX));
+    let b = s.submit_with(make_array(n, 1), 0, 4, SubmitOptions::weighted(u32::MAX));
+    let _ = s.drain_with(&Serial);
+    let report = s.last_drain().unwrap();
+    // Equal (clamped) strides alternate: a, b, a, b, ... — a's final window at
+    // tick 7, b's at 8.  A zero stride would give a ticks 1-4 and b ticks 5-8.
+    assert_eq!(report.completion_tick[a], 7);
+    assert_eq!(report.completion_tick[b], 8);
+}
+
+/// The starvation regression: a heavy tenant flooding the queue with many long
+/// chains cannot lock out a light tenant's short request — the light submission
+/// completes in the first rounds of the drain, not after the heavy tenant's work.
+#[test]
+fn heavy_tenant_cannot_starve_a_light_one() {
+    let n = 17;
+    let heavy_chains = 6usize;
+    let heavy_windows = 12i64;
+    let mut s = server(n, 1);
+    // Heavy tenant submits first and out-weighs the light tenant 4:1.
+    for i in 0..heavy_chains {
+        s.submit_with(
+            make_array(n, i as i64),
+            0,
+            heavy_windows,
+            SubmitOptions::weighted(4),
+        );
+    }
+    let light = s.submit_with(make_array(n, 99), 0, 2, SubmitOptions::weighted(1));
+    let _ = s.drain_with(&Serial);
+    let report = s.last_drain().unwrap();
+    let total = report.windows;
+    let light_done = report.completion_tick[light];
+    // Stride scheduling bounds the wait by the weight ratio: the light tenant's 2nd
+    // window dispatches once its pass (2 strides) is reached by the heavy chains —
+    // within ~weight_ratio rounds of 6 chains, i.e. tick ≈ 32 of 74 here.  Under
+    // strict FIFO it would wait for all 72 heavy windows.
+    assert!(
+        light_done <= total / 2,
+        "light tenant finished at tick {light_done} of {total}: starved"
+    );
+    assert_eq!(total, heavy_chains as u64 * heavy_windows as u64 + 2);
+}
+
+/// Ticket order of the returned arrays is submission order even when execution order
+/// is completely different.
+#[test]
+fn results_keep_ticket_order_under_reordered_execution() {
+    let n = 19;
+    let mut s = server(n, 2);
+    // Submit in an order the scheduler will invert (later tickets have tighter
+    // deadlines).
+    for i in 0..4i64 {
+        s.submit_with(
+            make_array(n, i),
+            0,
+            4,
+            SubmitOptions::default().with_deadline(20 - i as u64 * 4),
+        );
+    }
+    let drained = s.drain_with(&Serial);
+    for (i, array) in drained.iter().enumerate() {
+        let mut expected = make_array(n, i as i64);
+        let reference = server(n, 2);
+        reference
+            .program()
+            .run(&mut expected, &Heat2D, 0, 4, &Serial);
+        assert_eq!(array.snapshot(4), expected.snapshot(4), "ticket {i}");
+    }
+}
+
+/// A kernel panicking mid-window propagates out of the multi-worker pipelined drain
+/// (rather than hanging the crew loop with the panicked window forever in flight).
+#[test]
+#[should_panic(expected = "kernel exploded")]
+fn kernel_panic_propagates_from_parallel_drain() {
+    struct Exploding;
+    impl StencilKernel<f64, 2> for Exploding {
+        fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+            if t >= 2 {
+                panic!("kernel exploded");
+            }
+            g.set(t + 1, x, g.get(t, x));
+        }
+    }
+    let n = 15;
+    let mut s = StencilServer::new(
+        StencilSpec::new(star_shape::<2>(1)),
+        Exploding,
+        ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6])),
+        [n, n],
+        2,
+    );
+    let rt = Runtime::new(2);
+    s.submit(make_array(n, 0), 0, 6);
+    s.submit(make_array(n, 1), 0, 6);
+    let _ = s.drain_with(&rt);
+}
+
+/// A panic not only propagates — it cancels the other tenants' not-yet-dispatched
+/// windows instead of running their whole chains before re-throwing.
+#[test]
+fn kernel_panic_cancels_remaining_windows() {
+    struct ExplodeTicketZero;
+    impl StencilKernel<f64, 2> for ExplodeTicketZero {
+        fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+            // Ticket 0's grid is poisoned with a NaN marker at the origin.
+            if x == [0, 0] && g.get(t, x).is_nan() {
+                panic!("poisoned tenant");
+            }
+            g.set(t + 1, x, g.get(t, x));
+        }
+    }
+    let n = 15;
+    // The survivor chain must dwarf the panic's own latency: raising and catching a
+    // panic costs tens of milliseconds (default hook + backtrace capture), during
+    // which the other worker legitimately keeps dispatching ~150 µs windows.  With
+    // 2000 windows the cancelled tail dominates whatever the panic window costs.
+    let survivor_windows = 2000i64;
+    let mut s = StencilServer::new(
+        StencilSpec::new(star_shape::<2>(1)),
+        ExplodeTicketZero,
+        ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 6])),
+        [n, n],
+        1, // chunk height 1: one window per step
+    );
+    // Pre-pin the chunk schedule: without this, the first dispatched window pays a
+    // schedule compile, delaying the panic by another compile's worth of windows.
+    s.program().precompile_windows(&[1]);
+    let mut poisoned = make_array(n, 0);
+    poisoned.set(0, [0, 0], f64::NAN);
+    s.submit(poisoned, 0, 4);
+    s.submit(make_array(n, 1), 0, survivor_windows);
+    let rt = Runtime::new(2);
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = s.drain_with(&rt);
+    }));
+    assert!(panicked.is_err(), "the kernel panic must propagate");
+    let runs = s.stats().runs;
+    assert!(
+        runs < survivor_windows as u64 / 2,
+        "abort must cancel the survivor's remaining windows ({runs} windows ran)"
+    );
+}
+
+/// The new serving counters reach the runtime's metrics: windows executed, the
+/// ready-queue high-water mark, and deadline misses.
+#[test]
+fn serving_counters_surface_in_runtime_metrics() {
+    let rt = Arc::new(Runtime::new(2));
+    let before = rt.metrics();
+    let mut s = server(25, 3).with_runtime(Arc::clone(&rt));
+    s.submit(make_array(25, 0), 0, 6);
+    s.submit_with(
+        make_array(25, 1),
+        0,
+        3,
+        SubmitOptions::default().with_deadline(1),
+    );
+    s.submit_with(
+        make_array(25, 2),
+        0,
+        9,
+        SubmitOptions::default().with_deadline(1), // impossible: 3 windows
+    );
+    let _ = s.drain();
+    let delta = before.delta(&rt.metrics());
+    assert_eq!(delta.serving_windows, 6, "2 + 1 + 3 windows dispatched");
+    assert!(delta.serving_queue_depth_peak >= 1);
+    let report = s.last_drain().unwrap();
+    assert_eq!(delta.serving_deadline_misses, report.deadline_misses);
+    assert!(
+        report.deadline_misses >= 1,
+        "the 3-window deadline-1 tenant"
+    );
+    // The pool actually distributed work across its workers.
+    let executed: u64 = rt.worker_executed().iter().sum();
+    assert!(executed > 0, "pool work distribution must be populated");
+}
+
+/// Session counters across a pipelined drain: every window is a pinned-schedule
+/// replay — one compile (at server construction) serves all windows of all tenants,
+/// even when window lengths leave a shorter remainder chunk that was precompiled.
+#[test]
+fn pipelined_windows_replay_pinned_schedules() {
+    let n = 27;
+    let mut s = server(n, 4);
+    // Precompile the remainder height so the drain never touches the cache.
+    assert_eq!(s.program().precompile_windows(&[4, 2]), 1);
+    let before = s.stats();
+    for i in 0..3i64 {
+        s.submit(make_array(n, i), 0, 10); // windows 4+4+2
+    }
+    let _ = s.drain_with(&Serial);
+    let stats = s.stats();
+    assert_eq!(stats.runs - before.runs, 9, "3 tenants × 3 windows");
+    assert_eq!(
+        stats.schedule_fetches, before.schedule_fetches,
+        "construction + precompile fetched everything; the drain fetched nothing"
+    );
+    assert_eq!(stats.schedule_reuses - before.schedule_reuses, 9);
+}

@@ -83,6 +83,31 @@ type SessionAndArray<'a, T, const D: usize> = (
 /// [`SessionRegistry`](pochoir_core::engine::serving::SessionRegistry), so two
 /// `Pochoir` objects over identical geometry (same shape, plan, extents and window)
 /// share one compiled program — and hence one schedule — rather than compiling twice.
+///
+/// ```
+/// use pochoir_core::boundary::Boundary;
+/// use pochoir_core::kernel::StencilKernel;
+/// use pochoir_core::shape::star_shape;
+/// use pochoir_core::view::GridAccess;
+/// use pochoir_dsl::Pochoir;
+///
+/// struct Heat1D; // u(t+1,x) = ¼u(t,x−1) + ½u(t,x) + ¼u(t,x+1)
+/// impl StencilKernel<f64, 1> for Heat1D {
+///     fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+///         let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]])
+///             + 0.25 * g.get(t, [x[0] + 1]);
+///         g.set(t + 1, x, v);
+///     }
+/// }
+///
+/// let mut heat = Pochoir::<f64, 1>::with_array(star_shape::<1>(1), [32]);
+/// heat.register_boundary(Boundary::Periodic)?;
+/// heat.array_mut()?.fill_time_slice(0, |x| x[0] as f64);
+/// // The Pochoir Guarantee: Phase 1 checks the kernel, then Phase 2 runs optimized.
+/// heat.run_guaranteed(10, &Heat1D)?;
+/// assert_eq!(heat.result_time(), 10);
+/// # Ok::<(), pochoir_dsl::PochoirError>(())
+/// ```
 pub struct Pochoir<T, const D: usize> {
     spec: StencilSpec<D>,
     array: Option<PochoirArray<T, D>>,
@@ -233,6 +258,27 @@ where
         if let Some(lookup) = pending {
             lookup.report_to(par);
         }
+    }
+
+    /// Eagerly compiles (and pins into the held session's MRU pin set) the schedules
+    /// for every window height in `heights`, so subsequent [`run`](Self::run) calls of
+    /// those step counts replay a pinned schedule with zero cache traffic — the
+    /// `Pochoir`-level face of
+    /// [`CompiledProgram::precompile_windows`].  Builds (or fetches from the
+    /// process-global session registry) the session if the object does not hold one
+    /// yet, keyed by the *first* height.  Returns the number of heights that had to
+    /// be fetched from the schedule cache.
+    ///
+    /// Call it after [`register_array`](Self::register_array) and any
+    /// [`set_plan`](Self::set_plan): both invalidate the session and its pins.
+    pub fn precompile_windows(&mut self, heights: &[i64]) -> Result<usize, PochoirError> {
+        let first = heights.first().copied().unwrap_or(0).max(0);
+        let (session, _, pending) = self.session_and_array(first)?;
+        // Keep any registry lookup pending so the next run still reports it.
+        if pending.is_some() {
+            self.pending_registry = pending;
+        }
+        Ok(session.precompile_windows(heights))
     }
 
     /// Executor-session counters of the held Phase-2 session: runs, pinned-schedule
@@ -463,6 +509,24 @@ mod tests {
             a.array().unwrap().snapshot(a.result_time()),
             b.array().unwrap().snapshot(b.result_time())
         );
+    }
+
+    #[test]
+    fn precompiled_windows_replay_without_fetching() {
+        // A geometry unique to this test (the session registry is process-global).
+        let mut p = heat_object(52);
+        // Building the session for height 4 fetches once; height 7 is the extra pin.
+        let fetched = p.precompile_windows(&[4, 7]).unwrap();
+        assert_eq!(fetched, 1);
+        p.run_with(4, &Heat1D, &Serial).unwrap();
+        p.run_with(7, &Heat1D, &Serial).unwrap();
+        p.run_with(4, &Heat1D, &Serial).unwrap();
+        let stats = p.session_stats().unwrap();
+        assert_eq!(
+            stats.schedule_fetches, 2,
+            "the eager build and the height-7 precompile; runs fetch nothing"
+        );
+        assert_eq!(stats.runs, 3);
     }
 
     #[test]

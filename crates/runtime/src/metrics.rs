@@ -13,12 +13,18 @@ pub struct Metrics {
     spawned: AtomicU64,
     stolen: AtomicU64,
     executed: AtomicU64,
+    /// Jobs executed per worker (the pool's work distribution); empty when the
+    /// metrics were built without a worker count.
+    per_worker_executed: Box<[AtomicU64]>,
     schedule_cache_hits: AtomicU64,
     schedule_cache_misses: AtomicU64,
     schedule_cache_evictions: AtomicU64,
     session_registry_hits: AtomicU64,
     session_registry_misses: AtomicU64,
     session_registry_evictions: AtomicU64,
+    serving_windows: AtomicU64,
+    serving_deadline_misses: AtomicU64,
+    serving_queue_depth_peak: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -43,12 +49,28 @@ pub struct MetricsSnapshot {
     pub session_registry_misses: u64,
     /// Session-registry entries evicted (LRU) by lookups reported to this runtime.
     pub session_registry_evictions: u64,
+    /// Per-window work items executed by pipelined serving drains.
+    pub serving_windows: u64,
+    /// Submissions whose final window was dispatched after its logical deadline.
+    pub serving_deadline_misses: u64,
+    /// High-water mark of the serving ready queue (a gauge, not a counter:
+    /// [`MetricsSnapshot::delta`] reports the later snapshot's value).
+    pub serving_queue_depth_peak: u64,
 }
 
 impl Metrics {
     /// Creates zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed counters with a per-worker executed slot for each of
+    /// `workers` pool threads (the pool's work-distribution histogram).
+    pub fn with_workers(workers: usize) -> Self {
+        Metrics {
+            per_worker_executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
     }
 
     #[inline]
@@ -61,9 +83,39 @@ impl Metrics {
         self.stolen.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a job executed by worker `index` (and in the aggregate counter).
     #[inline]
-    pub(crate) fn note_execute(&self) {
+    pub(crate) fn note_execute_on(&self, index: usize) {
         self.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.per_worker_executed.get(index) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Jobs executed per worker since the registry started — the pool's work
+    /// distribution.  Empty when the metrics were built without a worker count.
+    pub fn worker_executed(&self) -> Vec<u64> {
+        self.per_worker_executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    #[inline]
+    pub(crate) fn note_serving_windows(&self, windows: u64) {
+        self.serving_windows.fetch_add(windows, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_serving_deadline_misses(&self, misses: u64) {
+        self.serving_deadline_misses
+            .fetch_add(misses, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_serving_queue_depth(&self, depth: u64) {
+        self.serving_queue_depth_peak
+            .fetch_max(depth, Ordering::Relaxed);
     }
 
     #[inline]
@@ -108,6 +160,9 @@ impl Metrics {
             session_registry_hits: self.session_registry_hits.load(Ordering::Relaxed),
             session_registry_misses: self.session_registry_misses.load(Ordering::Relaxed),
             session_registry_evictions: self.session_registry_evictions.load(Ordering::Relaxed),
+            serving_windows: self.serving_windows.load(Ordering::Relaxed),
+            serving_deadline_misses: self.serving_deadline_misses.load(Ordering::Relaxed),
+            serving_queue_depth_peak: self.serving_queue_depth_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -137,6 +192,12 @@ impl MetricsSnapshot {
             session_registry_evictions: later
                 .session_registry_evictions
                 .saturating_sub(self.session_registry_evictions),
+            serving_windows: later.serving_windows.saturating_sub(self.serving_windows),
+            serving_deadline_misses: later
+                .serving_deadline_misses
+                .saturating_sub(self.serving_deadline_misses),
+            // A high-water mark, not a counter: the delta carries the later value.
+            serving_queue_depth_peak: later.serving_queue_depth_peak,
         }
     }
 }
@@ -151,7 +212,7 @@ mod tests {
         m.note_spawn();
         m.note_spawn();
         m.note_steal();
-        m.note_execute();
+        m.note_execute_on(0);
         let s = m.snapshot();
         assert_eq!(s.spawned, 2);
         assert_eq!(s.stolen, 1);
@@ -185,12 +246,40 @@ mod tests {
     }
 
     #[test]
+    fn serving_counters_and_queue_peak() {
+        let m = Metrics::new();
+        m.note_serving_windows(5);
+        m.note_serving_windows(2);
+        m.note_serving_deadline_misses(1);
+        m.note_serving_queue_depth(4);
+        m.note_serving_queue_depth(9);
+        m.note_serving_queue_depth(3); // peak keeps the maximum
+        let s = m.snapshot();
+        assert_eq!(s.serving_windows, 7);
+        assert_eq!(s.serving_deadline_misses, 1);
+        assert_eq!(s.serving_queue_depth_peak, 9);
+        let later = m.snapshot();
+        assert_eq!(s.delta(&later).serving_queue_depth_peak, 9);
+    }
+
+    #[test]
+    fn per_worker_distribution() {
+        let m = Metrics::with_workers(3);
+        m.note_execute_on(0);
+        m.note_execute_on(2);
+        m.note_execute_on(2);
+        m.note_execute_on(99); // out-of-range index only hits the aggregate
+        assert_eq!(m.worker_executed(), vec![1, 0, 2]);
+        assert_eq!(m.snapshot().executed, 4);
+    }
+
+    #[test]
     fn snapshot_delta() {
         let m = Metrics::new();
         m.note_spawn();
         let a = m.snapshot();
         m.note_spawn();
-        m.note_execute();
+        m.note_execute_on(0);
         let b = m.snapshot();
         let d = a.delta(&b);
         assert_eq!(d.spawned, 1);

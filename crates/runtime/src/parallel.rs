@@ -60,6 +60,28 @@ pub trait Parallelism: Sync {
     /// this provider keeps scheduler metrics.  The default is a no-op.
     fn note_session_registry_evictions(&self, _evicted: u64) {}
 
+    /// Records per-window work items executed by a pipelined serving drain, if this
+    /// provider keeps scheduler metrics.  The default is a no-op.
+    fn note_serving_windows(&self, _windows: u64) {}
+
+    /// Records serving submissions whose final window missed its logical deadline,
+    /// if this provider keeps scheduler metrics.  The default is a no-op.
+    fn note_serving_deadline_misses(&self, _misses: u64) {}
+
+    /// Records a serving ready-queue depth observation (providers with metrics keep
+    /// the peak).  The default is a no-op.
+    fn note_serving_queue_depth(&self, _depth: u64) {}
+
+    /// Executes one pending unit of this provider's work on the calling thread, if
+    /// the calling thread belongs to the provider and work is available; returns
+    /// whether anything ran.  Wait loops call this so a waiting core keeps doing
+    /// useful work (e.g. stealing the phase jobs of an in-flight stencil window)
+    /// instead of spinning.  The default is a no-op returning `false` ([`Serial`]
+    /// has no queue to drain).
+    fn help_one(&self) -> bool {
+        false
+    }
+
     /// Number of hardware workers available to this provider.
     fn num_workers(&self) -> usize;
 
@@ -132,6 +154,22 @@ impl Parallelism for Runtime {
         Runtime::note_session_registry_evictions(self, evicted);
     }
 
+    fn note_serving_windows(&self, windows: u64) {
+        Runtime::note_serving_windows(self, windows);
+    }
+
+    fn note_serving_deadline_misses(&self, misses: u64) {
+        Runtime::note_serving_deadline_misses(self, misses);
+    }
+
+    fn note_serving_queue_depth(&self, depth: u64) {
+        Runtime::note_serving_queue_depth(self, depth);
+    }
+
+    fn help_one(&self) -> bool {
+        Runtime::help_one(self)
+    }
+
     fn num_workers(&self) -> usize {
         self.num_threads()
     }
@@ -169,6 +207,22 @@ impl<P: Parallelism> Parallelism for &P {
 
     fn note_session_registry_evictions(&self, evicted: u64) {
         (**self).note_session_registry_evictions(evicted);
+    }
+
+    fn note_serving_windows(&self, windows: u64) {
+        (**self).note_serving_windows(windows);
+    }
+
+    fn note_serving_deadline_misses(&self, misses: u64) {
+        (**self).note_serving_deadline_misses(misses);
+    }
+
+    fn note_serving_queue_depth(&self, depth: u64) {
+        (**self).note_serving_queue_depth(depth);
+    }
+
+    fn help_one(&self) -> bool {
+        (**self).help_one()
     }
 
     fn num_workers(&self) -> usize {

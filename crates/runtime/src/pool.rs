@@ -71,6 +71,34 @@ impl Runtime {
         self.registry.num_threads()
     }
 
+    /// If the calling thread is a worker of this pool, takes one pending job (own
+    /// deque first, then stealing) and executes it; returns whether a job ran.
+    ///
+    /// This is the cooperative-waiting primitive: a worker that must wait for a
+    /// condition another task will establish (e.g. a pipelined serving drain waiting
+    /// for an in-flight window to ready its successor) calls this in its wait loop so
+    /// the core keeps executing pool work — exactly what [`Runtime::join`]'s internal
+    /// wait does — instead of busy-yielding.
+    pub fn help_one(&self) -> bool {
+        let worker = crate::registry::WorkerThread::current();
+        if worker.is_null() {
+            return false;
+        }
+        let worker = unsafe { &*worker };
+        if !std::ptr::eq(Arc::as_ptr(worker.registry()), Arc::as_ptr(&self.registry)) {
+            return false;
+        }
+        match worker.take_local_job().or_else(|| worker.steal()) {
+            Some(job) => {
+                // Safety: the job came off a deque of this registry, so it is alive
+                // and unexecuted (the deque protocol's invariant).
+                unsafe { worker.execute(job) };
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Scheduler counters (spawn/steal/execute totals, schedule-cache hits/misses).
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
         self.registry.metrics().snapshot()
@@ -99,6 +127,30 @@ impl Runtime {
         self.registry
             .metrics()
             .note_session_registry_evictions(evicted);
+    }
+
+    /// Records per-window work items executed by a pipelined serving drain this pool
+    /// drove.
+    pub fn note_serving_windows(&self, windows: u64) {
+        self.registry.metrics().note_serving_windows(windows);
+    }
+
+    /// Records serving submissions whose final window was dispatched past their
+    /// logical deadline.
+    pub fn note_serving_deadline_misses(&self, misses: u64) {
+        self.registry.metrics().note_serving_deadline_misses(misses);
+    }
+
+    /// Records a serving ready-queue depth observation (the metrics keep the peak).
+    pub fn note_serving_queue_depth(&self, depth: u64) {
+        self.registry.metrics().note_serving_queue_depth(depth);
+    }
+
+    /// Jobs executed per worker since the pool started — the pool's work
+    /// distribution.  One slot per worker thread; serving benchmarks report it to
+    /// show batch- and window-level work actually spreading across the pool.
+    pub fn worker_executed(&self) -> Vec<u64> {
+        self.registry.metrics().worker_executed()
     }
 
     /// Runs `op` inside the pool, blocking the calling thread until it completes.

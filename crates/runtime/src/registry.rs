@@ -167,7 +167,7 @@ impl WorkerThread {
     /// protocol: a job is only reachable through exactly one deque entry).
     #[inline]
     pub unsafe fn execute(&self, job: JobRef) {
-        self.registry.metrics.note_execute();
+        self.registry.metrics.note_execute_on(self.index);
         unsafe { job.execute() };
     }
 
@@ -217,7 +217,7 @@ impl Registry {
             terminate: AtomicBool::new(false),
             num_threads,
             active_external: AtomicUsize::new(0),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_workers(num_threads),
         });
         let mut handles = Vec::with_capacity(num_threads);
         for (index, worker) in workers.into_iter().enumerate() {

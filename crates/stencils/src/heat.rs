@@ -123,7 +123,24 @@ pub fn session_2d(sizes: [usize; 2], window: i64) -> CompiledStencil<f64, HeatKe
 /// A serving preset for the 2D heat kernel: a [`StencilServer`] over the tuned TRAP
 /// plan whose program is fetched from the process-global session registry — every
 /// server (and every `Pochoir` object) of this geometry shares one compiled schedule.
-/// Submit many same-extent grids, then `drain()` to run them as one parallel batch.
+/// Submit many same-extent grids (optionally with per-tenant weights and deadlines via
+/// `submit_with`), then `drain()` to run them as a pipelined multi-tenant workload in
+/// windows of `window` steps.
+///
+/// ```
+/// use pochoir_core::boundary::Boundary;
+/// use pochoir_stencils::heat;
+///
+/// let mut server = heat::serve_2d([24, 24], 4);
+/// for tenant in 0..3 {
+///     let mut grid = heat::build([24, 24], Boundary::Periodic);
+///     grid.set(0, [tenant, tenant], 100.0);
+///     server.submit(grid, 0, 8); // two 4-step windows each
+/// }
+/// let grids = server.drain(); // ticket order, windows pipelined across tenants
+/// assert_eq!(grids.len(), 3);
+/// assert_eq!(server.last_drain().unwrap().windows, 6);
+/// ```
 pub fn serve_2d(sizes: [usize; 2], window: i64) -> StencilServer<f64, HeatKernel<2>, 2> {
     StencilServer::new(
         StencilSpec::new(shape::<2>()),

@@ -102,7 +102,9 @@ pub fn session(sizes: [usize; 2], window: i64) -> CompiledStencil<u8, LifeKernel
 
 /// A serving preset for Life: a [`StencilServer`] over the tuned TRAP plan, its
 /// program shared process-wide through the session registry.  Submit many same-extent
-/// boards, then `drain()` to step them as one parallel batch.
+/// boards (optionally with per-tenant weights and deadlines via `submit_with`), then
+/// `drain()` to step them as a pipelined multi-tenant workload in `window`-step
+/// chunks.
 pub fn serve(sizes: [usize; 2], window: i64) -> StencilServer<u8, LifeKernel, 2> {
     StencilServer::new(
         StencilSpec::new(shape()),

@@ -123,7 +123,9 @@ pub fn session(sizes: [usize; 3], window: i64) -> CompiledStencil<f64, WaveKerne
 
 /// A serving preset for the 3D wave kernel: a [`StencilServer`] over the tuned TRAP
 /// plan, its program shared process-wide through the session registry.  Submit many
-/// same-extent grids, then `drain()` to run them as one parallel batch.
+/// same-extent grids (optionally with per-tenant weights and deadlines via
+/// `submit_with`), then `drain()` to run them as a pipelined multi-tenant workload in
+/// `window`-step chunks.
 pub fn serve(sizes: [usize; 3], window: i64) -> StencilServer<f64, WaveKernel, 3> {
     StencilServer::new(
         StencilSpec::new(shape()),

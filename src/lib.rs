@@ -62,3 +62,9 @@ pub mod prelude {
     pub use pochoir_dsl::{Pochoir, PochoirError};
     pub use pochoir_runtime::{Parallelism, Runtime, Serial};
 }
+
+/// Compiles and runs the top-level `README.md`'s code blocks under
+/// `cargo test --doc`, so the quickstart can never drift from the actual API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
