@@ -344,6 +344,14 @@ pub struct ServingTraffic {
     pub queue_depth_peak: u64,
     /// Submissions whose final window missed its logical deadline.
     pub deadline_misses: u64,
+    /// Submissions or windows shed by admission control / unmeetable-deadline drops.
+    pub shed: u64,
+    /// Compile attempts retried under a serving retry policy.
+    pub retries: u64,
+    /// Registry keys quarantined after a tenant panic.
+    pub quarantined: u64,
+    /// Poisoned engine locks recovered instead of cascading a panic.
+    pub poison_recoveries: u64,
     /// Jobs executed per pool worker while the closure ran.
     pub worker_executed: Vec<u64>,
 }
@@ -369,6 +377,10 @@ pub fn observe_serving_traffic<R>(f: impl FnOnce() -> R) -> (R, ServingTraffic) 
             windows: delta.serving_windows,
             queue_depth_peak: delta.serving_queue_depth_peak,
             deadline_misses: delta.serving_deadline_misses,
+            shed: delta.serving_shed,
+            retries: delta.serving_retries,
+            quarantined: delta.serving_quarantined,
+            poison_recoveries: delta.registry_poison_recoveries,
             worker_executed,
         },
     )

@@ -10,17 +10,21 @@
 //!   session.
 //!
 //! The report includes the shared session's counters (one compile serves every window
-//! of every tenant), the process-wide session-registry statistics, and the new
+//! of every tenant), the process-wide session-registry statistics, and the
 //! pipelined-scheduler counters (windows dispatched, ready-queue high-water mark,
-//! deadline misses) observed by the runtime's metrics.
+//! deadline misses, load-shedding / retry / quarantine / poison-recovery totals)
+//! observed by the runtime's metrics.  A final deterministic chaos cell drains one
+//! seeded-fault multi-tenant round through `try_drain` and records its per-ticket
+//! outcomes, so the fault-isolation counters appear with nonzero values in the same
+//! artifact that tracks throughput.
 //!
 //! Usage: `serving_json [--scale tiny|small|medium|paper] [--out PATH]`
 
-use pochoir_bench::apps::observe_serving_traffic;
+use pochoir_bench::apps::{observe_serving_traffic, ServingTraffic};
 use pochoir_bench::{out_path_from_args, scale_from_args};
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::serving::registry_stats;
-use pochoir_core::engine::{DrainReport, SessionStats, StencilServer};
+use pochoir_core::engine::{DrainReport, FaultPlan, SessionStats, StencilServer, TicketOutcome};
 use pochoir_core::grid::PochoirArray;
 use pochoir_core::kernel::StencilKernel;
 use pochoir_stencils::{heat, life, ProblemScale};
@@ -37,8 +41,9 @@ struct Cell {
     /// The last pipelined drain's scheduler report (this cell's drain, not the
     /// process-lifetime gauges).
     report: DrainReport,
-    /// Jobs executed per pool worker during the last pipelined drain.
-    worker_executed: Vec<u64>,
+    /// Runtime-metric deltas observed during the last pipelined drain (worker
+    /// distribution plus the fault-isolation counters).
+    traffic: ServingTraffic,
     /// The shared session's counters after the pipelined phase.
     session: SessionStats,
 }
@@ -79,7 +84,7 @@ where
     // Pipelined: one submission per tenant covering the whole horizon; the scheduler
     // chops it into `rounds` windows and interleaves tenants without barriers.
     let mut pipelined = 0.0f64;
-    let mut worker_executed = Vec::new();
+    let mut last_traffic = None;
     for _ in 0..reps {
         for seed in 0..tenants {
             server.submit(make_grid(seed), 0, horizon);
@@ -90,8 +95,9 @@ where
             start.elapsed().as_secs_f64()
         });
         pipelined = pipelined.max(points / elapsed / 1e6);
-        worker_executed = traffic.worker_executed;
+        last_traffic = Some(traffic);
     }
+    let traffic = last_traffic.expect("reps >= 1: a pipelined drain ran");
     let report = server
         .last_drain()
         .expect("reps >= 1: a pipelined drain ran")
@@ -144,7 +150,7 @@ where
         barrier_mpoints: barrier,
         sequential_mpoints: sequential,
         report,
-        worker_executed,
+        traffic,
         session,
     }
 }
@@ -182,6 +188,52 @@ fn measure(scale: ProblemScale) -> Vec<Cell> {
     ]
 }
 
+/// Per-ticket outcome tallies of one deterministic seeded-fault drain.
+struct ChaosCell {
+    seed: u64,
+    tenants: usize,
+    completed: usize,
+    panicked: usize,
+    shed_tickets: usize,
+    report: DrainReport,
+    traffic: ServingTraffic,
+}
+
+/// One seeded chaos round over the heat geometry: `tenants` submissions drained with
+/// a [`FaultPlan::seeded`] plan through `try_drain`, under a quiet panic hook.  The
+/// run is deterministic in everything the JSON records (outcomes and counters).
+fn measure_chaos(n: usize, window: i64, tenants: usize, seed: u64) -> ChaosCell {
+    let windows_per_tenant = 4u64;
+    let mut server = heat::serve_2d([n, n], window).with_fault_plan(FaultPlan::seeded(
+        seed,
+        tenants,
+        windows_per_tenant,
+    ));
+    for s in 0..tenants {
+        let mut grid = heat::build([n, n], Boundary::Periodic);
+        grid.set(0, [s as i64, s as i64], 100.0 + s as f64);
+        server.submit(grid, 0, windows_per_tenant as i64 * window);
+    }
+    // The injected panic unwinds inside the drain's catch; keep the hook quiet so the
+    // bench log stays readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (result, traffic) = observe_serving_traffic(|| server.try_drain());
+    std::panic::set_hook(default_hook);
+    result.expect("try_drain records failures per ticket");
+    let report = server.last_drain().expect("drain ran").clone();
+    let tally = |f: fn(&TicketOutcome) -> bool| report.outcomes.iter().filter(|o| f(o)).count();
+    ChaosCell {
+        seed,
+        tenants,
+        completed: tally(|o| matches!(o, TicketOutcome::Completed)),
+        panicked: tally(|o| matches!(o, TicketOutcome::Panicked { .. })),
+        shed_tickets: tally(|o| matches!(o, TicketOutcome::Shed { .. })),
+        report,
+        traffic,
+    }
+}
+
 fn ratio(a: f64, b: f64) -> f64 {
     if b > 0.0 {
         a / b
@@ -197,6 +249,7 @@ fn main() {
     );
     let out_path = out_path_from_args("BENCH_serving.json");
     let cells = measure(scale);
+    let chaos = measure_chaos(64, 4, 8, 42);
     let registry = registry_stats();
     let workers = pochoir_runtime::Runtime::global().num_threads();
 
@@ -207,19 +260,27 @@ fn main() {
     json.push_str(&format!("  \"workers\": {workers},\n"));
     json.push_str("  \"unit\": \"Mpoints/s\",\n");
     json.push_str(&format!(
-        "  \"session_registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n",
-        registry.hits, registry.misses, registry.evictions
+        "  \"session_registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"quarantined\": {}}},\n",
+        registry.hits, registry.misses, registry.evictions, registry.quarantined
     ));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
-        let workers_json: Vec<String> = c.worker_executed.iter().map(|w| w.to_string()).collect();
+        let workers_json: Vec<String> = c
+            .traffic
+            .worker_executed
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
         json.push_str(&format!(
             "    {{\"app\": \"{}\", \"tenants\": {}, \"rounds\": {}, \
              \"pipelined_mpoints_per_s\": {:.2}, \"barrier_mpoints_per_s\": {:.2}, \
              \"sequential_mpoints_per_s\": {:.2}, \"pipelined_over_barrier\": {:.3}, \
              \"barrier_over_sequential\": {:.3}, \
              \"scheduler\": {{\"windows\": {}, \"queue_depth_peak\": {}, \
-             \"deadline_misses\": {}, \"worker_executed\": [{}]}}, \
+             \"deadline_misses\": {}, \"shed\": {}, \"retries\": {}, \
+             \"quarantined\": {}, \"poison_recoveries\": {}, \
+             \"worker_executed\": [{}]}}, \
              \"session\": {{\"runs\": {}, \"compiles\": {}, \"fetches\": {}, \
              \"reuses\": {}}}}}{}\n",
             c.app,
@@ -233,6 +294,10 @@ fn main() {
             c.report.windows,
             c.report.peak_ready,
             c.report.deadline_misses,
+            c.traffic.shed,
+            c.traffic.retries,
+            c.traffic.quarantined,
+            c.traffic.poison_recoveries,
             workers_json.join(", "),
             c.session.runs,
             c.session.schedule_compiles,
@@ -241,7 +306,24 @@ fn main() {
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"chaos\": {{\"seed\": {}, \"tenants\": {}, \"outcomes\": \
+         {{\"completed\": {}, \"panicked\": {}, \"shed\": {}}}, \"windows\": {}, \
+         \"counters\": {{\"shed\": {}, \"retries\": {}, \"quarantined\": {}, \
+         \"poison_recoveries\": {}}}}}\n",
+        chaos.seed,
+        chaos.tenants,
+        chaos.completed,
+        chaos.panicked,
+        chaos.shed_tickets,
+        chaos.report.windows,
+        chaos.traffic.shed,
+        chaos.traffic.retries,
+        chaos.traffic.quarantined,
+        chaos.traffic.poison_recoveries,
+    ));
+    json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write the JSON report");
     println!("{json}");

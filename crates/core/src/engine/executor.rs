@@ -46,6 +46,7 @@
 //! points exactly once.
 
 use crate::engine::base;
+use crate::engine::faults::{self, lock_recover};
 use crate::engine::loops;
 use crate::engine::plan::{CloneMode, EngineKind, ExecutionPlan, ScheduleMode};
 use crate::engine::schedule::{self, CacheLookup, Schedule};
@@ -81,6 +82,33 @@ pub struct SessionStats {
     pub schedule_fetches: u64,
     /// Fetches that had to compile a fresh schedule (global-cache misses).
     pub schedule_compiles: u64,
+}
+
+/// A session geometry the executor cannot compile or run: non-positive grid extents,
+/// a negative window height, or an array that does not match the session's compiled
+/// geometry.  The `detail` message is exactly what the panicking entry points
+/// ([`CompiledProgram::new`], [`CompiledProgram::run`]) panic with, so callers that
+/// migrate from `expect`-style handling to the `try_` APIs keep their message matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError {
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid session geometry: {}", self.detail)
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl GeometryError {
+    fn new(detail: impl Into<String>) -> Self {
+        GeometryError {
+            detail: detail.into(),
+        }
+    }
 }
 
 /// Default maximum number of compiled schedules one session keeps pinned (MRU-first).
@@ -141,7 +169,33 @@ impl<const D: usize> CompiledProgram<D> {
     /// Builds a session program for grids of extent `sizes`, eagerly compiling (or
     /// fetching from the process-global cache) the schedule for time windows of height
     /// `window` when the plan takes the compiled route.
+    ///
+    /// Panics on invalid geometry; [`try_new`](Self::try_new) is the non-panicking
+    /// variant.
     pub fn new(spec: StencilSpec<D>, plan: ExecutionPlan<D>, sizes: [i64; D], window: i64) -> Self {
+        Self::try_new(spec, plan, sizes, window).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a session program, returning [`GeometryError`] instead of panicking when
+    /// the geometry cannot be compiled (a non-positive grid extent or a negative
+    /// window height).
+    pub fn try_new(
+        spec: StencilSpec<D>,
+        plan: ExecutionPlan<D>,
+        sizes: [i64; D],
+        window: i64,
+    ) -> Result<Self, GeometryError> {
+        faults::maybe_fail_compile();
+        if let Some(bad) = sizes.iter().find(|&&s| s < 1) {
+            return Err(GeometryError::new(format!(
+                "grid extents {sizes:?} contain non-positive extent {bad}"
+            )));
+        }
+        if window < 0 {
+            return Err(GeometryError::new(format!(
+                "window height {window} is negative"
+            )));
+        }
         let program = CompiledProgram {
             strategy: plan.cut_strategy(),
             spec,
@@ -157,10 +211,10 @@ impl<const D: usize> CompiledProgram<D> {
         if window > 0 && program.takes_compiled_route(window) {
             let (_, resolution) = program.resolve_schedule(window);
             if let Resolution::Fetched(lookup) = resolution {
-                program.pending.lock().unwrap().push(lookup);
+                lock_recover(&program.pending).push(lookup);
             }
         }
-        program
+        Ok(program)
     }
 
     /// The stencil specification the session was built from.
@@ -189,7 +243,7 @@ impl<const D: usize> CompiledProgram<D> {
     /// The most recently used pinned compiled schedule, if the session has resolved
     /// one.
     pub fn schedule(&self) -> Option<Arc<Schedule<D>>> {
-        self.schedule.lock().unwrap().first().cloned()
+        lock_recover(&self.schedule).first().cloned()
     }
 
     /// Total base-case leaves across the session's pinned schedules — the dominant
@@ -217,7 +271,7 @@ impl<const D: usize> CompiledProgram<D> {
         // session already holds (e.g. the build window): counting only `heights`
         // would let this call evict the steady-state pin it is meant to protect.
         let kept_existing = {
-            let slot = self.schedule.lock().unwrap();
+            let slot = lock_recover(&self.schedule);
             slot.iter()
                 .filter(|s| !heights.contains(&s.height()))
                 .count()
@@ -229,7 +283,7 @@ impl<const D: usize> CompiledProgram<D> {
             if height > 0 && self.takes_compiled_route(height) {
                 if let (_, Resolution::Fetched(lookup)) = self.resolve_schedule(height) {
                     fetched += 1;
-                    self.pending.lock().unwrap().push(lookup);
+                    lock_recover(&self.pending).push(lookup);
                 }
             }
         }
@@ -262,7 +316,7 @@ impl<const D: usize> CompiledProgram<D> {
         let strategy = self
             .strategy
             .expect("compiled route requires a cut strategy");
-        let mut slot = self.schedule.lock().unwrap();
+        let mut slot = lock_recover(&self.schedule);
         if let Some(pos) = slot.iter().position(|s| s.height() == height) {
             let pinned = slot.remove(pos);
             slot.insert(0, Arc::clone(&pinned));
@@ -294,21 +348,34 @@ impl<const D: usize> CompiledProgram<D> {
     }
 
     /// Validates `array` against the session geometry (the checks `Pochoir` and
-    /// `engine::run` historically re-did per call).
-    fn validate<T: Copy>(&self, array: &PochoirArray<T, D>) {
-        assert!(
-            array.time_slices() >= self.spec.shape().time_slices(),
-            "array holds {} time slices but the stencil shape has depth {} and needs {}",
-            array.time_slices(),
-            self.spec.depth(),
-            self.spec.shape().time_slices()
-        );
+    /// `engine::run` historically re-did per call), returning [`GeometryError`]
+    /// instead of panicking on mismatch.  The serving layer routes this through
+    /// `ServeError::InvalidGeometry`; the panicking entry points wrap it.
+    pub fn check_array<T: Copy>(&self, array: &PochoirArray<T, D>) -> Result<(), GeometryError> {
+        if array.time_slices() < self.spec.shape().time_slices() {
+            return Err(GeometryError::new(format!(
+                "array holds {} time slices but the stencil shape has depth {} and needs {}",
+                array.time_slices(),
+                self.spec.depth(),
+                self.spec.shape().time_slices()
+            )));
+        }
         let sizes = array.sizes_i64();
-        assert!(
-            sizes == self.sizes,
-            "array extents {sizes:?} do not match the session's compiled extents {:?}",
-            self.sizes
-        );
+        if sizes != self.sizes {
+            return Err(GeometryError::new(format!(
+                "array extents {sizes:?} do not match the session's compiled extents {:?}",
+                self.sizes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`check_array`](Self::check_array), used by the legacy run
+    /// entry points.
+    fn validate<T: Copy>(&self, array: &PochoirArray<T, D>) {
+        if let Err(e) = self.check_array(array) {
+            panic!("{}", e.detail);
+        }
     }
 
     /// Executes kernel-invocation times `[t0, t1)` of `kernel` on `array` under the
@@ -345,7 +412,7 @@ impl<const D: usize> CompiledProgram<D> {
                     // that has a metrics sink (even when this run fetched a different
                     // height), so runtime counters match the global cache's actual
                     // traffic; pinned replays beyond that count as hits.
-                    let pending = std::mem::take(&mut *self.pending.lock().unwrap());
+                    let pending = std::mem::take(&mut *lock_recover(&self.pending));
                     let had_pending = !pending.is_empty();
                     for lookup in pending {
                         report(lookup);

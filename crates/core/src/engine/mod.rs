@@ -8,20 +8,23 @@
 
 pub mod base;
 pub mod executor;
+pub mod faults;
 pub mod loops;
 pub mod plan;
 pub mod schedule;
 pub mod serving;
 pub mod walker;
 
-pub use executor::{CompiledProgram, CompiledStencil, SessionStats};
+pub use executor::{CompiledProgram, CompiledStencil, GeometryError, SessionStats};
+pub use faults::{inject_compile_failures, poison_recoveries, FaultPlan};
 pub use plan::{
     BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode, ScheduleMode,
 };
 pub use schedule::{Schedule, ScheduledLeaf};
 pub use serving::{
-    run_batch, shared_program, BatchRun, DrainReport, RegistryLookup, RegistryStats,
-    SessionRegistry, StencilServer, SubmitOptions,
+    run_batch, shared_program, try_shared_program, AdmissionPolicy, BatchRun, DrainReport,
+    QuarantinePolicy, RegistryLookup, RegistryStats, RetryPolicy, ServeError, SessionRegistry,
+    ShedReason, StencilServer, SubmitOptions, TicketOutcome,
 };
 pub use walker::CutStrategy;
 

@@ -90,6 +90,7 @@
 //! only drops the cache's reference.
 
 use crate::engine::base;
+use crate::engine::faults::lock_recover;
 use crate::engine::plan::{Coarsening, ExecutionPlan};
 use crate::engine::walker::{cut_with_strategy, CutStrategy};
 use crate::grid::RawGrid;
@@ -500,7 +501,7 @@ impl ScheduleCache {
     /// Cache lookup with an LRU *touch*: a hit moves the entry to the back of the
     /// recency order.
     fn get<const D: usize>(&self, key: &CacheKey) -> Option<Arc<Schedule<D>>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         let schedule = match state.map.get(key) {
             Some(entry) => Arc::clone(&entry.schedule).downcast::<Schedule<D>>().ok()?,
             None => return None,
@@ -526,7 +527,7 @@ impl ScheduleCache {
     ) -> (Arc<Schedule<D>>, bool, u64) {
         let leaves = schedule.num_leaves();
         let budget = self.leaf_budget.load(Ordering::Relaxed);
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         if let Some(entry) = state.map.get(&key) {
             // Lost the race: keep the first-inserted schedule so callers observing
             // `Arc::ptr_eq` reuse see one canonical object.
@@ -559,7 +560,7 @@ impl ScheduleCache {
     }
 
     fn clear(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         state.map.clear();
         state.order.clear();
         state.total_leaves = 0;

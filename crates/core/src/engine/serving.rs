@@ -102,16 +102,77 @@
 //!   sessions dedupe process-wide, and `submit`/`drain` batches steady-state traffic.
 //! * **The DSL** — `Pochoir` already fetches its program from this registry, so two
 //!   `Pochoir` objects over identical geometry share one schedule automatically.
+//!
+//! ## Fault isolation
+//!
+//! A multi-tenant drain must not let one tenant's failure take out its neighbours.
+//! The serving layer's failure surface (see `docs/serving.md`, "Failure semantics"):
+//!
+//! * **Typed errors** — [`ServeError`] classifies every way a request can fail;
+//!   [`StencilServer::try_submit_with`], [`StencilServer::try_drain`],
+//!   [`SessionRegistry::try_get_or_compile`] and [`try_shared_program`] return it
+//!   instead of panicking.  The historical panicking entry points are thin wrappers
+//!   that panic with the error's `Display` text, so existing callers (and their
+//!   `should_panic` tests) see the same messages.
+//! * **Panic quarantine** — a kernel panic inside a drain retires only that ticket's
+//!   chain: its remaining windows are cancelled, the payload is captured as
+//!   [`TicketOutcome::Panicked`] in the [`DrainReport`], and sibling tenants keep
+//!   draining to completion with results bitwise identical to a fault-free drain.
+//!   The panicking server's session key is then quarantined in the registry
+//!   ([`QuarantinePolicy`]: evict, or ban lookups for a while), and every engine lock
+//!   recovers from poisoning (`faults::lock_recover`) so one panic
+//!   never wedges the process.  [`StencilServer::drain`] still re-throws the first
+//!   payload after siblings finish (the pre-quarantine contract);
+//!   [`StencilServer::try_drain`] returns the surviving arrays with per-ticket
+//!   outcomes instead.
+//! * **Admission control** — an [`AdmissionPolicy`] sheds work at submit time
+//!   (queue/window quotas, pinned-leaf quotas, deadline-miss and registry-pressure
+//!   watermarks → [`ServeError::Shed`]) and optionally at dispatch time (chains whose
+//!   logical deadline can no longer be met are dropped before their first window
+//!   runs).  [`RetryPolicy`] adds bounded retry-with-backoff for transient
+//!   [`ServeError::CompileFailed`] failures.
+//! * **Deterministic fault injection** — a seeded
+//!   [`FaultPlan`] installed via
+//!   [`StencilServer::with_fault_plan`] panics/delays exact `(ticket, window)`
+//!   coordinates, driving the chaos suite (`tests/serving_chaos.rs`) that checks all
+//!   of the above under serial and work-stealing drains.
+//!
+//! All of it is observable: `serving_shed`, `serving_retries`, `serving_quarantined`
+//! and `registry_poison_recoveries` flow through the runtime's metrics next to the
+//! existing `serving_*` counters.
 
-use crate::engine::executor::{CompiledProgram, SessionStats};
+// One tenant's failure must never become a process failure: every lock acquisition
+// and every panic-adjacent unwrap in this module is either poison-recovering or
+// explicitly allow-listed.  Tests are exempt (a failed test unwrap *should* fail
+// the test).
+#![deny(clippy::unwrap_used)]
+
+use crate::engine::executor::{CompiledProgram, GeometryError, SessionStats};
+use crate::engine::faults::{self, lock_recover, FaultPlan};
 use crate::engine::plan::ExecutionPlan;
 use crate::grid::PochoirArray;
 use crate::kernel::{StencilKernel, StencilSpec};
 use pochoir_runtime::{Parallelism, Runtime};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Locks transient per-drain state (array slots, the scheduler, panic payloads),
+/// tolerating poison from a panicked window: the drain's own `catch_unwind` has
+/// already recorded the failure, and per-drain state is discarded when the drain
+/// returns, so recovery is safe — and uncounted, unlike [`faults::lock_recover`],
+/// which counts recoveries on long-lived engine state.
+fn lock_transient<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_transient`] for consuming a transient mutex at drain end.
+fn into_inner_transient<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Outcome of a session-registry lookup.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -144,6 +205,253 @@ pub struct RegistryStats {
     pub misses: u64,
     /// Entries evicted under the capacity limit.
     pub evictions: u64,
+    /// Session keys quarantined after a tenant panic (see
+    /// [`SessionRegistry::quarantine`]).
+    pub quarantined: u64,
+}
+
+/// Why admission control refused a request (see [`ServeError::Shed`] and
+/// [`TicketOutcome::Shed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The server's pending queue is at [`AdmissionPolicy::max_pending`].
+    QueueFull,
+    /// Admitting the request would exceed [`AdmissionPolicy::max_queued_windows`].
+    WindowQuotaExceeded,
+    /// The shared session pins more leaves than
+    /// [`AdmissionPolicy::max_session_leaves`] allows.
+    SessionLeafQuota,
+    /// The last drain's deadline-miss rate exceeded
+    /// [`AdmissionPolicy::deadline_miss_watermark`].
+    DeadlineMissPressure,
+    /// The global registry's pinned-leaf usage exceeded
+    /// [`AdmissionPolicy::registry_watermark`] of its budget.
+    RegistryPressure,
+    /// The session key is currently banned after a tenant panic
+    /// ([`QuarantinePolicy::Ban`]).
+    Quarantined,
+    /// Dispatch-time drop: the chain's logical deadline could no longer be met when
+    /// its first window came up ([`AdmissionPolicy::drop_unmeetable`]).
+    DeadlineUnmeetable,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reason = match self {
+            ShedReason::QueueFull => "pending queue full",
+            ShedReason::WindowQuotaExceeded => "queued-window quota exceeded",
+            ShedReason::SessionLeafQuota => "session pinned-leaf quota exceeded",
+            ShedReason::DeadlineMissPressure => "deadline-miss watermark exceeded",
+            ShedReason::RegistryPressure => "registry leaf-budget watermark exceeded",
+            ShedReason::Quarantined => "session key quarantined after a tenant panic",
+            ShedReason::DeadlineUnmeetable => "logical deadline unmeetable at dispatch",
+        };
+        f.write_str(reason)
+    }
+}
+
+/// Everything that can go wrong when serving a stencil request, as a typed error
+/// instead of a panic.
+///
+/// The panicking entry points ([`StencilServer::submit_with`],
+/// [`SessionRegistry::get_or_compile`], [`shared_program`]) are thin wrappers over
+/// the `try_` variants that panic with this error's `Display` text, so the messages
+/// callers historically matched on are preserved verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's geometry cannot be served: mismatched extents, too few time
+    /// slices, non-positive sizes.  `detail` is the exact message the panicking
+    /// entry points raise.
+    InvalidGeometry {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Session compilation panicked (the once-cell stays uninitialized, so a retry
+    /// — e.g. via [`RetryPolicy`] — can succeed).
+    CompileFailed {
+        /// The compile panic's message.
+        detail: String,
+    },
+    /// A tenant's kernel panicked during a drain; its chain was retired and the
+    /// payload captured (see [`TicketOutcome::Panicked`] and
+    /// [`DrainReport::failures`]).
+    TenantPanicked {
+        /// The panicking submission's ticket.
+        ticket: usize,
+        /// The panic payload's message.
+        message: String,
+    },
+    /// Admission control refused the request (load shedding).
+    Shed {
+        /// Which quota or watermark fired.
+        reason: ShedReason,
+    },
+    /// The submission's logical deadline cannot be met even if it dispatched first:
+    /// it needs `windows` dispatch ticks but asked to finish by tick `deadline`
+    /// (submit-time rejection; opt in via [`AdmissionPolicy::reject_unmeetable`]).
+    DeadlineUnmeetable {
+        /// The requested completion tick.
+        deadline: u64,
+        /// The dispatch ticks the submission needs.
+        windows: u64,
+    },
+    /// Registry internals panicked outside the compile closure; the lookup cannot
+    /// say anything about the key's state.  Recoverable by retrying — registry
+    /// locks themselves heal via poison recovery.
+    RegistryPoisoned,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Bare detail: the panicking wrappers re-raise this text, and callers
+            // (and `should_panic` tests) match on the historical message.
+            ServeError::InvalidGeometry { detail } => f.write_str(detail),
+            ServeError::CompileFailed { detail } => {
+                write!(f, "session compilation failed: {detail}")
+            }
+            ServeError::TenantPanicked { ticket, message } => {
+                write!(f, "tenant {ticket} panicked: {message}")
+            }
+            ServeError::Shed { reason } => write!(f, "request shed: {reason}"),
+            ServeError::DeadlineUnmeetable { deadline, windows } => write!(
+                f,
+                "deadline tick {deadline} is unmeetable: the submission needs {windows} dispatch ticks"
+            ),
+            ServeError::RegistryPoisoned => {
+                f.write_str("session registry internals panicked; retry the lookup")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<GeometryError> for ServeError {
+    fn from(e: GeometryError) -> Self {
+        ServeError::InvalidGeometry { detail: e.detail }
+    }
+}
+
+/// How a submission fared in the last drain (see [`DrainReport::outcomes`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TicketOutcome {
+    /// Every window executed; the returned array holds the fully stepped result.
+    #[default]
+    Completed,
+    /// A window panicked: the chain's remaining windows were cancelled and the
+    /// returned array holds the state as of the last *completed* window.
+    Panicked {
+        /// The panic payload's message.
+        message: String,
+    },
+    /// The chain was dropped at dispatch time before any window ran (currently only
+    /// [`ShedReason::DeadlineUnmeetable`] under [`AdmissionPolicy::drop_unmeetable`]);
+    /// the returned array is untouched.
+    Shed {
+        /// Why the chain was dropped.
+        reason: ShedReason,
+    },
+}
+
+/// Per-tenant quotas and server-level watermarks applied at submit time, plus the
+/// dispatch-time deadline policy.  The default admits everything (no quotas, no
+/// watermarks, deadline misses merely counted) — exactly the pre-admission-control
+/// behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Maximum submissions waiting in the queue; the next submit sheds
+    /// ([`ShedReason::QueueFull`]).
+    pub max_pending: Option<usize>,
+    /// Maximum total per-window work items the queue may represent (each submission
+    /// costs `ceil((t1-t0)/window)` items); exceeding sheds
+    /// ([`ShedReason::WindowQuotaExceeded`]).
+    pub max_queued_windows: Option<u64>,
+    /// Maximum leaves the shared session may have pinned at submit time; exceeding
+    /// sheds ([`ShedReason::SessionLeafQuota`]).
+    pub max_session_leaves: Option<usize>,
+    /// Shed while the last drain's deadline-miss rate (misses / submissions)
+    /// exceeds this fraction ([`ShedReason::DeadlineMissPressure`]).
+    pub deadline_miss_watermark: Option<f64>,
+    /// Shed while the process-global registry's pinned leaves exceed this fraction
+    /// of its leaf budget ([`ShedReason::RegistryPressure`]; applies only to servers
+    /// built via [`StencilServer::new`], which use the global registry).
+    pub registry_watermark: Option<f64>,
+    /// Reject submissions whose logical deadline cannot be met even dispatching
+    /// first ([`ServeError::DeadlineUnmeetable`]).  Off by default: an unmeetable
+    /// deadline is admitted and counted as a miss, the pre-admission behaviour.
+    pub reject_unmeetable: bool,
+    /// At dispatch time, drop not-yet-started chains whose deadline has become
+    /// unmeetable ([`TicketOutcome::Shed`]) instead of running them to a guaranteed
+    /// miss.  Off by default.
+    pub drop_unmeetable: bool,
+}
+
+/// Bounded retry-with-exponential-backoff for transient
+/// [`ServeError::CompileFailed`] failures (only; every other error is permanent and
+/// returned immediately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retry).
+    pub max_retries: u32,
+    /// Sleep before retry `n` is `backoff * 2^(n-1)`; `Duration::ZERO` disables
+    /// sleeping (tests).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given bounds.
+    pub fn new(max_retries: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff,
+        }
+    }
+
+    /// Runs `attempt` until it succeeds, fails permanently, or the retry budget is
+    /// spent; returns the final result and how many retries were performed.
+    pub fn retry<V>(
+        &self,
+        mut attempt: impl FnMut() -> Result<V, ServeError>,
+    ) -> (Result<V, ServeError>, u32) {
+        let mut retries = 0;
+        loop {
+            match attempt() {
+                Err(ServeError::CompileFailed { .. }) if retries < self.max_retries => {
+                    let backoff = self.backoff * 2u32.saturating_pow(retries);
+                    retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                outcome => return (outcome, retries),
+            }
+        }
+    }
+}
+
+/// What happens to a session key in the registry after one of its tenants panics
+/// (see [`StencilServer::with_quarantine_policy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QuarantinePolicy {
+    /// Drop the registry's entry: the next lookup recompiles a fresh session.
+    /// Callers still holding the old `Arc` keep it (it is not broken — panics leave
+    /// its shared state structurally valid).
+    #[default]
+    Evict,
+    /// Drop the entry *and* reject the key's next N lookups with
+    /// [`ShedReason::Quarantined`] (a cool-down approximating "banned for N
+    /// drains"); `Ban(0)` behaves like [`Evict`](Self::Evict).
+    Ban(u32),
 }
 
 /// Geometry key of a registry entry: every input of schedule compilation, flattened to
@@ -222,6 +530,9 @@ struct RegistryState {
     map: HashMap<RegistryKey, Slot>,
     /// Recency order: front = least recently used, back = most recently used.
     order: VecDeque<RegistryKey>,
+    /// Quarantined keys → lookups still to reject ([`QuarantinePolicy::Ban`]); each
+    /// rejected lookup decrements, and the ban lifts at zero.
+    banned: HashMap<RegistryKey, u32>,
 }
 
 impl RegistryState {
@@ -295,6 +606,7 @@ pub struct SessionRegistry {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl SessionRegistry {
@@ -311,12 +623,14 @@ impl SessionRegistry {
             state: Mutex::new(RegistryState {
                 map: HashMap::new(),
                 order: VecDeque::new(),
+                banned: HashMap::new(),
             }),
             capacity: AtomicUsize::new(capacity.max(1)),
             leaf_budget: AtomicUsize::new(leaf_budget.max(1)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -335,17 +649,83 @@ impl SessionRegistry {
         sizes: [i64; D],
         window: i64,
     ) -> (Arc<CompiledProgram<D>>, RegistryLookup) {
+        self.try_get_or_compile(spec, plan, sizes, window)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`get_or_compile`](Self::get_or_compile) returning [`ServeError`] instead of
+    /// panicking:
+    ///
+    /// * invalid geometry → [`ServeError::InvalidGeometry`];
+    /// * a panicking compile → [`ServeError::CompileFailed`], with the once-cell left
+    ///   uninitialized and the in-flight slot dropped, so a retry (e.g. under a
+    ///   [`RetryPolicy`]) performs a fresh compile instead of observing a wedged key;
+    /// * a key banned by [`quarantine`](Self::quarantine) →
+    ///   [`ServeError::Shed`]`{ reason: `[`ShedReason::Quarantined`]` }` (each
+    ///   rejected lookup consumes one unit of the ban).
+    ///
+    /// The exactly-once guarantee is unchanged on the success path: concurrent cold
+    /// lookups still share one compilation.
+    pub fn try_get_or_compile<const D: usize>(
+        &self,
+        spec: &StencilSpec<D>,
+        plan: &ExecutionPlan<D>,
+        sizes: [i64; D],
+        window: i64,
+    ) -> Result<(Arc<CompiledProgram<D>>, RegistryLookup), ServeError> {
         let key = RegistryKey::new(spec, plan, sizes, window);
-        let (slot, mut evicted) = self.slot_for(key.clone());
+        if self.consume_ban(&key) {
+            return Err(ServeError::Shed {
+                reason: ShedReason::Quarantined,
+            });
+        }
+        // Registry bookkeeping is ordinary safe code; if it nonetheless panics the
+        // key's state is unknown and the caller gets a typed, retryable error
+        // rather than a propagated panic mid-drain.
+        let (slot, mut evicted) =
+            match catch_unwind(AssertUnwindSafe(|| self.slot_for(key.clone()))) {
+                Ok(found) => found,
+                Err(_) => return Err(ServeError::RegistryPoisoned),
+            };
         let mut compiled_here = false;
-        let any = slot.cell.get_or_init(|| {
-            compiled_here = true;
-            Arc::new(CompiledProgram::new(spec.clone(), *plan, sizes, window))
-                as Arc<dyn Any + Send + Sync>
-        });
-        let program = Arc::clone(any)
-            .downcast::<CompiledProgram<D>>()
-            .expect("registry keys encode the dimensionality via the sizes length");
+        let init = catch_unwind(AssertUnwindSafe(|| {
+            slot.cell.get_or_init(|| {
+                compiled_here = true;
+                // Geometry errors unwind with a typed payload so they classify as
+                // `InvalidGeometry` rather than `CompileFailed` below; any other
+                // panic is a genuine compile failure.
+                match CompiledProgram::try_new(spec.clone(), *plan, sizes, window) {
+                    Ok(program) => Arc::new(program) as Arc<dyn Any + Send + Sync>,
+                    Err(geom) => std::panic::panic_any(geom),
+                }
+            })
+        }));
+        let any = match init {
+            Ok(any) => any,
+            Err(payload) => {
+                // The once-cell stays uninitialized after a panicking init (std
+                // documents this), which would leave a permanently "in-flight" slot
+                // pinned against eviction — drop it so retries start clean.
+                self.forget_in_flight(&key);
+                return Err(match payload.downcast::<GeometryError>() {
+                    Ok(geom) => ServeError::from(*geom),
+                    Err(payload) => ServeError::CompileFailed {
+                        detail: faults::panic_message(payload.as_ref()),
+                    },
+                });
+            }
+        };
+        let program = match Arc::clone(any).downcast::<CompiledProgram<D>>() {
+            Ok(program) => program,
+            Err(_) => {
+                return Err(ServeError::InvalidGeometry {
+                    detail: format!(
+                        "registry key for sizes {sizes:?} resolved to a program of a \
+                         different dimensionality"
+                    ),
+                })
+            }
+        };
         // Install the live weigher (first resolution of this slot) and re-enforce
         // the leaf budget: the entry is charged whatever its session pins *now*,
         // including pins grown since the previous lookup.  `pinned_leaf_count` is a
@@ -364,13 +744,76 @@ impl SessionRegistry {
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
-        (
+        Ok((
             program,
             RegistryLookup {
                 hit: !compiled_here,
                 evicted,
             },
-        )
+        ))
+    }
+
+    /// Quarantines the session key for the given geometry after one of its tenants
+    /// panicked: the registry's entry is dropped (the next lookup recompiles) and,
+    /// under [`QuarantinePolicy::Ban`], the key's next N lookups are rejected with
+    /// [`ShedReason::Quarantined`].  Sessions callers still hold stay alive and
+    /// usable.  Returns whether anything changed (an entry existed or a ban was
+    /// installed); the event is counted in [`RegistryStats::quarantined`] either way.
+    pub fn quarantine<const D: usize>(
+        &self,
+        spec: &StencilSpec<D>,
+        plan: &ExecutionPlan<D>,
+        sizes: [i64; D],
+        window: i64,
+        policy: QuarantinePolicy,
+    ) -> bool {
+        let key = RegistryKey::new(spec, plan, sizes, window);
+        let mut state = lock_recover(&self.state);
+        let existed = state.map.remove(&key).is_some();
+        if let Some(pos) = state.order.iter().position(|k| k == &key) {
+            state.order.remove(pos);
+        }
+        let banned = match policy {
+            QuarantinePolicy::Ban(n) if n > 0 => {
+                state.banned.insert(key, n);
+                true
+            }
+            _ => false,
+        };
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        existed || banned
+    }
+
+    /// Consumes one unit of `key`'s ban if one is active; `true` = reject this
+    /// lookup.
+    fn consume_ban(&self, key: &RegistryKey) -> bool {
+        let mut state = lock_recover(&self.state);
+        match state.banned.get_mut(key) {
+            Some(remaining) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    state.banned.remove(key);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops `key`'s slot if its compile never resolved (see
+    /// [`try_get_or_compile`](Self::try_get_or_compile)'s failure path).
+    fn forget_in_flight(&self, key: &RegistryKey) {
+        let mut state = lock_recover(&self.state);
+        if state
+            .map
+            .get(key)
+            .is_some_and(|slot| slot.cell.get().is_none())
+        {
+            state.map.remove(key);
+            if let Some(pos) = state.order.iter().position(|k| k == key) {
+                state.order.remove(pos);
+            }
+        }
     }
 
     /// Returns the slot for `key` (inserting an empty one on a cold key, evicting LRU
@@ -378,7 +821,7 @@ impl SessionRegistry {
     /// *touch*: the key moves to the back of the recency order.
     fn slot_for(&self, key: RegistryKey) -> (Slot, u64) {
         let capacity = self.capacity.load(Ordering::Relaxed);
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         if let Some(slot) = state.map.get(&key) {
             let slot = Arc::clone(slot);
             if let Some(pos) = state.order.iter().position(|k| k == &key) {
@@ -415,7 +858,7 @@ impl SessionRegistry {
     /// cache's policy for oversized entries.
     fn enforce_leaf_budget(&self, current: &RegistryKey) -> u64 {
         let budget = self.leaf_budget.load(Ordering::Relaxed);
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         let mut evicted = 0u64;
         while state.total_leaves() > budget {
             if !state.evict_lru(Some(current)) {
@@ -428,7 +871,7 @@ impl SessionRegistry {
 
     /// Number of sessions currently retained.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().map.len()
+        lock_recover(&self.state).map.len()
     }
 
     /// Whether the registry retains no sessions.
@@ -455,24 +898,27 @@ impl SessionRegistry {
     /// Total pinned leaves currently charged against the budget (completed entries
     /// only; in-flight compiles weigh zero until they finish).
     pub fn pinned_leaves(&self) -> usize {
-        self.state.lock().unwrap().total_leaves()
+        lock_recover(&self.state).total_leaves()
     }
 
-    /// A snapshot of the cumulative hit/miss/eviction counters.
+    /// A snapshot of the cumulative hit/miss/eviction/quarantine counters.
     pub fn stats(&self) -> RegistryStats {
         RegistryStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every retained session (the counters are kept).  Sessions callers still
-    /// hold stay alive; only the registry's references are released.
+    /// Drops every retained session and lifts every quarantine ban (the counters are
+    /// kept).  Sessions callers still hold stay alive; only the registry's references
+    /// are released.
     pub fn clear(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         state.map.clear();
         state.order.clear();
+        state.banned.clear();
     }
 }
 
@@ -495,6 +941,17 @@ pub fn shared_program<const D: usize>(
     window: i64,
 ) -> (Arc<CompiledProgram<D>>, RegistryLookup) {
     registry().get_or_compile(spec, plan, sizes, window)
+}
+
+/// [`shared_program`] returning [`ServeError`] instead of panicking (see
+/// [`SessionRegistry::try_get_or_compile`] for the error semantics).
+pub fn try_shared_program<const D: usize>(
+    spec: &StencilSpec<D>,
+    plan: &ExecutionPlan<D>,
+    sizes: [i64; D],
+    window: i64,
+) -> Result<(Arc<CompiledProgram<D>>, RegistryLookup), ServeError> {
+    registry().try_get_or_compile(spec, plan, sizes, window)
 }
 
 /// Process-global session-registry statistics since process start.
@@ -567,7 +1024,7 @@ pub fn run_batch<T, K, P, const D: usize>(
             let slots: Vec<Mutex<&mut BatchRun<'_, T, D>>> =
                 many.iter_mut().map(Mutex::new).collect();
             par.for_each_with_grain(&slots, grain.max(1), |slot| {
-                let job = &mut *slot.lock().unwrap();
+                let job = &mut *lock_transient(slot);
                 program.run(job.array, kernel, job.t0, job.t1, par);
             });
         }
@@ -630,6 +1087,34 @@ pub struct DrainReport {
     /// dispatched (0 for empty submissions).  Earlier ticks finished earlier under
     /// serial drains; tests use this to assert deadline and fairness ordering.
     pub completion_tick: Vec<u64>,
+    /// Per ticket: how the submission fared ([`TicketOutcome::Completed`] unless its
+    /// kernel panicked or its chain was dropped at dispatch time).
+    pub outcomes: Vec<TicketOutcome>,
+}
+
+impl DrainReport {
+    /// The outcome of one submission (by its submit ticket), if the ticket exists.
+    pub fn outcome(&self, ticket: usize) -> Option<&TicketOutcome> {
+        self.outcomes.get(ticket)
+    }
+
+    /// Typed errors for every ticket that did not complete: panicked tenants as
+    /// [`ServeError::TenantPanicked`], dispatch-dropped chains as
+    /// [`ServeError::Shed`].  Empty after a clean drain.
+    pub fn failures(&self) -> Vec<ServeError> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(ticket, outcome)| match outcome {
+                TicketOutcome::Completed => None,
+                TicketOutcome::Panicked { message } => Some(ServeError::TenantPanicked {
+                    ticket,
+                    message: message.clone(),
+                }),
+                TicketOutcome::Shed { reason } => Some(ServeError::Shed { reason: *reason }),
+            })
+            .collect()
+    }
 }
 
 /// A queued [`StencilServer`] request: an owned array plus its window and options.
@@ -655,6 +1140,9 @@ struct Chain {
     pass: u64,
     stride: u64,
     deadline: Option<u64>,
+    /// Windows dispatched so far — the 0-based index handed to the fault plan, and
+    /// the "has this chain started?" test behind dispatch-time deadline drops.
+    dispatched: u64,
 }
 
 /// The ready queue and clocks of one pipelined drain, shared behind a mutex by the
@@ -669,9 +1157,12 @@ struct SchedulerState {
     peak_ready: usize,
     deadline_misses: u64,
     completion_tick: Vec<u64>,
-    /// Set when a window panicked: no further windows dispatch or ready, the drain
-    /// winds down as the other in-flight windows finish.
-    aborted: bool,
+    /// Per-ticket fate: `Completed` unless the chain panicked (quarantined mid-drain)
+    /// or was dropped at dispatch time.
+    outcomes: Vec<TicketOutcome>,
+    /// Chains dropped at dispatch time (unmeetable deadlines under
+    /// [`AdmissionPolicy::drop_unmeetable`]), counted toward `serving_shed`.
+    dispatch_sheds: u64,
 }
 
 impl SchedulerState {
@@ -687,6 +1178,7 @@ impl SchedulerState {
                 // exactly the lockout stride scheduling exists to prevent.
                 stride: (STRIDE_ONE / u64::from(opts.weight.max(1))).max(1),
                 deadline: opts.deadline,
+                dispatched: 0,
             })
             .collect();
         let ready: Vec<usize> = chains
@@ -698,19 +1190,50 @@ impl SchedulerState {
         SchedulerState {
             peak_ready: ready.len(),
             completion_tick: vec![0; chains.len()],
+            outcomes: vec![TicketOutcome::Completed; chains.len()],
             ready,
             in_flight: 0,
             ticks: 0,
             deadline_misses: 0,
             chains,
-            aborted: false,
+            dispatch_sheds: 0,
+        }
+    }
+
+    /// Drops ready chains that have not yet started and whose logical deadline can
+    /// no longer be met even if they dispatched back-to-back from the next tick
+    /// (the dispatch-time half of [`AdmissionPolicy::drop_unmeetable`]).
+    fn drop_unmeetable(&mut self, chunk: i64) {
+        let mut i = 0;
+        while i < self.ready.len() {
+            let ticket = self.ready[i];
+            let c = &self.chains[ticket];
+            let remaining = ((c.t1 - c.next_t) + chunk - 1) / chunk;
+            let unmeetable = c.dispatched == 0
+                && remaining > 0
+                && c.deadline
+                    .is_some_and(|d| d < self.ticks + remaining as u64);
+            if unmeetable {
+                self.ready.swap_remove(i);
+                self.dispatch_sheds += 1;
+                self.outcomes[ticket] = TicketOutcome::Shed {
+                    reason: ShedReason::DeadlineUnmeetable,
+                };
+                self.chains[ticket].next_t = self.chains[ticket].t1;
+            } else {
+                i += 1;
+            }
         }
     }
 
     /// Dispatches the highest-priority ready window — (deadline, pass, ticket)
     /// ascending — advancing the clock and the tenant's virtual time.  Returns the
-    /// ticket and the window to run, or `None` if nothing is ready right now.
-    fn pop(&mut self, chunk: i64) -> Option<(usize, i64, i64)> {
+    /// ticket, the chain's 0-based window index, and the window to run, or `None`
+    /// if nothing is ready right now.
+    fn pop(&mut self, chunk: i64, drop_unmeetable: bool) -> Option<(usize, u64, i64, i64)> {
+        if drop_unmeetable {
+            self.drop_unmeetable(chunk);
+        }
         let pos = (0..self.ready.len()).min_by_key(|&i| {
             let ticket = self.ready[i];
             let c = &self.chains[ticket];
@@ -721,6 +1244,8 @@ impl SchedulerState {
         self.in_flight += 1;
         let chain = &mut self.chains[ticket];
         chain.pass += chain.stride;
+        let index = chain.dispatched;
+        chain.dispatched += 1;
         let t0 = chain.next_t;
         let t1 = (t0 + chunk).min(chain.t1);
         if t1 == chain.t1 {
@@ -729,36 +1254,37 @@ impl SchedulerState {
                 self.deadline_misses += 1;
             }
         }
-        Some((ticket, t0, t1))
+        Some((ticket, index, t0, t1))
     }
 
     /// Marks the window ending at `end` of `ticket` complete, readying the chain's
-    /// next window (if any, and unless the drain has been aborted by a panic).
+    /// next window (if any).
     fn complete(&mut self, ticket: usize, end: i64) {
         self.in_flight -= 1;
         let chain = &mut self.chains[ticket];
         chain.next_t = end;
-        if !self.aborted && chain.next_t < chain.t1 {
+        if chain.next_t < chain.t1 {
             self.ready.push(ticket);
             self.peak_ready = self.peak_ready.max(self.ready.len());
         }
     }
 
-    /// Whether every window of every chain has completed (or the drain aborted and
-    /// the surviving in-flight windows have finished).
-    fn finished(&self) -> bool {
-        self.ready.is_empty() && self.in_flight == 0
+    /// Retires `ticket`'s chain after one of its windows panicked: the remaining
+    /// windows are cancelled (the chain is exhausted, so no successor is ever
+    /// readied) and the outcome records the payload's message.  **Only this chain**
+    /// — sibling tenants keep dispatching and draining normally; that is the panic
+    /// quarantine the module docs describe.
+    fn fail(&mut self, ticket: usize, message: String) {
+        self.in_flight -= 1;
+        let chain = &mut self.chains[ticket];
+        chain.next_t = chain.t1;
+        self.outcomes[ticket] = TicketOutcome::Panicked { message };
     }
 
-    /// Winds the drain down after a window panicked: retires the panicking item and
-    /// cancels all not-yet-dispatched work — the cleared ready queue stays empty
-    /// because `complete` stops readying successors once `aborted` is set — so the
-    /// surviving crew workers observe [`finished`](Self::finished) as soon as the
-    /// other in-flight windows complete and the panic is re-thrown from the drain.
-    fn abort_in_flight(&mut self) {
-        self.aborted = true;
-        self.in_flight -= 1;
-        self.ready.clear();
+    /// Whether every window of every chain has completed (or been cancelled by its
+    /// chain's panic or dispatch-time drop).
+    fn finished(&self) -> bool {
+        self.ready.is_empty() && self.in_flight == 0
     }
 }
 
@@ -826,6 +1352,21 @@ pub struct StencilServer<T, K, const D: usize> {
     /// The construction-time registry lookup, reported to the runtime's metrics by the
     /// first drain (the registry itself has no metrics sink).
     pending_lookup: Option<RegistryLookup>,
+    /// Submit-time quotas and watermarks (default: admit everything).
+    policy: AdmissionPolicy,
+    /// What happens to the session key after a tenant panic (default: evict).
+    quarantine: QuarantinePolicy,
+    /// Deterministic fault injection for the chaos suite (default: none).
+    fault_plan: Option<FaultPlan>,
+    /// Whether this server's program came from the process-global registry
+    /// ([`new`](Self::new)): only then can a panic quarantine the key there, and
+    /// only then does [`AdmissionPolicy::registry_watermark`] apply.
+    uses_global_registry: bool,
+    /// Submit-time sheds since the last drain, flushed to `serving_shed` then.
+    pending_sheds: u64,
+    /// Compile retries performed at construction, flushed to `serving_retries` by
+    /// the first drain.
+    pending_retries: u64,
 }
 
 impl<T, K, const D: usize> StencilServer<T, K, D>
@@ -843,16 +1384,56 @@ where
         sizes: [usize; D],
         window: i64,
     ) -> Self {
+        Self::try_new(spec, kernel, plan, sizes, window).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) returning [`ServeError`] instead of panicking — invalid
+    /// geometry, a panicking compile, or a quarantine ban on this key surface as
+    /// typed errors.
+    pub fn try_new(
+        spec: StencilSpec<D>,
+        kernel: K,
+        plan: ExecutionPlan<D>,
+        sizes: [usize; D],
+        window: i64,
+    ) -> Result<Self, ServeError> {
+        Self::try_new_with_retry(
+            spec,
+            kernel,
+            plan,
+            sizes,
+            window,
+            RetryPolicy::new(0, Duration::ZERO),
+        )
+    }
+
+    /// [`try_new`](Self::try_new) retrying transient [`ServeError::CompileFailed`]
+    /// failures under `retry` (bounded, exponential backoff).  Retries performed are
+    /// flushed to the `serving_retries` metric by the server's first drain.
+    pub fn try_new_with_retry(
+        spec: StencilSpec<D>,
+        kernel: K,
+        plan: ExecutionPlan<D>,
+        sizes: [usize; D],
+        window: i64,
+        retry: RetryPolicy,
+    ) -> Result<Self, ServeError> {
         let mut extents = [0i64; D];
         for i in 0..D {
             extents[i] = sizes[i] as i64;
         }
-        let (program, lookup) = shared_program(&spec, &plan, extents, window);
-        Self::from_program(program, kernel).with_pending_lookup(lookup)
+        let (outcome, retries) = retry.retry(|| try_shared_program(&spec, &plan, extents, window));
+        let (program, lookup) = outcome?;
+        let mut server = Self::from_program(program, kernel);
+        server.pending_lookup = Some(lookup);
+        server.uses_global_registry = true;
+        server.pending_retries = u64::from(retries);
+        Ok(server)
     }
 
     /// Creates a server around an explicit shared program (e.g. one fetched from a
-    /// private [`SessionRegistry`]).
+    /// private [`SessionRegistry`]).  Such a server never quarantines keys in (or
+    /// applies registry watermarks against) the process-global registry.
     pub fn from_program(program: Arc<CompiledProgram<D>>, kernel: K) -> Self {
         StencilServer {
             program,
@@ -862,11 +1443,37 @@ where
             queue: Vec::new(),
             last_drain: None,
             pending_lookup: None,
+            policy: AdmissionPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
+            fault_plan: None,
+            uses_global_registry: false,
+            pending_sheds: 0,
+            pending_retries: 0,
         }
     }
 
-    fn with_pending_lookup(mut self, lookup: RegistryLookup) -> Self {
-        self.pending_lookup = Some(lookup);
+    /// Sets the submit-time admission policy (quotas, watermarks, deadline
+    /// rejection/dropping); the default admits everything.
+    pub fn with_admission_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets what happens to the session's registry key after a tenant panics in a
+    /// drain (default: [`QuarantinePolicy::Evict`]).  Only meaningful for servers
+    /// built via [`new`](Self::new) / [`try_new`](Self::try_new), whose program
+    /// lives in the process-global registry.
+    pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
+        self.quarantine = policy;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: planned `(ticket, window)` coordinates
+    /// panic or stall before the window executes, exercising exactly the code paths a
+    /// crashing or slow kernel would.  Test/chaos instrumentation — never set in
+    /// production serving.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -916,7 +1523,8 @@ where
 
     /// [`submit`](Self::submit) with explicit scheduling options: a per-tenant weight
     /// (share of dispatch slots) and an optional logical deadline (see
-    /// [`SubmitOptions`]).
+    /// [`SubmitOptions`]).  Panics on rejection; [`try_submit_with`](Self::try_submit_with)
+    /// is the non-panicking variant.
     pub fn submit_with(
         &mut self,
         array: PochoirArray<T, D>,
@@ -924,19 +1532,111 @@ where
         t1: i64,
         opts: SubmitOptions,
     ) -> usize {
-        assert!(
-            array.sizes_i64() == self.program.sizes(),
-            "submitted array extents {:?} do not match the server's compiled extents {:?}",
-            array.sizes_i64(),
-            self.program.sizes()
-        );
+        self.try_submit_with(array, t0, t1, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`submit`](Self::submit) returning [`ServeError`] instead of panicking.
+    pub fn try_submit(
+        &mut self,
+        array: PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+    ) -> Result<usize, ServeError> {
+        self.try_submit_with(array, t0, t1, SubmitOptions::default())
+    }
+
+    /// [`submit_with`](Self::submit_with) returning [`ServeError`] instead of
+    /// panicking: mismatched geometry is [`ServeError::InvalidGeometry`], admission
+    /// control rejections are [`ServeError::Shed`] (counted toward the
+    /// `serving_shed` metric at the next drain), and — under
+    /// [`AdmissionPolicy::reject_unmeetable`] — hopeless deadlines are
+    /// [`ServeError::DeadlineUnmeetable`].  On `Err` the array is dropped with the
+    /// error; nothing is queued.
+    pub fn try_submit_with(
+        &mut self,
+        array: PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        opts: SubmitOptions,
+    ) -> Result<usize, ServeError> {
+        if array.sizes_i64() != self.program.sizes() {
+            return Err(ServeError::InvalidGeometry {
+                detail: format!(
+                    "submitted array extents {:?} do not match the server's compiled extents {:?}",
+                    array.sizes_i64(),
+                    self.program.sizes()
+                ),
+            });
+        }
+        let windows = self.windows_of(t0, t1);
+        if self.policy.reject_unmeetable {
+            if let Some(deadline) = opts.deadline {
+                if deadline < windows {
+                    self.pending_sheds += 1;
+                    return Err(ServeError::DeadlineUnmeetable { deadline, windows });
+                }
+            }
+        }
+        if let Some(reason) = self.admission_shed(windows) {
+            self.pending_sheds += 1;
+            return Err(ServeError::Shed { reason });
+        }
         self.queue.push(Submission {
             array,
             t0,
             t1,
             opts,
         });
-        self.queue.len() - 1
+        Ok(self.queue.len() - 1)
+    }
+
+    /// Dispatch ticks (per-window work items) a `[t0, t1)` submission costs.
+    fn windows_of(&self, t0: i64, t1: i64) -> u64 {
+        let chunk = self.program.window().max(1);
+        if t1 > t0 {
+            (((t1 - t0) + chunk - 1) / chunk) as u64
+        } else {
+            0
+        }
+    }
+
+    /// The first admission-policy quota or watermark a new `new_windows`-window
+    /// submission would violate, checked in quota → watermark order.
+    fn admission_shed(&self, new_windows: u64) -> Option<ShedReason> {
+        let policy = &self.policy;
+        if policy.max_pending.is_some_and(|m| self.queue.len() >= m) {
+            return Some(ShedReason::QueueFull);
+        }
+        if let Some(max) = policy.max_queued_windows {
+            let queued: u64 = self.queue.iter().map(|s| self.windows_of(s.t0, s.t1)).sum();
+            if queued + new_windows > max {
+                return Some(ShedReason::WindowQuotaExceeded);
+            }
+        }
+        if policy
+            .max_session_leaves
+            .is_some_and(|m| self.program.pinned_leaf_count() > m)
+        {
+            return Some(ShedReason::SessionLeafQuota);
+        }
+        if let Some(watermark) = policy.deadline_miss_watermark {
+            if let Some(report) = &self.last_drain {
+                let tenants = report.completion_tick.len().max(1) as f64;
+                if report.deadline_misses as f64 / tenants > watermark {
+                    return Some(ShedReason::DeadlineMissPressure);
+                }
+            }
+        }
+        if let Some(watermark) = policy.registry_watermark {
+            if self.uses_global_registry {
+                let budget = registry_leaf_budget() as f64;
+                if registry().pinned_leaves() as f64 > watermark * budget {
+                    return Some(ShedReason::RegistryPressure);
+                }
+            }
+        }
+        None
     }
 
     /// Number of requests waiting for the next drain.
@@ -968,7 +1668,51 @@ where
 
     /// [`drain`](Self::drain) with an explicit parallelism provider (e.g. `Serial` for
     /// deterministic test runs: windows then execute exactly in priority order).
+    ///
+    /// If any tenant panicked, the first payload is re-thrown **after** every sibling
+    /// finished draining (the pre-quarantine contract); use
+    /// [`try_drain_with`](Self::try_drain_with) to receive the surviving arrays and
+    /// per-ticket outcomes instead.
     pub fn drain_with<P: Parallelism>(&mut self, par: &P) -> Vec<PochoirArray<T, D>> {
+        let (arrays, mut payloads) = self.drain_inner(par);
+        if !payloads.is_empty() {
+            resume_unwind(payloads.swap_remove(0));
+        }
+        arrays
+    }
+
+    /// [`drain`](Self::drain) that never panics on tenant failures: every array comes
+    /// back in submission order — panicked tenants as of their last completed window,
+    /// dispatch-dropped tenants untouched — and
+    /// [`last_drain`](Self::last_drain)`.outcomes` (or
+    /// [`DrainReport::failures`]) says which tickets failed and why.
+    ///
+    /// The `Result` is reserved for failures of the drain *itself*; per-tenant
+    /// failures never produce `Err` (a drain that ran is a drain that reports).
+    pub fn try_drain(&mut self) -> Result<Vec<PochoirArray<T, D>>, ServeError> {
+        match self.runtime.clone() {
+            Some(rt) => self.try_drain_with(rt.as_ref()),
+            None => self.try_drain_with(Runtime::global()),
+        }
+    }
+
+    /// [`try_drain`](Self::try_drain) with an explicit parallelism provider.
+    pub fn try_drain_with<P: Parallelism>(
+        &mut self,
+        par: &P,
+    ) -> Result<Vec<PochoirArray<T, D>>, ServeError> {
+        let (arrays, _payloads) = self.drain_inner(par);
+        Ok(arrays)
+    }
+
+    /// The shared drain pipeline: runs the queue to completion with per-window panic
+    /// quarantine, records the report, flushes metrics, quarantines the session key
+    /// if a tenant panicked, and returns the arrays plus any captured panic payloads
+    /// (ticket order).
+    fn drain_inner<P: Parallelism>(
+        &mut self,
+        par: &P,
+    ) -> (Vec<PochoirArray<T, D>>, Vec<Box<dyn Any + Send>>) {
         self.report_pending(par);
         let queue = std::mem::take(&mut self.queue);
         let windows: Vec<(i64, i64, SubmitOptions)> =
@@ -976,88 +1720,108 @@ where
         let arrays: Vec<Mutex<PochoirArray<T, D>>> =
             queue.into_iter().map(|s| Mutex::new(s.array)).collect();
         let chunk = self.program.window().max(1);
+        let drop_unmeetable = self.policy.drop_unmeetable;
         let sched = Mutex::new(SchedulerState::new(&windows));
+        let payloads: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
         {
+            let fault_plan = self.fault_plan.clone();
             // Runs one work item: at most one window per chain is ever in flight, so
             // the per-ticket mutex is uncontended — it only carries the `&mut` to
-            // whichever worker dispatched the item.
-            let run_one = |ticket: usize, t0: i64, t1: i64| {
-                let array = &mut *arrays[ticket].lock().unwrap();
+            // whichever worker dispatched the item.  The fault plan (if any) fires
+            // before the window touches its array, exactly where a kernel panic
+            // would unwind from.
+            let run_one = |ticket: usize, index: u64, t0: i64, t1: i64| {
+                if let Some(plan) = &fault_plan {
+                    plan.apply(ticket, index);
+                }
+                let array = &mut *lock_transient(&arrays[ticket]);
                 self.program.run(array, &self.kernel, t0, t1, par);
             };
-            let width = par.num_workers().min(arrays.len());
-            if width <= 1 {
-                // Serial (or single-worker) drain: strict priority order.  (The lock
-                // guard must not live across the body — a `while let` on the pop would
-                // hold it into `complete` and self-deadlock.)
-                loop {
-                    let next = sched.lock().unwrap().pop(chunk);
-                    let Some((ticket, t0, t1)) = next else { break };
-                    run_one(ticket, t0, t1);
-                    sched.lock().unwrap().complete(ticket, t1);
-                }
-            } else {
-                // A small fixed crew of worker loops shares the ready queue.  A worker
-                // finding the queue momentarily empty must not exit while items are in
-                // flight (completing a window readies its successor); meanwhile it
-                // helps execute pool work — typically the in-flight windows' own phase
-                // jobs — via `help_one` rather than spinning.  A panicking kernel must
-                // be caught and re-thrown after the crew disbands: letting it unwind a
-                // crew task would leave its window permanently in flight and the other
-                // workers waiting on `finished()` forever.
-                let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-                let crew: Vec<usize> = (0..width).collect();
-                par.for_each_with_grain(&crew, 1, |_| loop {
-                    let next = sched.lock().unwrap().pop(chunk);
-                    match next {
-                        Some((ticket, t0, t1)) => {
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    run_one(ticket, t0, t1)
-                                }));
-                            match outcome {
-                                Ok(()) => sched.lock().unwrap().complete(ticket, t1),
-                                Err(payload) => {
-                                    sched.lock().unwrap().abort_in_flight();
-                                    let mut first = panicked.lock().unwrap();
-                                    if first.is_none() {
-                                        *first = Some(payload);
-                                    }
-                                    break;
-                                }
-                            }
-                        }
-                        None => {
-                            if sched.lock().unwrap().finished() {
-                                break;
-                            }
-                            if !par.help_one() {
-                                std::thread::yield_now();
+            // One worker body serves both the serial and the crew drain.  A panicking
+            // window must be caught *here*, per item: it retires only its own chain
+            // (`fail`) while the worker keeps dispatching sibling windows — letting
+            // it unwind a crew task would instead leave its window permanently in
+            // flight and the other workers waiting on `finished()` forever.  A worker
+            // finding the queue momentarily empty must not exit while items are in
+            // flight (completing a window readies its successor); meanwhile it helps
+            // execute pool work — typically the in-flight windows' own phase jobs —
+            // via `help_one` rather than spinning.
+            let worker = || loop {
+                let next = lock_transient(&sched).pop(chunk, drop_unmeetable);
+                match next {
+                    Some((ticket, index, t0, t1)) => {
+                        match catch_unwind(AssertUnwindSafe(|| run_one(ticket, index, t0, t1))) {
+                            Ok(()) => lock_transient(&sched).complete(ticket, t1),
+                            Err(payload) => {
+                                lock_transient(&sched)
+                                    .fail(ticket, faults::panic_message(payload.as_ref()));
+                                lock_transient(&payloads).push((ticket, payload));
                             }
                         }
                     }
-                });
-                if let Some(payload) = panicked.into_inner().unwrap() {
-                    std::panic::resume_unwind(payload);
+                    None => {
+                        if lock_transient(&sched).finished() {
+                            break;
+                        }
+                        if !par.help_one() {
+                            std::thread::yield_now();
+                        }
+                    }
                 }
+            };
+            let width = par.num_workers().min(arrays.len());
+            if width <= 1 {
+                worker();
+            } else {
+                let crew: Vec<usize> = (0..width).collect();
+                par.for_each_with_grain(&crew, 1, |_| worker());
             }
         }
-        let state = sched.into_inner().unwrap();
+        let state = into_inner_transient(sched);
         par.note_serving_windows(state.ticks);
         par.note_serving_queue_depth(state.peak_ready as u64);
         if state.deadline_misses > 0 {
             par.note_serving_deadline_misses(state.deadline_misses);
+        }
+        let sheds = std::mem::take(&mut self.pending_sheds) + state.dispatch_sheds;
+        if sheds > 0 {
+            par.note_serving_shed(sheds);
+        }
+        let retries = std::mem::take(&mut self.pending_retries);
+        if retries > 0 {
+            par.note_serving_retries(retries);
+        }
+        let recovered = faults::take_unreported_poison_recoveries();
+        if recovered > 0 {
+            par.note_registry_poison_recoveries(recovered);
+        }
+        let panicked = state
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, TicketOutcome::Panicked { .. }));
+        if panicked && self.uses_global_registry {
+            registry().quarantine(
+                self.program.spec(),
+                self.program.plan(),
+                self.program.sizes(),
+                self.program.window(),
+                self.quarantine,
+            );
+            par.note_serving_quarantined(1);
         }
         self.last_drain = Some(DrainReport {
             windows: state.ticks,
             peak_ready: state.peak_ready,
             deadline_misses: state.deadline_misses,
             completion_tick: state.completion_tick,
+            outcomes: state.outcomes,
         });
-        arrays
-            .into_iter()
-            .map(|m| m.into_inner().unwrap())
-            .collect()
+        let mut payloads = into_inner_transient(payloads);
+        payloads.sort_by_key(|&(ticket, _)| ticket);
+        (
+            arrays.into_iter().map(into_inner_transient).collect(),
+            payloads.into_iter().map(|(_, payload)| payload).collect(),
+        )
     }
 
     /// Executes every queued request as one barrier batch — each submission is a
@@ -1106,6 +1870,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // a failed unwrap in a test *should* fail the test
 mod tests {
     use super::*;
     use crate::boundary::Boundary;
@@ -1151,7 +1916,8 @@ mod tests {
             RegistryStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                quarantined: 0
             }
         );
         assert_eq!(reg.len(), 1);
@@ -1314,5 +2080,232 @@ mod tests {
             3,
         );
         server.submit(make_array(15, 0), 0, 3);
+    }
+
+    #[test]
+    fn try_submit_returns_typed_geometry_error() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [14, 14],
+            3,
+        );
+        let err = server.try_submit(make_array(15, 0), 0, 3).unwrap_err();
+        match err {
+            ServeError::InvalidGeometry { detail } => {
+                assert!(detail.contains("do not match the server's compiled extents"));
+            }
+            other => panic!("expected InvalidGeometry, got {other:?}"),
+        }
+        assert_eq!(server.pending(), 0, "rejected submissions are not queued");
+    }
+
+    #[test]
+    fn admission_policy_sheds_at_quota_and_typed_reasons_round_trip() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [12, 12],
+            3,
+        )
+        .with_admission_policy(AdmissionPolicy {
+            max_pending: Some(2),
+            max_queued_windows: Some(2),
+            ..AdmissionPolicy::default()
+        });
+        assert!(server.try_submit(make_array(12, 0), 0, 3).is_ok());
+        // 2 more windows would exceed the 2-window quota before the 2-entry cap.
+        let err = server.try_submit(make_array(12, 1), 0, 6).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Shed {
+                reason: ShedReason::WindowQuotaExceeded
+            }
+        );
+        assert!(server.try_submit(make_array(12, 1), 0, 3).is_ok());
+        let err = server.try_submit(make_array(12, 2), 0, 3).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Shed {
+                reason: ShedReason::QueueFull
+            }
+        );
+        // Both admitted tenants still drain fine; sheds are in the metric path only.
+        let drained = server.try_drain_with(&Serial).unwrap();
+        assert_eq!(drained.len(), 2);
+        assert!(server.last_drain().unwrap().failures().is_empty());
+    }
+
+    #[test]
+    fn reject_unmeetable_is_opt_in() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [12, 12],
+            2,
+        )
+        .with_admission_policy(AdmissionPolicy {
+            reject_unmeetable: true,
+            ..AdmissionPolicy::default()
+        });
+        // 6 steps at chunk 2 = 3 windows; a deadline of 1 tick can never be met.
+        let err = server
+            .try_submit_with(
+                make_array(12, 0),
+                0,
+                6,
+                SubmitOptions::default().with_deadline(1),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::DeadlineUnmeetable {
+                deadline: 1,
+                windows: 3
+            }
+        );
+        // A meetable deadline is admitted.
+        assert!(server
+            .try_submit_with(
+                make_array(12, 0),
+                0,
+                6,
+                SubmitOptions::default().with_deadline(3),
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn drop_unmeetable_sheds_at_dispatch_and_leaves_the_array_untouched() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [12, 12],
+            2,
+        )
+        .with_admission_policy(AdmissionPolicy {
+            drop_unmeetable: true,
+            ..AdmissionPolicy::default()
+        });
+        server.submit(make_array(12, 0), 0, 6); // 3 windows, no deadline
+        let doomed = server.submit_with(
+            make_array(12, 1),
+            0,
+            6,
+            SubmitOptions::default().with_deadline(1), // needs 3 ticks
+        );
+        let drained = server.try_drain_with(&Serial).unwrap();
+        let report = server.last_drain().unwrap().clone();
+        assert_eq!(
+            report.outcome(doomed),
+            Some(&TicketOutcome::Shed {
+                reason: ShedReason::DeadlineUnmeetable
+            })
+        );
+        assert_eq!(report.outcome(0), Some(&TicketOutcome::Completed));
+        assert_eq!(report.deadline_misses, 0, "dropped, not missed");
+        // The dropped tenant's array never ran a window.
+        assert_eq!(drained[doomed].snapshot(0), make_array(12, 1).snapshot(0));
+    }
+
+    #[test]
+    fn quarantine_evicts_and_bans_with_cooldown() {
+        let reg = SessionRegistry::with_capacity(8);
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        let (first, _) = reg.try_get_or_compile(&spec, &plan(), [16, 16], 4).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.quarantine(&spec, &plan(), [16, 16], 4, QuarantinePolicy::Ban(2)));
+        assert_eq!(reg.len(), 0, "the entry is evicted");
+        assert_eq!(reg.stats().quarantined, 1);
+        // The next 2 lookups are rejected, then the key heals and recompiles.
+        for _ in 0..2 {
+            assert_eq!(
+                reg.try_get_or_compile(&spec, &plan(), [16, 16], 4).err(),
+                Some(ServeError::Shed {
+                    reason: ShedReason::Quarantined
+                })
+            );
+        }
+        let (again, lookup) = reg.try_get_or_compile(&spec, &plan(), [16, 16], 4).unwrap();
+        assert!(!lookup.hit, "post-ban lookup recompiles");
+        assert!(!Arc::ptr_eq(&first, &again));
+    }
+
+    #[test]
+    fn injected_compile_failure_is_typed_and_retryable() {
+        let reg = SessionRegistry::with_capacity(8);
+        let spec = StencilSpec::new(star_shape::<2>(1));
+        crate::engine::faults::inject_compile_failures(1);
+        let err = reg
+            .try_get_or_compile(&spec, &plan(), [17, 17], 4)
+            .err()
+            .expect("injected compile failure must surface");
+        match &err {
+            ServeError::CompileFailed { detail } => {
+                assert!(detail.contains(crate::engine::faults::INJECTED_COMPILE_FAILURE));
+            }
+            other => panic!("expected CompileFailed, got {other:?}"),
+        }
+        assert_eq!(reg.len(), 0, "the failed slot must not wedge the registry");
+        // A RetryPolicy turns the transient failure into a success and counts it.
+        crate::engine::faults::inject_compile_failures(2);
+        let retry = RetryPolicy::new(3, Duration::ZERO);
+        let (outcome, retries) =
+            retry.retry(|| reg.try_get_or_compile(&spec, &plan(), [17, 17], 4));
+        assert!(outcome.is_ok());
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn panicking_tenant_is_quarantined_and_siblings_complete_serial() {
+        let mut server = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [11, 11],
+            2,
+        )
+        .with_fault_plan(FaultPlan::new().panic_at(1, 1));
+        server.submit(make_array(11, 0), 0, 6);
+        server.submit(make_array(11, 1), 0, 6); // panics at its 2nd window
+        server.submit(make_array(11, 2), 0, 6);
+        let drained = server.try_drain_with(&Serial).unwrap();
+        assert_eq!(drained.len(), 3);
+        let report = server.last_drain().unwrap().clone();
+        assert!(matches!(
+            report.outcome(1),
+            Some(TicketOutcome::Panicked { message }) if message.contains("injected kernel panic")
+        ));
+        assert_eq!(report.outcome(0), Some(&TicketOutcome::Completed));
+        assert_eq!(report.outcome(2), Some(&TicketOutcome::Completed));
+        // Siblings are bitwise identical to a fault-free drain.
+        let mut clean = StencilServer::new(
+            StencilSpec::new(star_shape::<2>(1)),
+            Heat2D,
+            plan(),
+            [11, 11],
+            2,
+        );
+        clean.submit(make_array(11, 0), 0, 6);
+        clean.submit(make_array(11, 2), 0, 6);
+        let reference = clean.try_drain_with(&Serial).unwrap();
+        assert_eq!(drained[0].snapshot(6), reference[0].snapshot(6));
+        assert_eq!(drained[2].snapshot(6), reference[1].snapshot(6));
+        // The panicked tenant stopped after its first (completed) window.
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(
+            &failures[0],
+            ServeError::TenantPanicked { ticket: 1, .. }
+        ));
+        // A subsequent drain on the same server works (nothing is wedged).
+        server.submit(make_array(11, 3), 0, 4);
+        let after = server.try_drain_with(&Serial).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(server.last_drain().unwrap().failures().is_empty());
     }
 }

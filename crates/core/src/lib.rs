@@ -63,9 +63,10 @@ pub mod zoid;
 pub mod prelude {
     pub use crate::boundary::{AxisRule, Boundary, BoundaryProbe};
     pub use crate::engine::{
-        run, run_traced, run_with_global_runtime, BaseCase, BatchRun, CloneMode, Coarsening,
-        CompiledProgram, CompiledStencil, EngineKind, ExecutionPlan, IndexMode, Schedule,
-        ScheduleMode, SessionStats, StencilServer,
+        run, run_traced, run_with_global_runtime, AdmissionPolicy, BaseCase, BatchRun, CloneMode,
+        Coarsening, CompiledProgram, CompiledStencil, DrainReport, EngineKind, ExecutionPlan,
+        FaultPlan, GeometryError, IndexMode, QuarantinePolicy, RetryPolicy, Schedule, ScheduleMode,
+        ServeError, SessionStats, ShedReason, StencilServer, TicketOutcome,
     };
     pub use crate::grid::{PochoirArray, RowWriter, SpaceIter};
     pub use crate::hyperspace::{hyperspace_cut, single_space_cut, HyperspaceCut};

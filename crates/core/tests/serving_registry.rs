@@ -117,6 +117,7 @@ fn tiny_capacity_evicts_least_recently_used() {
             hits: 0,
             misses: 3,
             evictions: 2,
+            quarantined: 0,
         }
     );
 }

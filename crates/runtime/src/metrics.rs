@@ -25,6 +25,10 @@ pub struct Metrics {
     serving_windows: AtomicU64,
     serving_deadline_misses: AtomicU64,
     serving_queue_depth_peak: AtomicU64,
+    serving_shed: AtomicU64,
+    serving_retries: AtomicU64,
+    serving_quarantined: AtomicU64,
+    registry_poison_recoveries: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -56,6 +60,18 @@ pub struct MetricsSnapshot {
     /// High-water mark of the serving ready queue (a gauge, not a counter:
     /// [`MetricsSnapshot::delta`] reports the later snapshot's value).
     pub serving_queue_depth_peak: u64,
+    /// Requests rejected by serving admission control — at submit time (quota or
+    /// watermark exceeded) or at dispatch time (logical deadline already unmeetable).
+    pub serving_shed: u64,
+    /// Session-compilation retry attempts performed by the serving layer's bounded
+    /// retry-with-backoff policy after a `CompileFailed` lookup.
+    pub serving_retries: u64,
+    /// Session keys quarantined in the serving registry after a tenant panic
+    /// (evicted, or additionally banned for a number of lookups).
+    pub serving_quarantined: u64,
+    /// Poisoned shared-state locks (registry, session pin sets, schedule cache)
+    /// recovered instead of propagating the poison panic.
+    pub registry_poison_recoveries: u64,
 }
 
 impl Metrics {
@@ -119,6 +135,28 @@ impl Metrics {
     }
 
     #[inline]
+    pub(crate) fn note_serving_shed(&self, shed: u64) {
+        self.serving_shed.fetch_add(shed, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_serving_retries(&self, retries: u64) {
+        self.serving_retries.fetch_add(retries, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_serving_quarantined(&self, quarantined: u64) {
+        self.serving_quarantined
+            .fetch_add(quarantined, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_registry_poison_recoveries(&self, recovered: u64) {
+        self.registry_poison_recoveries
+            .fetch_add(recovered, Ordering::Relaxed);
+    }
+
+    #[inline]
     pub(crate) fn note_schedule_cache(&self, hit: bool) {
         if hit {
             self.schedule_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -163,6 +201,10 @@ impl Metrics {
             serving_windows: self.serving_windows.load(Ordering::Relaxed),
             serving_deadline_misses: self.serving_deadline_misses.load(Ordering::Relaxed),
             serving_queue_depth_peak: self.serving_queue_depth_peak.load(Ordering::Relaxed),
+            serving_shed: self.serving_shed.load(Ordering::Relaxed),
+            serving_retries: self.serving_retries.load(Ordering::Relaxed),
+            serving_quarantined: self.serving_quarantined.load(Ordering::Relaxed),
+            registry_poison_recoveries: self.registry_poison_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -198,6 +240,14 @@ impl MetricsSnapshot {
                 .saturating_sub(self.serving_deadline_misses),
             // A high-water mark, not a counter: the delta carries the later value.
             serving_queue_depth_peak: later.serving_queue_depth_peak,
+            serving_shed: later.serving_shed.saturating_sub(self.serving_shed),
+            serving_retries: later.serving_retries.saturating_sub(self.serving_retries),
+            serving_quarantined: later
+                .serving_quarantined
+                .saturating_sub(self.serving_quarantined),
+            registry_poison_recoveries: later
+                .registry_poison_recoveries
+                .saturating_sub(self.registry_poison_recoveries),
         }
     }
 }
@@ -260,6 +310,24 @@ mod tests {
         assert_eq!(s.serving_queue_depth_peak, 9);
         let later = m.snapshot();
         assert_eq!(s.delta(&later).serving_queue_depth_peak, 9);
+    }
+
+    #[test]
+    fn fault_isolation_counters() {
+        let m = Metrics::new();
+        m.note_serving_shed(3);
+        m.note_serving_retries(2);
+        m.note_serving_quarantined(1);
+        m.note_registry_poison_recoveries(4);
+        let s = m.snapshot();
+        assert_eq!(s.serving_shed, 3);
+        assert_eq!(s.serving_retries, 2);
+        assert_eq!(s.serving_quarantined, 1);
+        assert_eq!(s.registry_poison_recoveries, 4);
+        m.note_serving_shed(1);
+        let d = s.delta(&m.snapshot());
+        assert_eq!(d.serving_shed, 1);
+        assert_eq!(d.serving_retries, 0);
     }
 
     #[test]

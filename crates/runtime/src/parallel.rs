@@ -72,6 +72,25 @@ pub trait Parallelism: Sync {
     /// the peak).  The default is a no-op.
     fn note_serving_queue_depth(&self, _depth: u64) {}
 
+    /// Records serving requests rejected by admission control (submit-time quota /
+    /// watermark sheds and dispatch-time unmeetable-deadline drops), if this provider
+    /// keeps scheduler metrics.  The default is a no-op.
+    fn note_serving_shed(&self, _shed: u64) {}
+
+    /// Records session-compilation retry attempts performed by the serving layer's
+    /// bounded retry policy, if this provider keeps scheduler metrics.  The default
+    /// is a no-op.
+    fn note_serving_retries(&self, _retries: u64) {}
+
+    /// Records session keys quarantined after a tenant panic, if this provider keeps
+    /// scheduler metrics.  The default is a no-op.
+    fn note_serving_quarantined(&self, _quarantined: u64) {}
+
+    /// Records poisoned shared-state locks recovered by the engine (registry, pin
+    /// sets, schedule cache), if this provider keeps scheduler metrics.  The default
+    /// is a no-op.
+    fn note_registry_poison_recoveries(&self, _recovered: u64) {}
+
     /// Executes one pending unit of this provider's work on the calling thread, if
     /// the calling thread belongs to the provider and work is available; returns
     /// whether anything ran.  Wait loops call this so a waiting core keeps doing
@@ -166,6 +185,22 @@ impl Parallelism for Runtime {
         Runtime::note_serving_queue_depth(self, depth);
     }
 
+    fn note_serving_shed(&self, shed: u64) {
+        Runtime::note_serving_shed(self, shed);
+    }
+
+    fn note_serving_retries(&self, retries: u64) {
+        Runtime::note_serving_retries(self, retries);
+    }
+
+    fn note_serving_quarantined(&self, quarantined: u64) {
+        Runtime::note_serving_quarantined(self, quarantined);
+    }
+
+    fn note_registry_poison_recoveries(&self, recovered: u64) {
+        Runtime::note_registry_poison_recoveries(self, recovered);
+    }
+
     fn help_one(&self) -> bool {
         Runtime::help_one(self)
     }
@@ -219,6 +254,22 @@ impl<P: Parallelism> Parallelism for &P {
 
     fn note_serving_queue_depth(&self, depth: u64) {
         (**self).note_serving_queue_depth(depth);
+    }
+
+    fn note_serving_shed(&self, shed: u64) {
+        (**self).note_serving_shed(shed);
+    }
+
+    fn note_serving_retries(&self, retries: u64) {
+        (**self).note_serving_retries(retries);
+    }
+
+    fn note_serving_quarantined(&self, quarantined: u64) {
+        (**self).note_serving_quarantined(quarantined);
+    }
+
+    fn note_registry_poison_recoveries(&self, recovered: u64) {
+        (**self).note_registry_poison_recoveries(recovered);
     }
 
     fn help_one(&self) -> bool {

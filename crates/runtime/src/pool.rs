@@ -146,6 +146,33 @@ impl Runtime {
         self.registry.metrics().note_serving_queue_depth(depth);
     }
 
+    /// Records serving requests rejected by admission control (submit-time sheds and
+    /// dispatch-time unmeetable-deadline drops).
+    pub fn note_serving_shed(&self, shed: u64) {
+        self.registry.metrics().note_serving_shed(shed);
+    }
+
+    /// Records session-compilation retry attempts performed by the serving layer's
+    /// bounded retry policy.
+    pub fn note_serving_retries(&self, retries: u64) {
+        self.registry.metrics().note_serving_retries(retries);
+    }
+
+    /// Records session keys quarantined in the serving registry after a tenant panic.
+    pub fn note_serving_quarantined(&self, quarantined: u64) {
+        self.registry
+            .metrics()
+            .note_serving_quarantined(quarantined);
+    }
+
+    /// Records poisoned shared-state locks the engine recovered instead of
+    /// propagating the poison panic.
+    pub fn note_registry_poison_recoveries(&self, recovered: u64) {
+        self.registry
+            .metrics()
+            .note_registry_poison_recoveries(recovered);
+    }
+
     /// Jobs executed per worker since the pool started — the pool's work
     /// distribution.  One slot per worker thread; serving benchmarks report it to
     /// show batch- and window-level work actually spreading across the pool.

@@ -151,6 +151,29 @@ pub fn serve_2d(sizes: [usize; 2], window: i64) -> StencilServer<f64, HeatKernel
     )
 }
 
+/// Fallible variant of [`serve_2d`]: invalid geometry (or a quarantined / compile-failed
+/// registry key) comes back as a typed [`ServeError`] instead of a panic — the right
+/// entry point when geometry arrives from a request rather than from test code.
+///
+/// ```
+/// use pochoir_stencils::heat;
+///
+/// assert!(heat::try_serve_2d([24, 24], 4).is_ok());
+/// assert!(heat::try_serve_2d([0, 24], 4).is_err()); // zero extent: typed, not a panic
+/// ```
+pub fn try_serve_2d(
+    sizes: [usize; 2],
+    window: i64,
+) -> Result<StencilServer<f64, HeatKernel<2>, 2>, ServeError> {
+    StencilServer::try_new(
+        StencilSpec::new(shape::<2>()),
+        HeatKernel::<2>::default(),
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening_2d()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
 /// noise, with the requested boundary condition.
 pub fn build<const D: usize>(

@@ -115,6 +115,21 @@ pub fn serve(sizes: [usize; 2], window: i64) -> StencilServer<u8, LifeKernel, 2>
     )
 }
 
+/// Fallible variant of [`serve`]: invalid geometry (or a quarantined / compile-failed
+/// registry key) surfaces as a typed [`ServeError`] instead of a panic.
+pub fn try_serve(
+    sizes: [usize; 2],
+    window: i64,
+) -> Result<StencilServer<u8, LifeKernel, 2>, ServeError> {
+    StencilServer::try_new(
+        StencilSpec::new(shape()),
+        LifeKernel,
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds a toroidal Life board with a deterministic pseudo-random soup.
 pub fn build(sizes: [usize; 2], fill_permille: u64) -> PochoirArray<u8, 2> {
     let mut a = PochoirArray::new(sizes);

@@ -136,6 +136,21 @@ pub fn serve(sizes: [usize; 3], window: i64) -> StencilServer<f64, WaveKernel, 3
     )
 }
 
+/// Fallible variant of [`serve`]: invalid geometry (or a quarantined / compile-failed
+/// registry key) surfaces as a typed [`ServeError`] instead of a panic.
+pub fn try_serve(
+    sizes: [usize; 3],
+    window: i64,
+) -> Result<StencilServer<f64, WaveKernel, 3>, ServeError> {
+    StencilServer::try_new(
+        StencilSpec::new(shape()),
+        WaveKernel::default(),
+        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        sizes,
+        window,
+    )
+}
+
 /// Builds the wave array: a Gaussian pulse at the centre, at rest (slices 0 and 1 equal),
 /// with clamped (reflecting-ish) boundaries.
 pub fn build(sizes: [usize; 3]) -> PochoirArray<f64, 3> {
