@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod profile;
+
 use pochoir_core::engine::{BaseCase, Coarsening};
 
 /// Outcome of a tuning search.

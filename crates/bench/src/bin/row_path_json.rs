@@ -6,7 +6,7 @@
 //! Usage: `row_path_json [--scale tiny|small|medium|paper] [--out PATH]`
 
 use pochoir_bench::apps::time_with_plan;
-use pochoir_bench::{out_path_from_args, scale_from_args, RunStats};
+use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args, RunStats};
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan};
 use pochoir_core::kernel::StencilSpec;
@@ -103,6 +103,7 @@ fn main() {
     json.push_str("  \"bench\": \"row_vs_point\",\n");
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&provenance_json_fields("  "));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let speedup = if c.point > 0.0 { c.row / c.point } else { 0.0 };

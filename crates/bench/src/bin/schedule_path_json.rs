@@ -15,7 +15,7 @@
 //! Usage: `schedule_path_json [--scale tiny|small|medium|paper] [--out PATH]`
 
 use pochoir_bench::apps::time_with_plan_stats;
-use pochoir_bench::{out_path_from_args, scale_from_args, RunStats};
+use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args, RunStats};
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan, ScheduleMode, SessionStats};
 use pochoir_core::kernel::StencilSpec;
@@ -160,6 +160,7 @@ fn main() {
     json.push_str("  \"bench\": \"schedule_vs_recursive\",\n");
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&provenance_json_fields("  "));
     json.push_str(&format!(
         "  \"schedule_cache\": {{\"compiles\": {compiles}, \"hits\": {hits}, \
          \"evictions\": {evictions}}},\n"

@@ -21,7 +21,7 @@
 //! Usage: `serving_json [--scale tiny|small|medium|paper] [--out PATH]`
 
 use pochoir_bench::apps::{observe_serving_traffic, ServingTraffic};
-use pochoir_bench::{out_path_from_args, scale_from_args};
+use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args};
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::serving::registry_stats;
 use pochoir_core::engine::{DrainReport, FaultPlan, SessionStats, StencilServer, TicketOutcome};
@@ -259,6 +259,7 @@ fn main() {
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
     json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&provenance_json_fields("  "));
     json.push_str(&format!(
         "  \"session_registry\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"quarantined\": {}}},\n",

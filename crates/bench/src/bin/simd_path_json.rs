@@ -1,0 +1,176 @@
+//! Emits `BENCH_simd.json`: interior row throughput (Mpoints/s) of the scalar row
+//! loop vs. the SSE2 and AVX2 row kernels for heat2d, life and wave3d, so the
+//! repository records the SIMD-dispatch perf trajectory (and the ISA it was measured
+//! on) from the PR that introduced explicit vector kernels onward.
+//!
+//! Each (app, policy) cell is measured on two engines: `Loops` runs the row kernel
+//! over full-width rows with almost no scheduling overhead, so it isolates the row
+//! kernels themselves; `Trap` shows what the dispatch delivers end-to-end under the
+//! tuned trapezoidal schedule, where recursion and boundary clones dilute the row
+//! loop's share of the runtime.
+//!
+//! Policies the host cannot execute are skipped; `auto` is always measured and shows
+//! what the default dispatch actually delivers.
+//!
+//! Usage: `simd_path_json [--scale tiny|small|medium|paper] [--out PATH]`
+
+use pochoir_bench::apps::time_with_plan;
+use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args};
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{EngineKind, ExecutionPlan};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_core::simd::{isa_detected, SimdIsa, SimdPolicy};
+use pochoir_stencils::{heat, life, wave, ProblemScale};
+
+struct Cell {
+    app: &'static str,
+    engine: &'static str,
+    policy: &'static str,
+    mpts: f64,
+}
+
+const APPS: [&str; 3] = ["heat2d", "life", "wave3d"];
+const ENGINES: [(EngineKind, &str); 2] = [
+    (EngineKind::LoopsSerial, "Loops"),
+    (EngineKind::Trap, "Trap"),
+];
+
+fn policies() -> Vec<(SimdPolicy, &'static str)> {
+    let mut out = vec![(SimdPolicy::Scalar, "scalar")];
+    if isa_detected(SimdIsa::Sse2) {
+        out.push((SimdPolicy::Force(SimdIsa::Sse2), "sse2"));
+    }
+    if isa_detected(SimdIsa::Avx2) {
+        out.push((SimdPolicy::Force(SimdIsa::Avx2), "avx2"));
+    }
+    out.push((SimdPolicy::Auto, "auto"));
+    out
+}
+
+fn measure(scale: ProblemScale) -> Vec<Cell> {
+    // Row-kernel throughput is what this report tracks, so the 2D grids are sized to
+    // stay cache-resident (the working set is two time slices) and the step counts are
+    // raised instead: a DRAM-bound sweep measures memory bandwidth, not the kernels.
+    let (n2, steps2, n3, steps3, reps) = match scale {
+        ProblemScale::Tiny => (128usize, 64i64, 24usize, 8i64, 2usize),
+        ProblemScale::Small => (256, 512, 48, 24, 3),
+        ProblemScale::Medium => (384, 1024, 96, 48, 5),
+        ProblemScale::Paper => (512, 2048, 160, 64, 5),
+    };
+    let heat_spec = StencilSpec::new(heat::shape::<2>());
+    let heat_kernel = heat::HeatKernel::<2>::default();
+    let life_spec = StencilSpec::new(life::shape());
+    let wave_spec = StencilSpec::new(wave::shape());
+    let wave_kernel = wave::WaveKernel::default();
+    let mut cells: Vec<Cell> = ENGINES
+        .iter()
+        .flat_map(|&(_, engine)| {
+            policies().into_iter().flat_map(move |(_, label)| {
+                APPS.map(|app| Cell {
+                    app,
+                    engine,
+                    policy: label,
+                    mpts: 0.0,
+                })
+            })
+        })
+        .collect();
+    // Reps are the OUTER loop: one pass measures every (app, engine, policy) cell
+    // once, and each cell keeps its best pass.  Interleaving this way spreads external
+    // noise episodes (CPU steal on shared hosts) across all cells instead of letting a
+    // slow window skew whichever single policy was being measured at the time.
+    for _ in 0..reps {
+        for (engine, engine_label) in ENGINES {
+            for (policy, label) in policies() {
+                let plan2 = |c| {
+                    ExecutionPlan::<2>::new(engine)
+                        .with_coarsening(c)
+                        .with_simd(policy)
+                };
+                let plan3 = |c| {
+                    ExecutionPlan::<3>::new(engine)
+                        .with_coarsening(c)
+                        .with_simd(policy)
+                };
+                let record = |cells: &mut Vec<Cell>, app: &str, mpts: f64| {
+                    let cell = cells
+                        .iter_mut()
+                        .find(|c| c.app == app && c.engine == engine_label && c.policy == label)
+                        .expect("cell was pre-populated");
+                    cell.mpts = cell.mpts.max(mpts);
+                };
+                let stats = time_with_plan(
+                    heat::build([n2, n2], Boundary::Periodic),
+                    &heat_spec,
+                    &heat_kernel,
+                    steps2,
+                    &plan2(heat::tuned_coarsening_2d()),
+                    false,
+                );
+                record(&mut cells, "heat2d", stats.mpoints_per_second());
+                let stats = time_with_plan(
+                    life::build([n2, n2], 350),
+                    &life_spec,
+                    &life::LifeKernel,
+                    steps2,
+                    &plan2(life::tuned_coarsening()),
+                    false,
+                );
+                record(&mut cells, "life", stats.mpoints_per_second());
+                let stats = time_with_plan(
+                    wave::build([n3, n3, n3]),
+                    &wave_spec,
+                    &wave_kernel,
+                    steps3,
+                    &plan3(wave::tuned_coarsening()),
+                    false,
+                );
+                record(&mut cells, "wave3d", stats.mpoints_per_second());
+            }
+        }
+    }
+    cells
+}
+
+fn main() {
+    let scale = scale_from_args(
+        "simd_path_json: measure scalar vs. SSE2 vs. AVX2 row-kernel throughput and \
+         write BENCH_simd.json",
+    );
+    let out_path = out_path_from_args("BENCH_simd.json");
+    let cells = measure(scale);
+    let scalar_of = |app: &str, engine: &str| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.app == app && c.engine == engine && c.policy == "scalar")
+            .map(|c| c.mpts)
+            .unwrap_or(0.0)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"simd_row_path\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&provenance_json_fields("  "));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let scalar = scalar_of(c.app, c.engine);
+        let speedup = if scalar > 0.0 { c.mpts / scalar } else { 0.0 };
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"engine\": \"{}\", \"simd\": \"{}\", \
+             \"mpoints_per_s\": {:.2}, \"over_scalar\": {:.3}}}{}\n",
+            c.app,
+            c.engine,
+            c.policy,
+            c.mpts,
+            speedup,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the JSON report");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

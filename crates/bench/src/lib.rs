@@ -98,6 +98,38 @@ pub fn scale_from_args(usage: &str) -> ProblemScale {
     scale
 }
 
+/// Renders the provenance fields shared by every `BENCH_*.json` emitter: the SIMD ISA
+/// detected on the measuring host, plus the tune profile (path and the host ISA it was
+/// swept on) that shaped the presets — or `null`s when no profile was found.  Each
+/// field is emitted on its own line prefixed with `indent` and suffixed with a comma,
+/// so callers can splice the block straight into a JSON object body.
+pub fn provenance_json_fields(indent: &str) -> String {
+    let detected = pochoir_core::simd::detected()
+        .map(|i| i.name().to_string())
+        .unwrap_or_else(|| "scalar".to_string());
+    let (path, host) = match pochoir_autotune::profile::cached() {
+        Some(p) => {
+            // Record the profile path relative to the working directory when
+            // possible, so committed reports don't leak host-specific prefixes.
+            let full = pochoir_autotune::profile::default_path();
+            let shown = std::env::current_dir()
+                .ok()
+                .and_then(|cwd| full.strip_prefix(&cwd).ok().map(|r| r.to_path_buf()))
+                .unwrap_or(full);
+            (
+                format!("\"{}\"", shown.display()),
+                format!("\"{}\"", p.host_isa),
+            )
+        }
+        None => ("null".to_string(), "null".to_string()),
+    };
+    format!(
+        "{indent}\"detected_isa\": \"{detected}\",\n\
+         {indent}\"tune_profile\": {path},\n\
+         {indent}\"tune_profile_host_isa\": {host},\n"
+    )
+}
+
 /// Parses `--out PATH` from the command line, falling back to `default`; shared by the
 /// `*_json` report emitters.
 pub fn out_path_from_args(default: &str) -> String {

@@ -397,6 +397,11 @@ impl<const D: usize> CompiledProgram<D> {
             return;
         }
         self.metrics.runs.fetch_add(1, Ordering::Relaxed);
+        // Publish the row-kernel ISA this run dispatches to (plan policy ∩ host
+        // detection ∩ POCHOIR_SIMD), and snapshot the advisory SIMD row counters
+        // so the delta can be forwarded to the runtime metrics afterwards.
+        crate::simd::set_active(crate::simd::resolve(self.plan.simd));
+        let (sse2_before, avx2_before) = crate::simd::rows_snapshot();
         let grid = array.raw();
         match self.strategy {
             Some(strategy) => {
@@ -443,6 +448,14 @@ impl<const D: usize> CompiledProgram<D> {
                 }
                 EngineKind::Trap | EngineKind::Strap => unreachable!("strategy resolved above"),
             },
+        }
+        let (sse2_after, avx2_after) = crate::simd::rows_snapshot();
+        let (sse2, avx2) = (
+            sse2_after.saturating_sub(sse2_before),
+            avx2_after.saturating_sub(avx2_before),
+        );
+        if sse2 > 0 || avx2 > 0 {
+            par.note_simd_rows(sse2, avx2);
         }
     }
 

@@ -2,6 +2,7 @@
 //! compiler's code-generation choices (Section 4) to emulate.
 
 use crate::engine::walker::CutStrategy;
+use crate::simd::SimdPolicy;
 
 /// Which algorithm executes the stencil.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -155,6 +156,10 @@ pub struct ExecutionPlan<const D: usize> {
     /// Parallel-loop grain: outer-dimension rows per task for the loop engines, and
     /// zoids per task on wide dependency levels for TRAP/STRAP.
     pub grain: usize,
+    /// Row-kernel SIMD dispatch policy (resolved against host detection and the
+    /// `POCHOIR_SIMD` environment variable at run time; see [`crate::simd::resolve`]).
+    /// Never changes results — the SIMD bodies are bitwise-equal to the scalar loop.
+    pub simd: SimdPolicy,
 }
 
 impl<const D: usize> ExecutionPlan<D> {
@@ -169,6 +174,7 @@ impl<const D: usize> ExecutionPlan<D> {
             schedule: ScheduleMode::Compiled,
             block: [64; D],
             grain: 1,
+            simd: SimdPolicy::Auto,
         }
     }
 
@@ -250,6 +256,12 @@ impl<const D: usize> ExecutionPlan<D> {
         self.grain = grain.max(1);
         self
     }
+
+    /// Builder-style override of the SIMD dispatch policy.
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
+    }
 }
 
 impl<const D: usize> Default for ExecutionPlan<D> {
@@ -315,8 +327,11 @@ mod tests {
             .with_base_case(BaseCase::Point)
             .with_clone_mode(CloneMode::AlwaysBoundary)
             .with_schedule_mode(ScheduleMode::Recursive)
-            .with_grain(0);
+            .with_grain(0)
+            .with_simd(SimdPolicy::Scalar);
         assert_eq!(plan.engine, EngineKind::Trap);
+        assert_eq!(plan.simd, SimdPolicy::Scalar);
+        assert_eq!(ExecutionPlan::<2>::trap().simd, SimdPolicy::Auto);
         assert_eq!(plan.coarsening.dt, 4);
         assert_eq!(plan.index_mode, IndexMode::Checked);
         assert_eq!(plan.base_case, BaseCase::Point);

@@ -471,6 +471,7 @@ struct RegistryKey {
     schedule: crate::engine::plan::ScheduleMode,
     block: Vec<usize>,
     grain: usize,
+    simd: crate::simd::SimdPolicy,
 }
 
 impl RegistryKey {
@@ -498,6 +499,7 @@ impl RegistryKey {
             schedule: plan.schedule,
             block: plan.block.to_vec(),
             grain: plan.grain,
+            simd: plan.simd,
         }
     }
 }

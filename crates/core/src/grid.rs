@@ -7,7 +7,124 @@
 //! the library's control.
 
 use crate::boundary::Boundary;
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) of grid storage: every time-slice base — and, thanks to padded
+/// row strides, every interior row start — lands on a 64-byte boundary, one cache
+/// line and the widest vector width we dispatch to (see [`crate::simd`]).
+pub const GRID_ALIGN: usize = 64;
+
+/// Elements of `T` per [`GRID_ALIGN`]-byte unit, or 1 when rows cannot be padded to
+/// a whole number of elements (e.g. the 56-byte LBM cell `[f64; 7]`, whose rows stay
+/// dense rather than wasting 8/7 of the slice).
+fn row_pad_elems<T>() -> usize {
+    let size = std::mem::size_of::<T>();
+    if size > 0 && size <= GRID_ALIGN && GRID_ALIGN.is_multiple_of(size) {
+        GRID_ALIGN / size
+    } else {
+        1
+    }
+}
+
+/// A fixed-length, 64-byte-aligned heap buffer — the small aligned-alloc wrapper
+/// behind [`PochoirArray`]'s storage.
+///
+/// Semantically a frozen `Vec<T>` (it derefs to `[T]` and clones), except the
+/// allocation is guaranteed [`GRID_ALIGN`]-aligned so SIMD row kernels can rely on
+/// the base address.  Only constructible for `T: Copy`, which is what lets `Drop`
+/// skip per-element drop glue.
+pub struct AlignedVec<T> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+impl<T> AlignedVec<T> {
+    fn layout(len: usize) -> Layout {
+        let size = std::mem::size_of::<T>()
+            .checked_mul(len)
+            .expect("grid too large: allocation size overflow");
+        let align = GRID_ALIGN.max(std::mem::align_of::<T>());
+        Layout::from_size_align(size, align).expect("invalid grid layout")
+    }
+
+    fn alloc_uninit(len: usize) -> NonNull<T> {
+        let layout = Self::layout(len);
+        // Safety: the layout has non-zero size (checked by the caller).
+        let raw = unsafe { alloc(layout) } as *mut T;
+        NonNull::new(raw).unwrap_or_else(|| handle_alloc_error(layout))
+    }
+
+    fn is_dangling(len: usize) -> bool {
+        len == 0 || std::mem::size_of::<T>() == 0
+    }
+}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Allocates `len` elements, every one set to `value`.
+    pub fn filled(len: usize, value: T) -> Self {
+        if Self::is_dangling(len) {
+            return AlignedVec {
+                ptr: NonNull::dangling(),
+                len,
+            };
+        }
+        let ptr = Self::alloc_uninit(len);
+        for i in 0..len {
+            // Safety: i < len, within the fresh allocation; T: Copy has no drop glue.
+            unsafe { ptr.as_ptr().add(i).write(value) };
+        }
+        AlignedVec { ptr, len }
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        if Self::is_dangling(self.len) {
+            return AlignedVec {
+                ptr: NonNull::dangling(),
+                len: self.len,
+            };
+        }
+        let ptr = Self::alloc_uninit(self.len);
+        // Safety: both buffers hold `len` elements and cannot overlap.
+        unsafe { std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), ptr.as_ptr(), self.len) };
+        AlignedVec { ptr, len: self.len }
+    }
+}
+
+impl<T> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if !Self::is_dangling(self.len) {
+            // Elements are T: Copy by construction — no drop glue to run.
+            // Safety: allocated with this exact layout in `alloc_uninit`.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl<T> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // Safety: the buffer holds `len` initialized elements for its whole lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        // Safety: as above, plus `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+// Safety: AlignedVec owns its buffer exclusively, exactly like Vec<T>.
+unsafe impl<T: Send> Send for AlignedVec<T> {}
+unsafe impl<T: Sync> Sync for AlignedVec<T> {}
 
 /// Precomputed reciprocal for the division-free time wrap (see [`wrap_time`]).
 #[inline]
@@ -51,7 +168,7 @@ pub struct PochoirArray<T, const D: usize> {
     slice_len: usize,
     time_slices: usize,
     time_magic: u64,
-    data: Vec<T>,
+    data: AlignedVec<T>,
     boundary: Boundary<T, D>,
 }
 
@@ -76,12 +193,25 @@ impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
             sizes.iter().all(|&s| s > 0),
             "every spatial extent must be positive"
         );
+        // The unit-stride (last) dimension's extent is rounded up so every row starts
+        // on a GRID_ALIGN boundary of the 64-byte-aligned allocation — the storage
+        // half of the explicit-SIMD row path.  Element sizes that don't divide 64
+        // (e.g. LBM's [f64; 7]) keep a dense layout (pad factor 1).
+        let pad = row_pad_elems::<T>();
         let mut strides = [0usize; D];
         let mut acc = 1usize;
         for d in (0..D).rev() {
             strides[d] = acc;
+            let extent = if d == D - 1 {
+                sizes[d]
+                    .div_ceil(pad)
+                    .checked_mul(pad)
+                    .expect("grid too large: stride overflow")
+            } else {
+                sizes[d]
+            };
             acc = acc
-                .checked_mul(sizes[d])
+                .checked_mul(extent)
                 .expect("grid too large: stride overflow");
         }
         let slice_len = acc;
@@ -95,7 +225,7 @@ impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
             slice_len,
             time_slices,
             time_magic: time_magic(time_slices),
-            data: vec![T::default(); total],
+            data: AlignedVec::filled(total, T::default()),
             boundary: Boundary::Constant(T::default()),
         }
     }
@@ -121,7 +251,10 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
         out
     }
 
-    /// Number of grid points in one time slice.
+    /// Number of storage elements in one time slice.  At least the product of the
+    /// spatial extents — larger when the unit-stride dimension is padded for
+    /// row alignment (see [`GRID_ALIGN`]); [`PochoirArray::snapshot`] skips the
+    /// padding.
     pub fn slice_len(&self) -> usize {
         self.slice_len
     }
@@ -131,7 +264,9 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
         self.time_slices
     }
 
-    /// Row-major strides of the spatial dimensions.
+    /// Row-major strides of the spatial dimensions.  The stride of dimension
+    /// `D - 2` (the row stride) reflects the padded last-dimension extent, so it
+    /// can exceed `sizes[D - 1]`.
     pub fn strides(&self) -> [usize; D] {
         self.strides
     }
@@ -233,11 +368,36 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
         SpaceIter::new(self.sizes_i64())
     }
 
-    /// Copies time slice `t` into a flat `Vec` in row-major order (useful for comparing
-    /// results between engines).
+    /// Copies time slice `t` into a flat, densely packed `Vec` in row-major order
+    /// (useful for comparing results between engines).  Alignment padding between
+    /// rows is skipped, so the result always has `sizes.iter().product()` elements.
     pub fn snapshot(&self, t: i64) -> Vec<T> {
         let base = self.slice_index(t) * self.slice_len;
-        self.data[base..base + self.slice_len].to_vec()
+        let row_len = self.sizes[D - 1];
+        let mut out = Vec::with_capacity(self.sizes.iter().product());
+        let mut idx = [0usize; D]; // odometer over the outer (non-row) dimensions
+        loop {
+            let mut off = base;
+            for (d, &i) in idx.iter().enumerate().take(D - 1) {
+                off += i * self.strides[d];
+            }
+            out.extend_from_slice(&self.data[off..off + row_len]);
+            let mut d = D - 1;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.sizes[d] {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    return out;
+                }
+            }
+        }
     }
 
     /// Raw engine-facing handle.  Only the engines use this; user code goes through
@@ -256,7 +416,7 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
     }
 }
 
-impl<T: Clone, const D: usize> Clone for PochoirArray<T, D> {
+impl<T: Copy, const D: usize> Clone for PochoirArray<T, D> {
     fn clone(&self) -> Self {
         PochoirArray {
             sizes: self.sizes,
@@ -555,6 +715,16 @@ impl<'a, T: Copy> RowWriter<'a, T> {
             *self.ptr.add(i) = value;
         }
     }
+
+    /// Raw base pointer of the row, for explicit-SIMD kernel bodies that store
+    /// whole vectors at once.
+    ///
+    /// Stores through the pointer must stay within the row's `len` elements and
+    /// observe the same aliasing contract as [`RowWriter::set`].
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr
+    }
 }
 
 #[cfg(test)]
@@ -564,10 +734,58 @@ mod tests {
 
     #[test]
     fn strides_are_row_major() {
+        // f64 rows pad to 8 elements (64 bytes): the last extent 6 rounds up to 8.
         let a: PochoirArray<f64, 3> = PochoirArray::new([4, 5, 6]);
-        assert_eq!(a.strides(), [30, 6, 1]);
-        assert_eq!(a.slice_len(), 120);
+        assert_eq!(a.strides(), [40, 8, 1]);
+        assert_eq!(a.slice_len(), 160);
         assert_eq!(a.time_slices(), 2);
+    }
+
+    #[test]
+    fn rows_are_cache_line_aligned() {
+        let a: PochoirArray<f64, 2> = PochoirArray::new([3, 5]);
+        assert_eq!(a.strides(), [8, 1]);
+        assert_eq!(a.slice_len(), 24);
+        // Every row start — across both time slices — is GRID_ALIGN-aligned.
+        for t in 0..2i64 {
+            for x0 in 0..3i64 {
+                let addr = &a.data[a.offset(t, [x0, 0])] as *const f64 as usize;
+                assert!(addr.is_multiple_of(GRID_ALIGN), "t={t} x0={x0}");
+            }
+        }
+    }
+
+    #[test]
+    fn elements_not_dividing_the_cache_line_stay_dense() {
+        // LBM-style 56-byte cells: 64 % 56 != 0, so rows are not padded.
+        let a: PochoirArray<[f64; 7], 2> = PochoirArray::new([3, 5]);
+        assert_eq!(a.strides(), [5, 1]);
+        assert_eq!(a.slice_len(), 15);
+    }
+
+    #[test]
+    fn snapshot_skips_row_padding() {
+        let mut a: PochoirArray<f64, 2> = PochoirArray::new([3, 5]);
+        a.fill_time_slice(0, |x| (x[0] * 10 + x[1]) as f64);
+        let snap = a.snapshot(0);
+        assert_eq!(snap.len(), 15);
+        for x0 in 0..3 {
+            for x1 in 0..5 {
+                assert_eq!(snap[x0 * 5 + x1], (x0 * 10 + x1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_vec_clones_and_rounds_trip() {
+        let mut v = AlignedVec::filled(10usize, 7u32);
+        v[3] = 42;
+        let c = v.clone();
+        assert_eq!(&c[..], &[7, 7, 7, 42, 7, 7, 7, 7, 7, 7]);
+        assert!((c.as_ptr() as usize).is_multiple_of(GRID_ALIGN));
+        let empty: AlignedVec<u32> = AlignedVec::filled(0, 0);
+        assert!(empty.is_empty());
+        let _ = empty.clone();
     }
 
     #[test]
@@ -718,6 +936,7 @@ mod tests {
         let mut a: PochoirArray<f32, 4> = PochoirArray::new([3, 3, 3, 3]);
         a.set(0, [1, 2, 0, 1], 4.5);
         assert_eq!(a.get(0, [1, 2, 0, 1]), 4.5);
-        assert_eq!(a.strides(), [27, 9, 3, 1]);
+        // f32 rows pad to 16 elements: the last extent 3 rounds up to 16.
+        assert_eq!(a.strides(), [144, 48, 16, 1]);
     }
 }

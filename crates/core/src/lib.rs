@@ -56,6 +56,7 @@ pub mod grid;
 pub mod hyperspace;
 pub mod kernel;
 pub mod shape;
+pub mod simd;
 pub mod view;
 pub mod zoid;
 
@@ -68,10 +69,11 @@ pub mod prelude {
         FaultPlan, GeometryError, IndexMode, QuarantinePolicy, RetryPolicy, Schedule, ScheduleMode,
         ServeError, SessionStats, ShedReason, StencilServer, TicketOutcome,
     };
-    pub use crate::grid::{PochoirArray, RowWriter, SpaceIter};
+    pub use crate::grid::{AlignedVec, PochoirArray, RowWriter, SpaceIter, GRID_ALIGN};
     pub use crate::hyperspace::{hyperspace_cut, single_space_cut, HyperspaceCut};
     pub use crate::kernel::{update_row_pointwise, StencilKernel, StencilSpec};
     pub use crate::shape::{box_shape, star_shape, Shape, ShapeCell};
+    pub use crate::simd::{SimdIsa, SimdPolicy};
     pub use crate::view::{AccessTracer, GridAccess};
     pub use crate::zoid::Zoid;
 }

@@ -29,6 +29,8 @@ pub struct Metrics {
     serving_retries: AtomicU64,
     serving_quarantined: AtomicU64,
     registry_poison_recoveries: AtomicU64,
+    simd_rows_sse2: AtomicU64,
+    simd_rows_avx2: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -72,6 +74,12 @@ pub struct MetricsSnapshot {
     /// Poisoned shared-state locks (registry, session pin sets, schedule cache)
     /// recovered instead of propagating the poison panic.
     pub registry_poison_recoveries: u64,
+    /// Grid rows executed by an SSE2-specialized row-kernel body during runs
+    /// reported to this runtime (advisory, like all counters here).
+    pub simd_rows_sse2: u64,
+    /// Grid rows executed by an AVX2-specialized row-kernel body during runs
+    /// reported to this runtime.
+    pub simd_rows_avx2: u64,
 }
 
 impl Metrics {
@@ -157,6 +165,16 @@ impl Metrics {
     }
 
     #[inline]
+    pub(crate) fn note_simd_rows(&self, sse2: u64, avx2: u64) {
+        if sse2 > 0 {
+            self.simd_rows_sse2.fetch_add(sse2, Ordering::Relaxed);
+        }
+        if avx2 > 0 {
+            self.simd_rows_avx2.fetch_add(avx2, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
     pub(crate) fn note_schedule_cache(&self, hit: bool) {
         if hit {
             self.schedule_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -205,6 +223,8 @@ impl Metrics {
             serving_retries: self.serving_retries.load(Ordering::Relaxed),
             serving_quarantined: self.serving_quarantined.load(Ordering::Relaxed),
             registry_poison_recoveries: self.registry_poison_recoveries.load(Ordering::Relaxed),
+            simd_rows_sse2: self.simd_rows_sse2.load(Ordering::Relaxed),
+            simd_rows_avx2: self.simd_rows_avx2.load(Ordering::Relaxed),
         }
     }
 }
@@ -248,6 +268,8 @@ impl MetricsSnapshot {
             registry_poison_recoveries: later
                 .registry_poison_recoveries
                 .saturating_sub(self.registry_poison_recoveries),
+            simd_rows_sse2: later.simd_rows_sse2.saturating_sub(self.simd_rows_sse2),
+            simd_rows_avx2: later.simd_rows_avx2.saturating_sub(self.simd_rows_avx2),
         }
     }
 }
@@ -328,6 +350,21 @@ mod tests {
         let d = s.delta(&m.snapshot());
         assert_eq!(d.serving_shed, 1);
         assert_eq!(d.serving_retries, 0);
+    }
+
+    #[test]
+    fn simd_row_counters() {
+        let m = Metrics::new();
+        m.note_simd_rows(10, 0);
+        m.note_simd_rows(0, 7);
+        m.note_simd_rows(2, 3);
+        let s = m.snapshot();
+        assert_eq!(s.simd_rows_sse2, 12);
+        assert_eq!(s.simd_rows_avx2, 10);
+        m.note_simd_rows(1, 1);
+        let d = s.delta(&m.snapshot());
+        assert_eq!(d.simd_rows_sse2, 1);
+        assert_eq!(d.simd_rows_avx2, 1);
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub trait Parallelism: Sync {
     /// is a no-op.
     fn note_registry_poison_recoveries(&self, _recovered: u64) {}
 
+    /// Records grid rows executed by SIMD-specialized row-kernel bodies (per ISA:
+    /// SSE2 and AVX2 counts) during a run this provider drove, if this provider
+    /// keeps scheduler metrics.  The default is a no-op.
+    fn note_simd_rows(&self, _sse2: u64, _avx2: u64) {}
+
     /// Executes one pending unit of this provider's work on the calling thread, if
     /// the calling thread belongs to the provider and work is available; returns
     /// whether anything ran.  Wait loops call this so a waiting core keeps doing
@@ -201,6 +206,10 @@ impl Parallelism for Runtime {
         Runtime::note_registry_poison_recoveries(self, recovered);
     }
 
+    fn note_simd_rows(&self, sse2: u64, avx2: u64) {
+        Runtime::note_simd_rows(self, sse2, avx2);
+    }
+
     fn help_one(&self) -> bool {
         Runtime::help_one(self)
     }
@@ -270,6 +279,10 @@ impl<P: Parallelism> Parallelism for &P {
 
     fn note_registry_poison_recoveries(&self, recovered: u64) {
         (**self).note_registry_poison_recoveries(recovered);
+    }
+
+    fn note_simd_rows(&self, sse2: u64, avx2: u64) {
+        (**self).note_simd_rows(sse2, avx2);
     }
 
     fn help_one(&self) -> bool {

@@ -173,6 +173,12 @@ impl Runtime {
             .note_registry_poison_recoveries(recovered);
     }
 
+    /// Records grid rows executed by SIMD-specialized row-kernel bodies (SSE2 and
+    /// AVX2 counts) during a run this pool drove.
+    pub fn note_simd_rows(&self, sse2: u64, avx2: u64) {
+        self.registry.metrics().note_simd_rows(sse2, avx2);
+    }
+
     /// Jobs executed per worker since the pool started — the pool's work
     /// distribution.  One slot per worker thread; serving benchmarks report it to
     /// show batch- and window-level work actually spreading across the pool.

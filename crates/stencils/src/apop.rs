@@ -124,11 +124,113 @@ impl StencilKernel<f64, 1> for ApopKernel {
         let exercise = self.payoff[x[0] as usize];
         g.set(t + 1, x, continuation.max(exercise));
     }
+
+    /// Row-oriented interior clone: one extended unit-stride row plus a slice of the
+    /// pre-computed payoff vector, computing the same expression in the same order as
+    /// [`ApopKernel::update`] — results stay bitwise identical.
+    fn update_row<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x0: [i64; 1], len: i64) {
+        if len <= 0 {
+            return;
+        }
+        let n = len as usize;
+        'fast: {
+            // Safety (row contract): interior rows keep the radius-1 footprint
+            // in-domain; the read row is of slice `t`, the write row of slice `t+1`.
+            let (Some(mut out), Some(center)) =
+                (unsafe { (g.row_out(t + 1, x0, n), g.row(t, [x0[0] - 1], n + 2)) })
+            else {
+                break 'fast;
+            };
+            let (down, centre, up) = self.coeffs;
+            let pay = &self.payoff[x0[0] as usize..x0[0] as usize + n];
+            for i in 0..n {
+                let continuation = down * center[i] + centre * center[i + 1] + up * center[i + 2];
+                out.set(i, continuation.max(pay[i]));
+            }
+            return;
+        }
+        update_row_pointwise(self, g, t, x0, len);
+    }
 }
 
 /// The 3-point shape.
 pub fn shape() -> Shape<1> {
     star_shape::<1>(1)
+}
+
+/// TRAP/STRAP base-case coarsening tuned for the APOP kernel under the compiled
+/// schedule path: wide 1D slabs — the 3-point row kernel is cheap per cell, so large
+/// base cases amortize the recursion overhead that dominates narrow 1D stencils.
+pub fn tuned_coarsening() -> Coarsening<1> {
+    crate::common::profile_coarsening("apop", Coarsening::new(16, [4096]))
+}
+
+fn tuned_plan() -> ExecutionPlan<1> {
+    crate::common::tuned_plan("apop", tuned_coarsening())
+}
+
+/// A reusable executor session for the APOP kernel on an `n`-point grid: TRAP on the
+/// compiled-schedule path with the tuned coarsening preset, pre-compiled for windows
+/// of height `window`.  `steps` is the total backward step count the grid spacing and
+/// coefficients are derived from (see [`OptionParams::coefficients`]).
+pub fn session(
+    params: &OptionParams,
+    n: usize,
+    steps: i64,
+    window: i64,
+) -> CompiledStencil<f64, ApopKernel, 1> {
+    CompiledStencil::new(
+        StencilSpec::new(shape()),
+        kernel_for(params, n, steps),
+        tuned_plan(),
+        [n],
+        window,
+    )
+}
+
+/// A serving preset for the APOP kernel: a [`StencilServer`] over the tuned TRAP plan,
+/// its program shared process-wide through the session registry.  Submit many value
+/// grids of the same extent (e.g. one per contract scenario), then `drain()` to price
+/// them as a pipelined multi-tenant workload in `window`-step chunks.
+pub fn serve(
+    params: &OptionParams,
+    n: usize,
+    steps: i64,
+    window: i64,
+) -> StencilServer<f64, ApopKernel, 1> {
+    StencilServer::new(
+        StencilSpec::new(shape()),
+        kernel_for(params, n, steps),
+        tuned_plan(),
+        [n],
+        window,
+    )
+}
+
+/// Fallible variant of [`serve`]: invalid geometry (or a quarantined / compile-failed
+/// registry key) surfaces as a typed [`ServeError`] instead of a panic.
+pub fn try_serve(
+    params: &OptionParams,
+    n: usize,
+    steps: i64,
+    window: i64,
+) -> Result<StencilServer<f64, ApopKernel, 1>, ServeError> {
+    StencilServer::try_new(
+        StencilSpec::new(shape()),
+        kernel_for(params, n, steps),
+        tuned_plan(),
+        [n],
+        window,
+    )
+}
+
+/// The kernel the presets build: pre-computed payoff plus the FD coefficients for the
+/// given grid/step combination.
+fn kernel_for(params: &OptionParams, n: usize, steps: i64) -> ApopKernel {
+    ApopKernel {
+        payoff: Arc::new(payoff(params, n)),
+        coeffs: params.coefficients(n, steps),
+    }
 }
 
 /// The immediate-exercise payoff vector.
@@ -240,6 +342,22 @@ mod tests {
             for (g, e) in got.iter().zip(expected.iter()) {
                 assert!((g - e).abs() < 1e-9, "{engine:?}: {g} vs {e}");
             }
+        }
+    }
+
+    #[test]
+    fn row_and_point_base_cases_are_bitwise_identical() {
+        use pochoir_core::engine::BaseCase;
+        let params = OptionParams::default();
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            let mut snaps = Vec::new();
+            for base_case in [BaseCase::Row, BaseCase::Point] {
+                let plan = ExecutionPlan::new(engine)
+                    .with_coarsening(Coarsening::new(4, [16]))
+                    .with_base_case(base_case);
+                snaps.push(run_apop(&params, N, STEPS, &plan, &Serial));
+            }
+            assert_eq!(snaps[0], snaps[1], "{engine:?}");
         }
     }
 

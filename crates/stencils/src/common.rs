@@ -1,5 +1,37 @@
 //! Shared helpers: problem-size scaling between the paper's machine-scale experiments and
-//! laptop/CI-scale reproductions.
+//! laptop/CI-scale reproductions, plus the tune-profile lookups behind every
+//! `tuned_coarsening` preset.
+
+use pochoir_autotune::profile;
+use pochoir_core::engine::{Coarsening, ExecutionPlan};
+use pochoir_core::simd::SimdPolicy;
+
+/// The coarsening for `app`: the host's persisted tune profile when one exists and has
+/// a matching-dimensionality entry (see [`pochoir_autotune::profile`]), else the
+/// committed default measured on the reference host.
+pub(crate) fn profile_coarsening<const D: usize>(
+    app: &str,
+    default: Coarsening<D>,
+) -> Coarsening<D> {
+    profile::cached()
+        .and_then(|p| p.coarsening::<D>(app))
+        .unwrap_or(default)
+}
+
+/// The SIMD policy for `app` from the host's tune profile, defaulting to `Auto`.
+pub(crate) fn profile_simd(app: &str) -> SimdPolicy {
+    profile::cached()
+        .and_then(|p| p.simd_policy(app))
+        .unwrap_or_default()
+}
+
+/// The TRAP plan every session/serve preset uses: the given (already profile-aware)
+/// coarsening plus the profile's SIMD policy for `app`.
+pub(crate) fn tuned_plan<const D: usize>(app: &str, coarsening: Coarsening<D>) -> ExecutionPlan<D> {
+    ExecutionPlan::trap()
+        .with_coarsening(coarsening)
+        .with_simd(profile_simd(app))
+}
 
 /// How large a benchmark instance to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -75,14 +75,24 @@ impl<const D: usize> StencilKernel<f64, D> for HeatKernel<D> {
                 }
             }
             let alpha = self.alpha;
-            for i in 0..n {
-                let c = center[i + 1];
-                let mut acc = c;
-                for d in 0..last {
-                    acc += alpha * (lo_rows[d][i] + hi_rows[d][i] - 2.0 * c);
+            // SIMD clone of the loop below (bitwise-equal); scalar loop when inactive.
+            if !crate::simd::heat_row(
+                alpha,
+                center,
+                &lo_rows[..last],
+                &hi_rows[..last],
+                &mut out,
+                n,
+            ) {
+                for i in 0..n {
+                    let c = center[i + 1];
+                    let mut acc = c;
+                    for d in 0..last {
+                        acc += alpha * (lo_rows[d][i] + hi_rows[d][i] - 2.0 * c);
+                    }
+                    acc += alpha * (center[i] + center[i + 2] - 2.0 * c);
+                    out.set(i, acc);
                 }
-                acc += alpha * (center[i] + center[i + 2] - 2.0 * c);
-                out.set(i, acc);
             }
             return;
         }
@@ -100,9 +110,14 @@ pub fn shape<const D: usize>() -> Shape<D> {
 /// schedule path (measured with `schedule_path_json`): keep the unit-stride dimension
 /// uncut so the row path gets full-width rows — the compiled executor's segment-level
 /// clone resolution keeps those rows on the interior clone — and slab the outer
-/// dimension at 50 rows.
+/// dimension at 50 rows.  A persisted host tune profile (see
+/// [`pochoir_autotune::profile`]) overrides this default when present.
 pub fn tuned_coarsening_2d() -> Coarsening<2> {
-    Coarsening::new(5, [50, 4096])
+    crate::common::profile_coarsening("heat2d", Coarsening::new(5, [50, 4096]))
+}
+
+fn tuned_plan_2d() -> ExecutionPlan<2> {
+    crate::common::tuned_plan("heat2d", tuned_coarsening_2d())
 }
 
 /// A reusable executor session for the 2D heat kernel: TRAP on the compiled-schedule
@@ -114,7 +129,7 @@ pub fn session_2d(sizes: [usize; 2], window: i64) -> CompiledStencil<f64, HeatKe
     CompiledStencil::new(
         StencilSpec::new(shape::<2>()),
         HeatKernel::<2>::default(),
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening_2d()),
+        tuned_plan_2d(),
         sizes,
         window,
     )
@@ -145,7 +160,7 @@ pub fn serve_2d(sizes: [usize; 2], window: i64) -> StencilServer<f64, HeatKernel
     StencilServer::new(
         StencilSpec::new(shape::<2>()),
         HeatKernel::<2>::default(),
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening_2d()),
+        tuned_plan_2d(),
         sizes,
         window,
     )
@@ -168,7 +183,7 @@ pub fn try_serve_2d(
     StencilServer::try_new(
         StencilSpec::new(shape::<2>()),
         HeatKernel::<2>::default(),
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening_2d()),
+        tuned_plan_2d(),
         sizes,
         window,
     )

@@ -76,12 +76,136 @@ impl StencilKernel<Cell, 3> for LbmKernel {
         }
         g.set(t + 1, x, out);
     }
+
+    /// Row-oriented interior clone exercising the multi-field-per-cell row ABI:
+    /// five row addresses resolved once (the extended unit-stride row carrying the
+    /// rest and ±z distributions, plus the four ±x/±y legs), then a slice-walking
+    /// loop computing the same expression in the same order as
+    /// [`LbmKernel::update`] — results stay bitwise identical.
+    fn update_row<A: GridAccess<Cell, 3>>(&self, g: &A, t: i64, x0: [i64; 3], len: i64) {
+        if len <= 0 {
+            return;
+        }
+        let n = len as usize;
+        'fast: {
+            // Safety (row contract): interior rows keep the radius-1 footprint
+            // in-domain; reads are of slice `t`, the write row of distinct slice `t+1`.
+            let (Some(mut out), Some(center)) = (unsafe {
+                (
+                    g.row_out(t + 1, x0, n),
+                    g.row(t, [x0[0], x0[1], x0[2] - 1], n + 2),
+                )
+            }) else {
+                break 'fast;
+            };
+            let (Some(xm), Some(xp), Some(ym), Some(yp)) = (unsafe {
+                (
+                    g.row(t, [x0[0] - 1, x0[1], x0[2]], n),
+                    g.row(t, [x0[0] + 1, x0[1], x0[2]], n),
+                    g.row(t, [x0[0], x0[1] - 1, x0[2]], n),
+                    g.row(t, [x0[0], x0[1] + 1, x0[2]], n),
+                )
+            }) else {
+                break 'fast;
+            };
+            let cs2 = 0.25;
+            for i in 0..n {
+                // Streaming: q arrives from the neighbour opposite its velocity —
+                // rest from the centre, ±x/±y from the resolved legs, ±z from the
+                // extended centre row (q5 streams from z−1, q6 from z+1).
+                let f: [f64; Q] = [
+                    center[i + 1][0],
+                    xm[i][1],
+                    xp[i][2],
+                    ym[i][3],
+                    yp[i][4],
+                    center[i][5],
+                    center[i + 2][6],
+                ];
+                let rho: f64 = f.iter().sum();
+                let mut u = [0.0f64; 3];
+                for (q, v) in VELOCITIES.iter().enumerate() {
+                    for d in 0..3 {
+                        u[d] += f[q] * v[d] as f64;
+                    }
+                }
+                if rho > 0.0 {
+                    for d in &mut u {
+                        *d /= rho;
+                    }
+                }
+                let mut next = [0.0f64; Q];
+                for (q, v) in VELOCITIES.iter().enumerate() {
+                    let cu = (0..3).map(|d| v[d] as f64 * u[d]).sum::<f64>();
+                    let feq = WEIGHTS[q] * rho * (1.0 + cu / cs2);
+                    next[q] = f[q] + self.omega * (feq - f[q]);
+                }
+                out.set(i, next);
+            }
+            return;
+        }
+        update_row_pointwise(self, g, t, x0, len);
+    }
 }
 
 /// The LBM stencil shape: the 7-point star of radius 1 (each distribution streams from an
 /// axis neighbour).
 pub fn shape() -> Shape<3> {
     star_shape::<3>(1)
+}
+
+/// TRAP/STRAP base-case coarsening tuned for the D3Q7 LBM kernel under the compiled
+/// schedule path: the unit-stride dimension stays uncut so the multi-field row kernel
+/// gets full-width rows, with 8×8 tiles on the outer axes (the 56-byte cells make rows
+/// heavy enough that small slabs already amortize the per-leaf overhead).
+pub fn tuned_coarsening() -> Coarsening<3> {
+    crate::common::profile_coarsening("lbm3d", Coarsening::new(5, [8, 8, 1000]))
+}
+
+fn tuned_plan() -> ExecutionPlan<3> {
+    crate::common::tuned_plan("lbm3d", tuned_coarsening())
+}
+
+/// A reusable executor session for the D3Q7 LBM kernel: TRAP on the compiled-schedule
+/// path with the tuned coarsening preset, pre-compiled for windows of height `window`
+/// on lattices of extent `sizes`.
+pub fn session(sizes: [usize; 3], window: i64) -> CompiledStencil<Cell, LbmKernel, 3> {
+    CompiledStencil::new(
+        StencilSpec::new(shape()),
+        LbmKernel::default(),
+        tuned_plan(),
+        sizes,
+        window,
+    )
+}
+
+/// A serving preset for the D3Q7 LBM kernel: a [`StencilServer`] over the tuned TRAP
+/// plan, its program shared process-wide through the session registry.  Submit many
+/// same-extent lattices, then `drain()` to run them as a pipelined multi-tenant
+/// workload in `window`-step chunks.
+pub fn serve(sizes: [usize; 3], window: i64) -> StencilServer<Cell, LbmKernel, 3> {
+    StencilServer::new(
+        StencilSpec::new(shape()),
+        LbmKernel::default(),
+        tuned_plan(),
+        sizes,
+        window,
+    )
+}
+
+/// Fallible variant of [`serve`]: invalid geometry (or a quarantined / compile-failed
+/// registry key) surfaces as a typed [`ServeError`] instead of a panic.
+pub fn try_serve(
+    sizes: [usize; 3],
+    window: i64,
+) -> Result<StencilServer<Cell, LbmKernel, 3>, ServeError> {
+    StencilServer::try_new(
+        StencilSpec::new(shape()),
+        LbmKernel::default(),
+        tuned_plan(),
+        sizes,
+        window,
+    )
 }
 
 /// Builds a periodic box at rest with a density perturbation in the middle.
@@ -183,6 +307,37 @@ mod tests {
             run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
             assert_eq!(a.snapshot(steps), expected, "{engine:?}");
         }
+    }
+
+    #[test]
+    fn row_and_point_base_cases_are_bitwise_identical() {
+        use pochoir_core::engine::BaseCase;
+        let sizes = [7usize, 9, 11];
+        let steps = 5;
+        let spec = StencilSpec::new(shape());
+        let k = LbmKernel::default();
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            let mut snaps = Vec::new();
+            for base_case in [BaseCase::Row, BaseCase::Point] {
+                let mut a = build(sizes);
+                let plan = ExecutionPlan::new(engine)
+                    .with_coarsening(Coarsening::new(2, [3, 3, 4]))
+                    .with_base_case(base_case);
+                run(&mut a, &spec, &k, 0, steps, &plan, &Serial);
+                snaps.push(a.snapshot(steps));
+            }
+            assert_eq!(snaps[0], snaps[1], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn session_preset_replays_windows() {
+        let s = session([6, 6, 8], 2);
+        let mut a = build([6, 6, 8]);
+        let m0 = total_mass(&a, 0);
+        s.run(&mut a, 0, 4);
+        let m1 = total_mass(&a, 4);
+        assert!((m0 - m1).abs() < 1e-9 * m0.abs());
     }
 
     #[test]

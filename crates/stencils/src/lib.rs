@@ -31,6 +31,7 @@ pub mod life;
 pub mod points;
 pub mod psa;
 pub mod rna;
+pub mod simd;
 pub mod wave;
 
 pub use common::ProblemScale;

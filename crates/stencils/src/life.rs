@@ -52,22 +52,25 @@ impl StencilKernel<u8, 2> for LifeKernel {
             }) else {
                 break 'fast;
             };
-            for i in 0..n {
-                let neighbours = up[i]
-                    + up[i + 1]
-                    + up[i + 2]
-                    + mid[i]
-                    + mid[i + 2]
-                    + down[i]
-                    + down[i + 1]
-                    + down[i + 2];
-                let alive = mid[i + 1] == 1;
-                let next = match (alive, neighbours) {
-                    (true, 2) | (true, 3) => 1,
-                    (false, 3) => 1,
-                    _ => 0,
-                };
-                out.set(i, next);
+            // SIMD clone of the loop below (bitwise-equal); scalar loop when inactive.
+            if !crate::simd::life_row(up, mid, down, &mut out, n) {
+                for i in 0..n {
+                    let neighbours = up[i]
+                        + up[i + 1]
+                        + up[i + 2]
+                        + mid[i]
+                        + mid[i + 2]
+                        + down[i]
+                        + down[i + 1]
+                        + down[i + 2];
+                    let alive = mid[i + 1] == 1;
+                    let next = match (alive, neighbours) {
+                        (true, 2) | (true, 3) => 1,
+                        (false, 3) => 1,
+                        _ => 0,
+                    };
+                    out.set(i, next);
+                }
             }
             return;
         }
@@ -84,7 +87,11 @@ pub fn shape() -> Shape<2> {
 /// (measured with `schedule_path_json`): long rows for the byte-wide vectorized row
 /// kernel, 64-row outer slabs.
 pub fn tuned_coarsening() -> Coarsening<2> {
-    Coarsening::new(5, [64, 512])
+    crate::common::profile_coarsening("life", Coarsening::new(5, [64, 512]))
+}
+
+fn tuned_plan() -> ExecutionPlan<2> {
+    crate::common::tuned_plan("life", tuned_coarsening())
 }
 
 /// A reusable executor session for Life: TRAP on the compiled-schedule path with the
@@ -94,7 +101,7 @@ pub fn session(sizes: [usize; 2], window: i64) -> CompiledStencil<u8, LifeKernel
     CompiledStencil::new(
         StencilSpec::new(shape()),
         LifeKernel,
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        tuned_plan(),
         sizes,
         window,
     )
@@ -109,7 +116,7 @@ pub fn serve(sizes: [usize; 2], window: i64) -> StencilServer<u8, LifeKernel, 2>
     StencilServer::new(
         StencilSpec::new(shape()),
         LifeKernel,
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        tuned_plan(),
         sizes,
         window,
     )
@@ -124,7 +131,7 @@ pub fn try_serve(
     StencilServer::try_new(
         StencilSpec::new(shape()),
         LifeKernel,
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        tuned_plan(),
         sizes,
         window,
     )

@@ -68,11 +68,136 @@ impl StencilKernel<i32, 1> for PsaKernel {
         };
         g.set(t + 1, [j], value);
     }
+
+    /// Row-oriented interior clone: three row addresses resolved once (the previous two
+    /// anti-diagonals at the two skew offsets), with the interior/exterior branches of
+    /// [`PsaKernel::update`] kept in-loop — PSA is the paper's example of a stencil
+    /// whose branchiness limits row-kernel gains, and this override exercises exactly
+    /// that shape.  Integer DP: results are identical to the per-point path.
+    fn update_row<A: GridAccess<i32, 1>>(&self, g: &A, t: i64, x0: [i64; 1], len: i64) {
+        if len <= 0 {
+            return;
+        }
+        let n = len as usize;
+        'fast: {
+            // Safety (row contract): interior rows keep the skewed footprint
+            // (offsets 0/−1 at `t`, −1 at `t−1`) in-domain; reads are of slices `t`
+            // and `t − 1`, the write row of the distinct slice `t + 1`.
+            let (Some(mut out), Some(diag), Some(up_row), Some(left)) = (unsafe {
+                (
+                    g.row_out(t + 1, x0, n),
+                    g.row(t - 1, [x0[0] - 1], n),
+                    g.row(t, [x0[0]], n),
+                    g.row(t, [x0[0] - 1], n),
+                )
+            }) else {
+                break 'fast;
+            };
+            let m = self.a.len() as i64;
+            let nb = self.b.len() as i64;
+            let s = self.scoring;
+            for k in 0..n {
+                let j = x0[0] + k as i64;
+                let i = (t + 1) - j;
+                let value = if i < 0 || i > m || j > nb {
+                    0
+                } else if i == 0 {
+                    -s.gap * j as i32
+                } else if j == 0 {
+                    -s.gap * i as i32
+                } else {
+                    let sub = if self.a[(i - 1) as usize] == self.b[(j - 1) as usize] {
+                        s.matsch
+                    } else {
+                        s.mismatch
+                    };
+                    (diag[k] + sub).max(up_row[k] - s.gap).max(left[k] - s.gap)
+                };
+                out.set(k, value);
+            }
+            return;
+        }
+        update_row_pointwise(self, g, t, x0, len);
+    }
 }
 
 /// Same skewed shape as LCS: `{(1,0), (0,0), (0,−1), (−1,−1)}`.
 pub fn shape() -> Shape<1> {
     crate::lcs::shape()
+}
+
+/// TRAP/STRAP base-case coarsening tuned for the skewed PSA kernel under the compiled
+/// schedule path: wide anti-diagonal slabs — the branchy integer row kernel is cheap
+/// per cell, so large base cases amortize recursion overhead.
+pub fn tuned_coarsening() -> Coarsening<1> {
+    crate::common::profile_coarsening("psa", Coarsening::new(16, [2048]))
+}
+
+fn tuned_plan() -> ExecutionPlan<1> {
+    crate::common::tuned_plan("psa", tuned_coarsening())
+}
+
+/// A reusable executor session for the PSA kernel aligning `a` against `b`: TRAP on
+/// the compiled-schedule path with the tuned coarsening preset, pre-compiled for
+/// windows of height `window` over the `b.len() + 1` anti-diagonal positions.
+pub fn session(
+    a: &[u8],
+    b: &[u8],
+    scoring: Scoring,
+    window: i64,
+) -> CompiledStencil<i32, PsaKernel, 1> {
+    CompiledStencil::new(
+        StencilSpec::new(shape()),
+        kernel_for(a, b, scoring),
+        tuned_plan(),
+        [b.len() + 1],
+        window,
+    )
+}
+
+/// A serving preset for the PSA kernel: a [`StencilServer`] over the tuned TRAP plan,
+/// its program shared process-wide through the session registry.  Submit many DP
+/// arrays of the same extent (one per query aligned against `b`-length subjects),
+/// then `drain()` to advance them as a pipelined multi-tenant workload.
+pub fn serve(
+    a: &[u8],
+    b: &[u8],
+    scoring: Scoring,
+    window: i64,
+) -> StencilServer<i32, PsaKernel, 1> {
+    StencilServer::new(
+        StencilSpec::new(shape()),
+        kernel_for(a, b, scoring),
+        tuned_plan(),
+        [b.len() + 1],
+        window,
+    )
+}
+
+/// Fallible variant of [`serve`]: invalid geometry (or a quarantined / compile-failed
+/// registry key) surfaces as a typed [`ServeError`] instead of a panic.
+pub fn try_serve(
+    a: &[u8],
+    b: &[u8],
+    scoring: Scoring,
+    window: i64,
+) -> Result<StencilServer<i32, PsaKernel, 1>, ServeError> {
+    StencilServer::try_new(
+        StencilSpec::new(shape()),
+        kernel_for(a, b, scoring),
+        tuned_plan(),
+        [b.len() + 1],
+        window,
+    )
+}
+
+/// The kernel the presets build: owned copies of both sequences plus the scoring.
+fn kernel_for(a: &[u8], b: &[u8], scoring: Scoring) -> PsaKernel {
+    PsaKernel {
+        a: Arc::new(a.to_vec()),
+        b: Arc::new(b.to_vec()),
+        scoring,
+    }
 }
 
 /// Builds the spatial array with the first two anti-diagonals initialized
@@ -183,6 +308,27 @@ mod tests {
             for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
                 let plan = ExecutionPlan::new(engine).with_coarsening(Coarsening::new(3, [8]));
                 assert_eq!(run_psa(&a, &b, s, &plan, &Serial), expected, "{engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_point_base_cases_are_identical() {
+        use pochoir_core::engine::BaseCase;
+        let s = Scoring::default();
+        let a = random_sequence(41, 4, 21);
+        let b = random_sequence(37, 4, 22);
+        let expected = reference(&a, &b, s);
+        for engine in [EngineKind::Trap, EngineKind::Strap, EngineKind::LoopsSerial] {
+            for base_case in [BaseCase::Row, BaseCase::Point] {
+                let plan = ExecutionPlan::new(engine)
+                    .with_coarsening(Coarsening::new(3, [8]))
+                    .with_base_case(base_case);
+                assert_eq!(
+                    run_psa(&a, &b, s, &plan, &Serial),
+                    expected,
+                    "{engine:?} {base_case:?}"
+                );
             }
         }
     }

@@ -69,13 +69,16 @@ impl StencilKernel<f64, 3> for WaveKernel {
                 break 'fast;
             };
             let c2 = self.c2;
-            for i in 0..n {
-                let c = center[i + 1];
-                let mut lap = 0.0;
-                lap += xm[i] - 2.0 * c + xp[i];
-                lap += ym[i] - 2.0 * c + yp[i];
-                lap += center[i] - 2.0 * c + center[i + 2];
-                out.set(i, 2.0 * c - prev[i] + c2 * lap);
+            // SIMD clone of the loop below (bitwise-equal); scalar loop when inactive.
+            if !crate::simd::wave_row(c2, center, prev, [xm, xp, ym, yp], &mut out, n) {
+                for i in 0..n {
+                    let c = center[i + 1];
+                    let mut lap = 0.0;
+                    lap += xm[i] - 2.0 * c + xp[i];
+                    lap += ym[i] - 2.0 * c + yp[i];
+                    lap += center[i] - 2.0 * c + center[i + 2];
+                    out.set(i, 2.0 * c - prev[i] + c2 * lap);
+                }
             }
             return;
         }
@@ -105,7 +108,11 @@ pub fn shape() -> Shape<3> {
 /// whose full-width rows all ran the boundary clone; 8×8 tiles with the unit-stride
 /// dimension uncut keep the leaf count ~64× smaller at slightly better throughput.
 pub fn tuned_coarsening() -> Coarsening<3> {
-    Coarsening::new(8, [8, 8, 1000])
+    crate::common::profile_coarsening("wave3d", Coarsening::new(8, [8, 8, 1000]))
+}
+
+fn tuned_plan() -> ExecutionPlan<3> {
+    crate::common::tuned_plan("wave3d", tuned_coarsening())
 }
 
 /// A reusable executor session for the 3D wave kernel: TRAP on the compiled-schedule
@@ -115,7 +122,7 @@ pub fn session(sizes: [usize; 3], window: i64) -> CompiledStencil<f64, WaveKerne
     CompiledStencil::new(
         StencilSpec::new(shape()),
         WaveKernel::default(),
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        tuned_plan(),
         sizes,
         window,
     )
@@ -130,7 +137,7 @@ pub fn serve(sizes: [usize; 3], window: i64) -> StencilServer<f64, WaveKernel, 3
     StencilServer::new(
         StencilSpec::new(shape()),
         WaveKernel::default(),
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        tuned_plan(),
         sizes,
         window,
     )
@@ -145,7 +152,7 @@ pub fn try_serve(
     StencilServer::try_new(
         StencilSpec::new(shape()),
         WaveKernel::default(),
-        ExecutionPlan::trap().with_coarsening(tuned_coarsening()),
+        tuned_plan(),
         sizes,
         window,
     )

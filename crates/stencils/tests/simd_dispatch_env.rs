@@ -1,0 +1,58 @@
+//! End-to-end dispatch test for the `POCHOIR_SIMD` environment override: with
+//! `POCHOIR_SIMD=off` every run must route to the scalar row loop — even under
+//! `SimdPolicy::Force` — and the per-ISA row counters must not move.
+//!
+//! Lives in its own integration-test binary because the active-ISA knob and the
+//! row counters are process-global: engine tests running concurrently in a
+//! shared binary would race them.  Within this process the single `#[test]`
+//! runs alone, and the env var is set before any executor run.
+
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{run, Coarsening, ExecutionPlan};
+use pochoir_core::prelude::StencilSpec;
+use pochoir_core::simd::{detected, rows_snapshot, SimdIsa, SimdPolicy};
+use pochoir_runtime::Serial;
+use pochoir_stencils::heat;
+
+#[test]
+fn pochoir_simd_off_routes_every_policy_to_scalar() {
+    // Safety: set before any thread observes it; this test binary is
+    // single-threaded at this point (one #[test], Serial parallelism).
+    unsafe { std::env::set_var("POCHOIR_SIMD", "off") };
+
+    let kernel = heat::HeatKernel::<2>::default();
+    let spec = StencilSpec::new(heat::shape::<2>());
+    let before = rows_snapshot();
+    for policy in [
+        SimdPolicy::Auto,
+        SimdPolicy::Force(SimdIsa::Sse2),
+        SimdPolicy::Force(SimdIsa::Avx2),
+        SimdPolicy::Scalar,
+    ] {
+        let mut a = heat::build([24, 40], Boundary::Periodic);
+        let plan = ExecutionPlan::trap()
+            .with_coarsening(Coarsening::new(2, [6, 40]))
+            .with_simd(policy);
+        run(&mut a, &spec, &kernel, 0, 6, &plan, &Serial);
+    }
+    assert_eq!(
+        rows_snapshot(),
+        before,
+        "POCHOIR_SIMD=off must suppress all SIMD rows"
+    );
+
+    // And flipping the env back to auto re-enables dispatch (when the host has
+    // any vector ISA at all), proving the suppression above wasn't a no-op.
+    unsafe { std::env::set_var("POCHOIR_SIMD", "auto") };
+    let before = rows_snapshot();
+    let mut a = heat::build([24, 40], Boundary::Periodic);
+    let plan = ExecutionPlan::trap().with_coarsening(Coarsening::new(2, [6, 40]));
+    run(&mut a, &spec, &kernel, 0, 6, &plan, &Serial);
+    let after = rows_snapshot();
+    match detected() {
+        Some(SimdIsa::Avx2) => assert!(after.1 > before.1, "expected AVX2 rows"),
+        Some(SimdIsa::Sse2) => assert!(after.0 > before.0, "expected SSE2 rows"),
+        None => assert_eq!(after, before),
+    }
+    unsafe { std::env::remove_var("POCHOIR_SIMD") };
+}

@@ -43,4 +43,13 @@ fn main() {
     let alive: usize = final_board.iter().map(|&c| c as usize).sum();
     println!("a glider has 5 live cells at every generation; counted {alive}");
     assert_eq!(alive, 5);
+
+    // The default plan dispatches interior rows to the widest SIMD ISA the host
+    // supports (set POCHOIR_SIMD=off to force the scalar loops — the results are
+    // bitwise-identical either way; see docs/performance.md).
+    let isa = pochoir::core::simd::detected().map_or("scalar", |i| i.name());
+    let (sse2_rows, avx2_rows) = pochoir::core::simd::rows_snapshot();
+    println!(
+        "detected SIMD ISA: {isa}; vectorized rows this run: sse2={sse2_rows}, avx2={avx2_rows}"
+    );
 }
