@@ -75,7 +75,7 @@ fn execute<T, K, const D: usize>(
     cfg: Fig3Config,
 ) -> RunStats
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     execute_with_plan(array, spec, kernel, steps, cfg, plan_for::<D>(cfg))
@@ -95,7 +95,7 @@ fn execute_with_plan<T, K, const D: usize>(
     plan: ExecutionPlan<D>,
 ) -> RunStats
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     let t0 = spec.shape().first_step();
@@ -294,7 +294,7 @@ pub fn time_with_plan<T, K, const D: usize>(
     parallel: bool,
 ) -> RunStats
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     time_with_plan_stats(array, spec, kernel, steps, plan, parallel).0
@@ -311,7 +311,7 @@ pub fn time_with_plan_stats<T, K, const D: usize>(
     parallel: bool,
 ) -> (RunStats, SessionStats)
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     let t0 = spec.shape().first_step();

@@ -109,7 +109,7 @@ fn sweep_app<T, K, const D: usize>(
     prof: &mut TuneProfile,
 ) -> [String; 5]
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     let (steps, rounds) = run;

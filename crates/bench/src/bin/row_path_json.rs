@@ -1,7 +1,8 @@
 //! Emits `BENCH_row_path.json`: interior throughput (Mpoints/s) of the row-oriented
-//! vs. point-by-point base case for heat2d, life and wave3d on the loops engine (plus
-//! TRAP for context), so the repository records the row-path perf trajectory from the
-//! PR that introduced it onward.
+//! vs. point-by-point base case for the paper's application suite — heat2d, life,
+//! wave3d, lbm, apop and psa — on the loops engine (plus TRAP for context), so the
+//! repository records the row-path perf trajectory from the PR that introduced it
+//! onward.
 //!
 //! Usage: `row_path_json [--scale tiny|small|medium|paper] [--out PATH]`
 
@@ -10,7 +11,8 @@ use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args,
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan};
 use pochoir_core::kernel::StencilSpec;
-use pochoir_stencils::{heat, life, wave, ProblemScale};
+use pochoir_stencils::{apop, heat, lbm, lcs, life, psa, wave, ProblemScale};
+use std::sync::Arc;
 
 /// Best-of-N wall-clock throughput for one (app, engine, base-case) cell.
 fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> f64 {
@@ -27,11 +29,20 @@ struct Cell {
 }
 
 fn measure(scale: ProblemScale) -> Vec<Cell> {
-    let (n2, steps2, n3, steps3, reps) = match scale {
-        ProblemScale::Tiny => (96usize, 8i64, 24usize, 4i64, 2usize),
-        ProblemScale::Small => (384, 24, 64, 8, 3),
-        ProblemScale::Medium => (1024, 50, 128, 16, 3),
-        ProblemScale::Paper => (4096, 100, 256, 32, 3),
+    let (n2, steps2, n3, steps3, n1, steps1, psa_len, reps) = match scale {
+        ProblemScale::Tiny => (
+            96usize,
+            8i64,
+            24usize,
+            4i64,
+            50_000usize,
+            64i64,
+            2_000usize,
+            2usize,
+        ),
+        ProblemScale::Small => (384, 24, 64, 8, 200_000, 256, 8_000, 3),
+        ProblemScale::Medium => (1024, 50, 128, 16, 500_000, 512, 20_000, 3),
+        ProblemScale::Paper => (4096, 100, 256, 32, 2_000_000, 1000, 50_000, 3),
     };
     let mut cells = Vec::new();
     for engine in [EngineKind::LoopsSerial, EngineKind::Trap] {
@@ -40,7 +51,26 @@ fn measure(scale: ProblemScale) -> Vec<Cell> {
         let life_spec = StencilSpec::new(life::shape());
         let wave_spec = StencilSpec::new(wave::shape());
         let wave_kernel = wave::WaveKernel::default();
+        let lbm_spec = StencilSpec::new(lbm::shape());
+        let lbm_kernel = lbm::LbmKernel::default();
+        let apop_params = apop::OptionParams::for_grid(n1, steps1);
+        let apop_spec = StencilSpec::new(apop::shape());
+        let apop_kernel = apop::ApopKernel {
+            payoff: Arc::new(apop::payoff(&apop_params, n1)),
+            coeffs: apop_params.coefficients(n1, steps1),
+        };
+        let psa_scoring = psa::Scoring::default();
+        let psa_a = lcs::random_sequence(psa_len, 4, 11);
+        let psa_b = lcs::random_sequence(psa_len, 4, 13);
+        let psa_spec = StencilSpec::new(psa::shape());
+        let psa_kernel = psa::PsaKernel {
+            a: Arc::new(psa_a.clone()),
+            b: Arc::new(psa_b.clone()),
+            scoring: psa_scoring,
+        };
+        let psa_steps = psa::steps(psa_a.len(), psa_b.len());
         let throughput = |base_case: BaseCase, app: &'static str| -> f64 {
+            let plan1 = ExecutionPlan::<1>::new(engine).with_base_case(base_case);
             let plan2 = ExecutionPlan::<2>::new(engine).with_base_case(base_case);
             let plan3 = ExecutionPlan::<3>::new(engine).with_base_case(base_case);
             match app {
@@ -74,10 +104,40 @@ fn measure(scale: ProblemScale) -> Vec<Cell> {
                         false,
                     )
                 }),
+                "lbm" => best_of(reps, || {
+                    time_with_plan(
+                        lbm::build([n3, n3, n3]),
+                        &lbm_spec,
+                        &lbm_kernel,
+                        steps3,
+                        &plan3,
+                        false,
+                    )
+                }),
+                "apop" => best_of(reps, || {
+                    time_with_plan(
+                        apop::build(&apop_params, n1),
+                        &apop_spec,
+                        &apop_kernel,
+                        steps1,
+                        &plan1,
+                        false,
+                    )
+                }),
+                "psa" => best_of(reps, || {
+                    time_with_plan(
+                        psa::build(psa_b.len(), psa_scoring),
+                        &psa_spec,
+                        &psa_kernel,
+                        psa_steps,
+                        &plan1,
+                        false,
+                    )
+                }),
                 _ => unreachable!(),
             }
         };
-        for app in ["heat2d", "life", "wave3d"] {
+        for app in ["heat2d", "life", "wave3d", "lbm", "apop", "psa"] {
             let row = throughput(BaseCase::Row, app);
             let point = throughput(BaseCase::Point, app);
             cells.push(Cell {

@@ -1,6 +1,7 @@
 //! Emits `BENCH_schedule.json`: interior throughput (Mpoints/s) of the compiled
-//! schedule path vs. the recursive walker for TRAP and STRAP on heat2d, life and
-//! wave3d, plus the row-over-point ratio under the compiled path — recording the
+//! schedule path vs. the recursive walker for TRAP and STRAP on the paper's
+//! application suite — heat2d, life, wave3d, lbm, apop and psa — plus the
+//! row-over-point ratio under the compiled path — recording the
 //! compiled-schedule perf trajectory from the PR that introduced it onward.  Each
 //! config also records its executor-session counters (runs/compiles/fetches/reuses
 //! summed over the reps), and the report carries the process-wide schedule-cache and
@@ -19,7 +20,8 @@ use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args,
 use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::{BaseCase, EngineKind, ExecutionPlan, ScheduleMode, SessionStats};
 use pochoir_core::kernel::StencilSpec;
-use pochoir_stencils::{heat, life, wave, ProblemScale};
+use pochoir_stencils::{apop, heat, lbm, lcs, life, psa, wave, ProblemScale};
+use std::sync::Arc;
 
 /// Best-of-N wall-clock throughput for one configuration, plus the configuration's
 /// executor-session counters summed over the reps (each rep builds one session, so at
@@ -50,17 +52,44 @@ struct Cell {
 }
 
 fn measure(scale: ProblemScale) -> Vec<Cell> {
-    let (n2, steps2, n3, steps3, reps) = match scale {
-        ProblemScale::Tiny => (96usize, 8i64, 24usize, 4i64, 2usize),
-        ProblemScale::Small => (384, 24, 64, 8, 3),
-        ProblemScale::Medium => (1024, 50, 128, 16, 3),
-        ProblemScale::Paper => (4096, 100, 256, 32, 3),
+    let (n2, steps2, n3, steps3, n1, steps1, psa_len, reps) = match scale {
+        ProblemScale::Tiny => (
+            96usize,
+            8i64,
+            24usize,
+            4i64,
+            50_000usize,
+            64i64,
+            2_000usize,
+            2usize,
+        ),
+        ProblemScale::Small => (384, 24, 64, 8, 200_000, 256, 8_000, 3),
+        ProblemScale::Medium => (1024, 50, 128, 16, 500_000, 512, 20_000, 3),
+        ProblemScale::Paper => (4096, 100, 256, 32, 2_000_000, 1000, 50_000, 3),
     };
     let heat_spec = StencilSpec::new(heat::shape::<2>());
     let heat_kernel = heat::HeatKernel::<2>::default();
     let life_spec = StencilSpec::new(life::shape());
     let wave_spec = StencilSpec::new(wave::shape());
     let wave_kernel = wave::WaveKernel::default();
+    let lbm_spec = StencilSpec::new(lbm::shape());
+    let lbm_kernel = lbm::LbmKernel::default();
+    let apop_params = apop::OptionParams::for_grid(n1, steps1);
+    let apop_spec = StencilSpec::new(apop::shape());
+    let apop_kernel = apop::ApopKernel {
+        payoff: Arc::new(apop::payoff(&apop_params, n1)),
+        coeffs: apop_params.coefficients(n1, steps1),
+    };
+    let psa_scoring = psa::Scoring::default();
+    let psa_a = lcs::random_sequence(psa_len, 4, 11);
+    let psa_b = lcs::random_sequence(psa_len, 4, 13);
+    let psa_spec = StencilSpec::new(psa::shape());
+    let psa_kernel = psa::PsaKernel {
+        a: Arc::new(psa_a.clone()),
+        b: Arc::new(psa_b.clone()),
+        scoring: psa_scoring,
+    };
+    let psa_steps = psa::steps(psa_a.len(), psa_b.len());
 
     let mut cells = Vec::new();
     for engine in [EngineKind::Trap, EngineKind::Strap] {
@@ -124,10 +153,64 @@ fn measure(scale: ProblemScale) -> Vec<Cell> {
                             )
                         })
                     }
+                    "lbm" => {
+                        let mut plan = ExecutionPlan::<3>::new(engine)
+                            .with_schedule_mode(mode)
+                            .with_base_case(base_case);
+                        if tuned {
+                            plan = plan.with_coarsening(lbm::tuned_coarsening());
+                        }
+                        best_of(reps, || {
+                            time_with_plan_stats(
+                                lbm::build([n3, n3, n3]),
+                                &lbm_spec,
+                                &lbm_kernel,
+                                steps3,
+                                &plan,
+                                false,
+                            )
+                        })
+                    }
+                    "apop" => {
+                        let mut plan = ExecutionPlan::<1>::new(engine)
+                            .with_schedule_mode(mode)
+                            .with_base_case(base_case);
+                        if tuned {
+                            plan = plan.with_coarsening(apop::tuned_coarsening());
+                        }
+                        best_of(reps, || {
+                            time_with_plan_stats(
+                                apop::build(&apop_params, n1),
+                                &apop_spec,
+                                &apop_kernel,
+                                steps1,
+                                &plan,
+                                false,
+                            )
+                        })
+                    }
+                    "psa" => {
+                        let mut plan = ExecutionPlan::<1>::new(engine)
+                            .with_schedule_mode(mode)
+                            .with_base_case(base_case);
+                        if tuned {
+                            plan = plan.with_coarsening(psa::tuned_coarsening());
+                        }
+                        best_of(reps, || {
+                            time_with_plan_stats(
+                                psa::build(psa_b.len(), psa_scoring),
+                                &psa_spec,
+                                &psa_kernel,
+                                psa_steps,
+                                &plan,
+                                false,
+                            )
+                        })
+                    }
                     _ => unreachable!(),
                 }
             };
-        for app in ["heat2d", "life", "wave3d"] {
+        for app in ["heat2d", "life", "wave3d", "lbm", "apop", "psa"] {
             let (compiled, session) = throughput(ScheduleMode::Compiled, BaseCase::Row, app);
             let (recursive, _) = throughput(ScheduleMode::Recursive, BaseCase::Row, app);
             let (compiled_point, _) = throughput(ScheduleMode::Compiled, BaseCase::Point, app);

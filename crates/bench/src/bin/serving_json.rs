@@ -60,7 +60,7 @@ fn measure_app<T, K, const D: usize>(
     reps: usize,
 ) -> Cell
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     let points: f64 = server

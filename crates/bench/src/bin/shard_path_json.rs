@@ -1,0 +1,134 @@
+//! Emits `BENCH_shard.json`: throughput of a giant 1D heat grid — one that fails
+//! `should_compile` uncoarsened — through the three routes the executor can take:
+//!
+//! * **sharded** — halo-exchanged compiled tiles (the `core::engine::shard`
+//!   pipeline, auto geometry);
+//! * **recursive** — the storeless recursive walker (the historical fallback,
+//!   `Sharding::Off`);
+//! * **compiled unsharded** — the whole grid compiled after heuristic coarsening
+//!   (the route a hand-tuned plan takes), as the ceiling for context.
+//!
+//! Alongside throughput the report records the halo-copy overhead fraction and the
+//! tile-program registry counters, so the sharding perf trajectory is tracked from
+//! this PR onward.
+//!
+//! Usage: `shard_path_json [--scale tiny|small|medium|paper] [--out PATH]`
+
+use pochoir_bench::apps::time_with_plan;
+use pochoir_bench::{out_path_from_args, provenance_json_fields, scale_from_args, RunStats};
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{schedule, Coarsening, CompiledStencil, ExecutionPlan, ShardReport};
+use pochoir_core::kernel::StencilSpec;
+use pochoir_core::prelude::Sharding;
+use pochoir_runtime::Runtime;
+use pochoir_stencils::{heat, ProblemScale};
+use std::time::Instant;
+
+fn best_of<F: FnMut() -> RunStats>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| f().mpoints_per_second())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let scale = scale_from_args(
+        "shard_path_json: measure sharded vs recursive vs compiled-unsharded throughput \
+         on a giant grid and write BENCH_shard.json",
+    );
+    let out_path = out_path_from_args("BENCH_shard.json");
+    let (n, steps, reps) = match scale {
+        ProblemScale::Tiny => (300_000usize, 24i64, 2usize),
+        ProblemScale::Small => (1_000_000, 24, 3),
+        ProblemScale::Medium => (4_000_000, 32, 3),
+        ProblemScale::Paper => (8_000_000, 48, 3),
+    };
+    let spec = StencilSpec::new(heat::shape::<1>());
+    let kernel = heat::HeatKernel::<1>::default();
+    let build = || heat::build([n], Boundary::Periodic);
+    let t0 = spec.shape().first_step();
+    assert!(
+        !schedule::should_compile([n as i64], &Coarsening::none(), steps),
+        "the bench grid must be a genuine giant (raise n or steps)"
+    );
+
+    // (a) Sharded: auto tile geometry, compiled tile pipeline.
+    let auto_plan = ExecutionPlan::<1>::trap().with_coarsening(Coarsening::none());
+    let session = CompiledStencil::new(spec.clone(), kernel, auto_plan, [n], steps);
+    let mut shard_report = ShardReport::default();
+    let sharded = best_of(reps, || {
+        let mut array = build();
+        let start = Instant::now();
+        shard_report = session
+            .run_sharded_with(&mut array, t0, t0 + steps, Runtime::global())
+            .expect("the giant must take the sharded route");
+        RunStats {
+            seconds: start.elapsed().as_secs_f64(),
+            points: n as u128,
+            steps,
+        }
+    });
+
+    // (b) Recursive fallback: same plan, sharding forced off.
+    let recursive_plan = auto_plan.with_sharding(Sharding::Off);
+    let recursive = best_of(reps, || {
+        time_with_plan(build(), &spec, &kernel, steps, &recursive_plan, true)
+    });
+
+    // (c) Compiled unsharded: heuristic coarsening tall/wide enough to fit the
+    // leaf budget — the ceiling a hand-tuned plan reaches on the same grid.
+    let coarsening = Coarsening::new(steps.min(8), [64]);
+    assert!(
+        schedule::should_compile([n as i64], &coarsening, steps),
+        "the coarsened whole-grid run must compile"
+    );
+    let compiled_plan = ExecutionPlan::<1>::trap().with_coarsening(coarsening);
+    let compiled = best_of(reps, || {
+        time_with_plan(build(), &spec, &kernel, steps, &compiled_plan, true)
+    });
+
+    let total_points = (n as u128 * steps as u128) as f64;
+    let halo_fraction = shard_report.halo_cells as f64 / total_points;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"shard_path\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str("  \"unit\": \"Mpoints/s\",\n");
+    json.push_str(&provenance_json_fields("  "));
+    json.push_str(&format!("  \"grid\": {n},\n"));
+    json.push_str(&format!("  \"steps\": {steps},\n"));
+    json.push_str(&format!("  \"sharded_mpoints_per_s\": {sharded:.2},\n"));
+    json.push_str(&format!("  \"recursive_mpoints_per_s\": {recursive:.2},\n"));
+    json.push_str(&format!(
+        "  \"compiled_unsharded_mpoints_per_s\": {compiled:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sharded_over_recursive\": {:.3},\n",
+        if recursive > 0.0 {
+            sharded / recursive
+        } else {
+            0.0
+        }
+    ));
+    json.push_str(&format!(
+        "  \"halo_overhead_fraction\": {halo_fraction:.6},\n"
+    ));
+    json.push_str(&format!(
+        "  \"shard\": {{\"tiles\": {}, \"distinct_geometries\": {}, \"window\": {}, \
+         \"halo\": {}, \"windows\": {}, \"halo_cells\": {}, \"registry_hits\": {}, \
+         \"registry_misses\": {}}}\n",
+        shard_report.tiles,
+        shard_report.distinct_geometries,
+        shard_report.window,
+        shard_report.halo,
+        shard_report.windows,
+        shard_report.halo_cells,
+        shard_report.registry_hits,
+        shard_report.registry_misses,
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the JSON report");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

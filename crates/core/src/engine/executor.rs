@@ -48,8 +48,9 @@
 use crate::engine::base;
 use crate::engine::faults::{self, lock_recover};
 use crate::engine::loops;
-use crate::engine::plan::{CloneMode, EngineKind, ExecutionPlan, ScheduleMode};
+use crate::engine::plan::{CloneMode, EngineKind, ExecutionPlan, ScheduleMode, Sharding};
 use crate::engine::schedule::{self, CacheLookup, Schedule};
+use crate::engine::shard;
 use crate::engine::walker::{cut_with_strategy, CutStrategy, Walker};
 use crate::grid::{PochoirArray, RawGrid};
 use crate::kernel::{StencilKernel, StencilSpec};
@@ -68,6 +69,9 @@ struct SessionMetrics {
     schedule_reuses: AtomicU64,
     schedule_fetches: AtomicU64,
     schedule_compiles: AtomicU64,
+    schedule_rejections: AtomicU64,
+    sharded_runs: AtomicU64,
+    recursive_runs: AtomicU64,
 }
 
 /// A point-in-time copy of a session's executor counters.
@@ -82,6 +86,16 @@ pub struct SessionStats {
     pub schedule_fetches: u64,
     /// Fetches that had to compile a fresh schedule (global-cache misses).
     pub schedule_compiles: u64,
+    /// Runs that asked for the compiled route but were rejected by
+    /// [`schedule::should_compile`] — the giant-grid fallback decisions, also
+    /// surfaced process-wide as the runtime metric `schedule_compile_rejections`.
+    pub schedule_rejections: u64,
+    /// Rejected runs served by the sharded tile pipeline
+    /// ([`crate::engine::shard`]).
+    pub sharded_runs: u64,
+    /// Rejected (or deliberately recursive) runs served by the recursive
+    /// reference walker.
+    pub recursive_runs: u64,
 }
 
 /// A session geometry the executor cannot compile or run: non-positive grid extents,
@@ -297,6 +311,9 @@ impl<const D: usize> CompiledProgram<D> {
             schedule_reuses: self.metrics.schedule_reuses.load(Ordering::Relaxed),
             schedule_fetches: self.metrics.schedule_fetches.load(Ordering::Relaxed),
             schedule_compiles: self.metrics.schedule_compiles.load(Ordering::Relaxed),
+            schedule_rejections: self.metrics.schedule_rejections.load(Ordering::Relaxed),
+            sharded_runs: self.metrics.sharded_runs.load(Ordering::Relaxed),
+            recursive_runs: self.metrics.recursive_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -388,7 +405,7 @@ impl<const D: usize> CompiledProgram<D> {
         t1: i64,
         par: &P,
     ) where
-        T: Copy + Send + Sync,
+        T: Copy + Send + Sync + 'static,
         K: StencilKernel<T, D>,
         P: Parallelism,
     {
@@ -399,42 +416,74 @@ impl<const D: usize> CompiledProgram<D> {
         self.metrics.runs.fetch_add(1, Ordering::Relaxed);
         // Publish the row-kernel ISA this run dispatches to (plan policy ∩ host
         // detection ∩ POCHOIR_SIMD), and snapshot the advisory SIMD row counters
-        // so the delta can be forwarded to the runtime metrics afterwards.
+        // so the delta can be forwarded to the runtime metrics afterwards.  The
+        // sharded route skips the snapshot: its tile runs re-enter this method and
+        // report their own row deltas.
         crate::simd::set_active(crate::simd::resolve(self.plan.simd));
+        if let Some(strategy) = self.strategy {
+            if !self.takes_compiled_route(t1 - t0) {
+                // The compiled route was requested but this geometry's arena would
+                // blow the leaf budget: count the rejection, then prefer the sharded
+                // tile pipeline over the storeless recursive walker.
+                if self.plan.schedule == ScheduleMode::Compiled {
+                    self.metrics
+                        .schedule_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    par.note_schedule_compile_rejections(1);
+                    if self.plan.sharding != Sharding::Off
+                        && shard::execute(array, &self.spec, &self.plan, kernel, t0, t1, par)
+                            .is_ok()
+                    {
+                        self.metrics.sharded_runs.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                self.metrics.recursive_runs.fetch_add(1, Ordering::Relaxed);
+                let (sse2_before, avx2_before) = crate::simd::rows_snapshot();
+                run_recursive(
+                    array.raw(),
+                    &self.spec,
+                    kernel,
+                    t0,
+                    t1,
+                    &self.plan,
+                    par,
+                    strategy,
+                );
+                note_simd_delta(sse2_before, avx2_before, par);
+                return;
+            }
+        }
         let (sse2_before, avx2_before) = crate::simd::rows_snapshot();
         let grid = array.raw();
         match self.strategy {
-            Some(strategy) => {
-                if self.takes_compiled_route(t1 - t0) {
-                    let (schedule, resolution) = self.resolve_schedule(t1 - t0);
-                    let report = |lookup: CacheLookup| {
-                        par.note_schedule_cache(lookup.hit);
-                        if lookup.evicted > 0 {
-                            par.note_schedule_evictions(lookup.evicted);
-                        }
-                    };
-                    // Report the eager build/precompile-time lookups on the first run
-                    // that has a metrics sink (even when this run fetched a different
-                    // height), so runtime counters match the global cache's actual
-                    // traffic; pinned replays beyond that count as hits.
-                    let pending = std::mem::take(&mut *lock_recover(&self.pending));
-                    let had_pending = !pending.is_empty();
-                    for lookup in pending {
-                        report(lookup);
+            Some(_) => {
+                let (schedule, resolution) = self.resolve_schedule(t1 - t0);
+                let report = |lookup: CacheLookup| {
+                    par.note_schedule_cache(lookup.hit);
+                    if lookup.evicted > 0 {
+                        par.note_schedule_evictions(lookup.evicted);
                     }
-                    match resolution {
-                        // An eager lookup already accounts for this run's schedule.
-                        Resolution::Reused if had_pending => {}
-                        Resolution::Reused => report(CacheLookup {
-                            hit: true,
-                            evicted: 0,
-                        }),
-                        Resolution::Fetched(lookup) => report(lookup),
-                    }
-                    schedule.execute(grid, kernel, t0, &self.plan, par);
-                } else {
-                    run_recursive(grid, &self.spec, kernel, t0, t1, &self.plan, par, strategy);
+                };
+                // Report the eager build/precompile-time lookups on the first run
+                // that has a metrics sink (even when this run fetched a different
+                // height), so runtime counters match the global cache's actual
+                // traffic; pinned replays beyond that count as hits.
+                let pending = std::mem::take(&mut *lock_recover(&self.pending));
+                let had_pending = !pending.is_empty();
+                for lookup in pending {
+                    report(lookup);
                 }
+                match resolution {
+                    // An eager lookup already accounts for this run's schedule.
+                    Resolution::Reused if had_pending => {}
+                    Resolution::Reused => report(CacheLookup {
+                        hit: true,
+                        evicted: 0,
+                    }),
+                    Resolution::Fetched(lookup) => report(lookup),
+                }
+                schedule.execute(grid, kernel, t0, &self.plan, par);
             }
             None => match self.plan.engine {
                 EngineKind::LoopsSerial => {
@@ -449,14 +498,36 @@ impl<const D: usize> CompiledProgram<D> {
                 EngineKind::Trap | EngineKind::Strap => unreachable!("strategy resolved above"),
             },
         }
-        let (sse2_after, avx2_after) = crate::simd::rows_snapshot();
-        let (sse2, avx2) = (
-            sse2_after.saturating_sub(sse2_before),
-            avx2_after.saturating_sub(avx2_before),
-        );
-        if sse2 > 0 || avx2 > 0 {
-            par.note_simd_rows(sse2, avx2);
+        note_simd_delta(sse2_before, avx2_before, par);
+    }
+
+    /// Runs `[t0, t1)` through the sharded tile pipeline regardless of whether the
+    /// geometry would have been rejected, picking (or honouring, for
+    /// [`Sharding::Tiles`]) a tile geometry as
+    /// the executor's fallback does.  Bitwise identical to [`run`](Self::run); the
+    /// report describes the tiling taken.  Errors leave `array` untouched.
+    pub fn try_run_sharded<T, K, P>(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        kernel: &K,
+        t0: i64,
+        t1: i64,
+        par: &P,
+    ) -> Result<shard::ShardReport, shard::ShardError>
+    where
+        T: Copy + Send + Sync + 'static,
+        K: StencilKernel<T, D>,
+        P: Parallelism,
+    {
+        self.validate(array);
+        if t1 <= t0 {
+            return Ok(shard::ShardReport::default());
         }
+        self.metrics.runs.fetch_add(1, Ordering::Relaxed);
+        crate::simd::set_active(crate::simd::resolve(self.plan.simd));
+        let report = shard::execute(array, &self.spec, &self.plan, kernel, t0, t1, par)?;
+        self.metrics.sharded_runs.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
     }
 
     /// Executes `[t0, t1)` single-threaded while reporting every grid access to
@@ -474,7 +545,7 @@ impl<const D: usize> CompiledProgram<D> {
         t1: i64,
         tracer: &C,
     ) where
-        T: Copy + Send + Sync,
+        T: Copy + Send + Sync + 'static,
         K: StencilKernel<T, D>,
         C: AccessTracer,
     {
@@ -572,7 +643,7 @@ pub struct CompiledStencil<T, K, const D: usize> {
 
 impl<T, K, const D: usize> CompiledStencil<T, K, D>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     /// Builds a session for grids of spatial extent `sizes`, compiling the schedule
@@ -675,6 +746,31 @@ where
         self.program.run(array, &self.kernel, t0, t1, par);
     }
 
+    /// Runs `[t0, t1)` through the sharded tile pipeline (see
+    /// [`CompiledProgram::try_run_sharded`]), using the pinned runtime if one was
+    /// set and the process-global runtime otherwise.
+    pub fn run_sharded(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+    ) -> Result<shard::ShardReport, shard::ShardError> {
+        self.program
+            .try_run_sharded(array, &self.kernel, t0, t1, self.runtime_par())
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with an explicit parallelism provider.
+    pub fn run_sharded_with<P: Parallelism>(
+        &self,
+        array: &mut PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        par: &P,
+    ) -> Result<shard::ShardReport, shard::ShardError> {
+        self.program
+            .try_run_sharded(array, &self.kernel, t0, t1, par)
+    }
+
     /// Executes `[t0, t1)` single-threaded, reporting every access to `tracer`.
     pub fn run_traced<C: AccessTracer>(
         &self,
@@ -684,6 +780,19 @@ where
         tracer: &C,
     ) {
         self.program.run_traced(array, &self.kernel, t0, t1, tracer);
+    }
+}
+
+/// Forwards the SIMD row counters accumulated since the `before` snapshot to the
+/// provider's metrics.
+fn note_simd_delta<P: Parallelism>(sse2_before: u64, avx2_before: u64, par: &P) {
+    let (sse2_after, avx2_after) = crate::simd::rows_snapshot();
+    let (sse2, avx2) = (
+        sse2_after.saturating_sub(sse2_before),
+        avx2_after.saturating_sub(avx2_before),
+    );
+    if sse2 > 0 || avx2 > 0 {
+        par.note_simd_rows(sse2, avx2);
     }
 }
 
@@ -703,7 +812,7 @@ fn run_recursive<T, K, P, const D: usize>(
     par: &P,
     strategy: CutStrategy,
 ) where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
     P: Parallelism,
 {

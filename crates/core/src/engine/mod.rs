@@ -13,12 +13,13 @@ pub mod loops;
 pub mod plan;
 pub mod schedule;
 pub mod serving;
+pub mod shard;
 pub mod walker;
 
 pub use executor::{CompiledProgram, CompiledStencil, GeometryError, SessionStats};
 pub use faults::{inject_compile_failures, poison_recoveries, FaultPlan};
 pub use plan::{
-    BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode, ScheduleMode,
+    BaseCase, CloneMode, Coarsening, EngineKind, ExecutionPlan, IndexMode, ScheduleMode, Sharding,
 };
 pub use schedule::{Schedule, ScheduledLeaf};
 pub use serving::{
@@ -26,6 +27,7 @@ pub use serving::{
     QuarantinePolicy, RegistryLookup, RegistryStats, RetryPolicy, ServeError, SessionRegistry,
     ShedReason, StencilServer, SubmitOptions, TicketOutcome,
 };
+pub use shard::{ShardError, ShardPlan, ShardReport, Tile};
 pub use walker::CutStrategy;
 
 use crate::grid::PochoirArray;
@@ -61,7 +63,7 @@ pub fn run<T, K, P, const D: usize>(
     plan: &ExecutionPlan<D>,
     par: &P,
 ) where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
     P: Parallelism,
 {
@@ -77,7 +79,7 @@ pub fn run_with_global_runtime<T, K, const D: usize>(
     t1: i64,
     plan: &ExecutionPlan<D>,
 ) where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     run(
@@ -106,7 +108,7 @@ pub fn run_traced<T, K, C, const D: usize>(
     plan: &ExecutionPlan<D>,
     tracer: &C,
 ) where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
     C: AccessTracer,
 {
@@ -128,7 +130,7 @@ pub fn assert_engines_agree<T, K, const D: usize>(
     plans: &[ExecutionPlan<D>],
 ) -> Vec<T>
 where
-    T: Copy + Send + Sync + PartialEq + std::fmt::Debug,
+    T: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static,
     K: StencilKernel<T, D>,
 {
     assert!(!plans.is_empty());

@@ -79,6 +79,27 @@ pub enum CloneMode {
     AlwaysBoundary,
 }
 
+/// Giant-grid sharding policy for [`ScheduleMode::Compiled`] plans.
+///
+/// Grids too large for one compiled arena (see `schedule::should_compile`) are split
+/// along the outermost axis into halo-padded tiles, each small enough to compile,
+/// executed window-by-window with a halo-exchange sync between windows (see
+/// [`crate::engine::shard`]).  Sharding never changes results — the tiles reproduce
+/// the unsharded run bitwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Sharding {
+    /// Never shard: a geometry that fails the compiled-path size gate runs the
+    /// recursive reference walker (the pre-sharding behaviour).
+    Off,
+    /// Shard automatically when (and only when) the geometry fails the size gate,
+    /// deriving the tile count and sync window from the geometry.  Default.
+    #[default]
+    Auto,
+    /// Like [`Auto`](Self::Auto), but with an explicit tile count (clamped to the
+    /// outermost extent; `Tiles(0)` and `Tiles(1)` mean a single tile).
+    Tiles(u32),
+}
+
 /// Base-case coarsening thresholds (Section 4, "coarsening of base cases").
 ///
 /// Recursion stops splitting a dimension once its width is at or below `dx[i]`, and stops
@@ -160,6 +181,9 @@ pub struct ExecutionPlan<const D: usize> {
     /// `POCHOIR_SIMD` environment variable at run time; see [`crate::simd::resolve`]).
     /// Never changes results — the SIMD bodies are bitwise-equal to the scalar loop.
     pub simd: SimdPolicy,
+    /// Giant-grid sharding policy: what happens when a [`ScheduleMode::Compiled`]
+    /// geometry fails the compiled-path size gate.  Never changes results.
+    pub sharding: Sharding,
 }
 
 impl<const D: usize> ExecutionPlan<D> {
@@ -175,6 +199,7 @@ impl<const D: usize> ExecutionPlan<D> {
             block: [64; D],
             grain: 1,
             simd: SimdPolicy::Auto,
+            sharding: Sharding::Auto,
         }
     }
 
@@ -262,6 +287,12 @@ impl<const D: usize> ExecutionPlan<D> {
         self.simd = simd;
         self
     }
+
+    /// Builder-style override of the giant-grid sharding policy.
+    pub fn with_sharding(mut self, sharding: Sharding) -> Self {
+        self.sharding = sharding;
+        self
+    }
 }
 
 impl<const D: usize> Default for ExecutionPlan<D> {
@@ -328,8 +359,11 @@ mod tests {
             .with_clone_mode(CloneMode::AlwaysBoundary)
             .with_schedule_mode(ScheduleMode::Recursive)
             .with_grain(0)
-            .with_simd(SimdPolicy::Scalar);
+            .with_simd(SimdPolicy::Scalar)
+            .with_sharding(Sharding::Tiles(4));
         assert_eq!(plan.engine, EngineKind::Trap);
+        assert_eq!(plan.sharding, Sharding::Tiles(4));
+        assert_eq!(ExecutionPlan::<2>::trap().sharding, Sharding::Auto);
         assert_eq!(plan.simd, SimdPolicy::Scalar);
         assert_eq!(ExecutionPlan::<2>::trap().simd, SimdPolicy::Auto);
         assert_eq!(plan.coarsening.dt, 4);

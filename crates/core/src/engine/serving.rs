@@ -147,14 +147,17 @@
 // the test).
 #![deny(clippy::unwrap_used)]
 
+use crate::boundary::Boundary;
 use crate::engine::executor::{CompiledProgram, GeometryError, SessionStats};
 use crate::engine::faults::{self, lock_recover, FaultPlan};
 use crate::engine::plan::ExecutionPlan;
+use crate::engine::shard::{self, ShardError, ShardPlan, ShardReport};
 use crate::grid::PochoirArray;
 use crate::kernel::{StencilKernel, StencilSpec};
 use pochoir_runtime::{Parallelism, Runtime};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -472,6 +475,7 @@ struct RegistryKey {
     block: Vec<usize>,
     grain: usize,
     simd: crate::simd::SimdPolicy,
+    sharding: crate::engine::plan::Sharding,
 }
 
 impl RegistryKey {
@@ -500,6 +504,7 @@ impl RegistryKey {
             block: plan.block.to_vec(),
             grain: plan.grain,
             simd: plan.simd,
+            sharding: plan.sharding,
         }
     }
 }
@@ -1012,7 +1017,7 @@ pub fn run_batch<T, K, P, const D: usize>(
     grain: usize,
     par: &P,
 ) where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
     P: Parallelism,
 {
@@ -1127,6 +1132,22 @@ struct Submission<T, const D: usize> {
     opts: SubmitOptions,
 }
 
+/// One sharded giant queued on a [`StencilServer`]
+/// ([`submit_sharded`](StencilServer::submit_sharded)): its tile geometry, the
+/// member chains' compiled programs, and the original array awaiting the
+/// post-drain reassembly.
+struct QueuedShard<T, const D: usize> {
+    plan: ShardPlan<D>,
+    /// First member ticket; the tiles occupy `first .. first + plan.tiles().len()`.
+    first: usize,
+    /// Per-member tile programs — `run_one` runs these instead of the server's
+    /// giant-geometry program.
+    programs: Vec<Arc<CompiledProgram<D>>>,
+    /// The submitted giant, stale between scatter and the post-drain gather.
+    giant: PochoirArray<T, D>,
+    t1: i64,
+}
+
 /// Virtual-time increment of one dispatched window at weight 1 (stride scheduling:
 /// a weight-w tenant's pass advances by `STRIDE_ONE / w` per window).
 const STRIDE_ONE: u64 = 1 << 20;
@@ -1145,6 +1166,25 @@ struct Chain {
     /// Windows dispatched so far — the 0-based index handed to the fault plan, and
     /// the "has this chain started?" test behind dispatch-time deadline drops.
     dispatched: u64,
+    /// The shard group this chain belongs to, if it is one tile of a sharded
+    /// submission: its windows then park at the group's exchange barrier.
+    group: Option<usize>,
+}
+
+/// Barrier state of one sharded submission's tile chains inside a pipelined drain.
+/// The chains advance in lockstep rounds: each completed (non-final) window parks
+/// its chain here, and when every *live* member has arrived the round's halo
+/// exchange runs, after which all parked chains become ready again.
+struct GroupState {
+    /// Chains neither panicked nor shed — the barrier quorum.  A failed member
+    /// leaves the quorum so its siblings keep draining (panic quarantine retires
+    /// only the faulted tile chain).
+    live: usize,
+    /// Members parked at the current window barrier.
+    arrived: Vec<usize>,
+    /// The window-end time the parked members completed — the halo exchange's
+    /// sync point.
+    round_end: i64,
 }
 
 /// The ready queue and clocks of one pipelined drain, shared behind a mutex by the
@@ -1165,11 +1205,20 @@ struct SchedulerState {
     /// Chains dropped at dispatch time (unmeetable deadlines under
     /// [`AdmissionPolicy::drop_unmeetable`]), counted toward `serving_shed`.
     dispatch_sheds: u64,
+    /// Shard groups, indexed by the `group` field of their member chains.
+    groups: Vec<GroupState>,
+    /// Members parked at a barrier (neither ready nor in flight); `finished()`
+    /// must count them or idle workers would exit mid-exchange.
+    held: usize,
+    /// Groups whose barrier completed and whose halo exchange has not run yet.
+    exchange_ready: Vec<usize>,
 }
 
 impl SchedulerState {
-    fn new(windows: &[(i64, i64, SubmitOptions)]) -> Self {
-        let chains: Vec<Chain> = windows
+    /// `shard_members` lists, per shard group, the contiguous ticket range of its
+    /// tile chains; those chains park at the group's barrier between windows.
+    fn new(windows: &[(i64, i64, SubmitOptions)], shard_members: &[Range<usize>]) -> Self {
+        let mut chains: Vec<Chain> = windows
             .iter()
             .map(|&(t0, t1, opts)| Chain {
                 next_t: t0,
@@ -1181,6 +1230,25 @@ impl SchedulerState {
                 stride: (STRIDE_ONE / u64::from(opts.weight.max(1))).max(1),
                 deadline: opts.deadline,
                 dispatched: 0,
+                group: None,
+            })
+            .collect();
+        let groups: Vec<GroupState> = shard_members
+            .iter()
+            .enumerate()
+            .map(|(gid, members)| {
+                let mut live = 0;
+                for ticket in members.clone() {
+                    chains[ticket].group = Some(gid);
+                    if chains[ticket].next_t < chains[ticket].t1 {
+                        live += 1;
+                    }
+                }
+                GroupState {
+                    live,
+                    arrived: Vec::new(),
+                    round_end: 0,
+                }
             })
             .collect();
         let ready: Vec<usize> = chains
@@ -1199,6 +1267,9 @@ impl SchedulerState {
             deadline_misses: 0,
             chains,
             dispatch_sheds: 0,
+            groups,
+            held: 0,
+            exchange_ready: Vec::new(),
         }
     }
 
@@ -1222,6 +1293,9 @@ impl SchedulerState {
                     reason: ShedReason::DeadlineUnmeetable,
                 };
                 self.chains[ticket].next_t = self.chains[ticket].t1;
+                if let Some(gid) = self.chains[ticket].group {
+                    self.retire_member(gid);
+                }
             } else {
                 i += 1;
             }
@@ -1260,14 +1334,30 @@ impl SchedulerState {
     }
 
     /// Marks the window ending at `end` of `ticket` complete, readying the chain's
-    /// next window (if any).
+    /// next window (if any).  A grouped chain with windows left parks at its shard
+    /// group's barrier instead: its next window reads halo rows the sibling tiles
+    /// are still computing, so it may only dispatch after the round's exchange.
     fn complete(&mut self, ticket: usize, end: i64) {
         self.in_flight -= 1;
         let chain = &mut self.chains[ticket];
         chain.next_t = end;
-        if chain.next_t < chain.t1 {
-            self.ready.push(ticket);
-            self.peak_ready = self.peak_ready.max(self.ready.len());
+        if chain.next_t >= chain.t1 {
+            return;
+        }
+        match chain.group {
+            Some(gid) => {
+                self.held += 1;
+                let group = &mut self.groups[gid];
+                group.arrived.push(ticket);
+                group.round_end = end;
+                if group.arrived.len() >= group.live {
+                    self.exchange_ready.push(gid);
+                }
+            }
+            None => {
+                self.ready.push(ticket);
+                self.peak_ready = self.peak_ready.max(self.ready.len());
+            }
         }
     }
 
@@ -1275,18 +1365,58 @@ impl SchedulerState {
     /// windows are cancelled (the chain is exhausted, so no successor is ever
     /// readied) and the outcome records the payload's message.  **Only this chain**
     /// — sibling tenants keep dispatching and draining normally; that is the panic
-    /// quarantine the module docs describe.
+    /// quarantine the module docs describe.  A faulted tile chain likewise retires
+    /// alone: it leaves its shard group's quorum and the sibling tiles keep
+    /// pipelining (their halo rows adjacent to the dead tile simply stop updating).
     fn fail(&mut self, ticket: usize, message: String) {
         self.in_flight -= 1;
         let chain = &mut self.chains[ticket];
         chain.next_t = chain.t1;
         self.outcomes[ticket] = TicketOutcome::Panicked { message };
+        if let Some(gid) = chain.group {
+            self.retire_member(gid);
+        }
+    }
+
+    /// Removes one member from a shard group's quorum (its chain panicked or was
+    /// shed).  If the remaining members are all parked at the barrier, the round's
+    /// exchange unblocks now instead of waiting for the dead chain forever.
+    fn retire_member(&mut self, gid: usize) {
+        let group = &mut self.groups[gid];
+        group.live -= 1;
+        if group.live > 0 && !group.arrived.is_empty() && group.arrived.len() >= group.live {
+            self.exchange_ready.push(gid);
+        }
+    }
+
+    /// Claims a group whose window barrier completed, returning its id and the
+    /// round's window-end time.  The caller must perform the halo exchange and then
+    /// call [`release_group`](Self::release_group); the claim counts as in flight
+    /// so `finished()` holds the drain open during the copy.
+    fn take_exchange(&mut self) -> Option<(usize, i64)> {
+        let gid = self.exchange_ready.pop()?;
+        self.in_flight += 1;
+        Some((gid, self.groups[gid].round_end))
+    }
+
+    /// Reopens a group after its halo exchange: every parked member's next window
+    /// becomes ready.
+    fn release_group(&mut self, gid: usize) {
+        self.in_flight -= 1;
+        let arrived = std::mem::take(&mut self.groups[gid].arrived);
+        self.held -= arrived.len();
+        self.ready.extend(arrived);
+        self.peak_ready = self.peak_ready.max(self.ready.len());
     }
 
     /// Whether every window of every chain has completed (or been cancelled by its
-    /// chain's panic or dispatch-time drop).
+    /// chain's panic or dispatch-time drop).  Parked members and pending exchanges
+    /// hold the drain open: a barrier release is always coming for them.
     fn finished(&self) -> bool {
-        self.ready.is_empty() && self.in_flight == 0
+        self.ready.is_empty()
+            && self.in_flight == 0
+            && self.held == 0
+            && self.exchange_ready.is_empty()
     }
 }
 
@@ -1369,11 +1499,17 @@ pub struct StencilServer<T, K, const D: usize> {
     /// Compile retries performed at construction, flushed to `serving_retries` by
     /// the first drain.
     pending_retries: u64,
+    /// Sharded submissions queued for the next pipelined drain (their tile chains
+    /// already sit in `queue`; this holds the geometry and reassembly state).
+    shard_queue: Vec<QueuedShard<T, D>>,
+    /// Tile-program registry lookups performed by
+    /// [`submit_sharded`](Self::submit_sharded), flushed by the next drain.
+    pending_shard_lookups: Vec<RegistryLookup>,
 }
 
 impl<T, K, const D: usize> StencilServer<T, K, D>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     K: StencilKernel<T, D>,
 {
     /// Creates a server for grids of extent `sizes`, fetching the shared program for
@@ -1451,6 +1587,8 @@ where
             uses_global_registry: false,
             pending_sheds: 0,
             pending_retries: 0,
+            shard_queue: Vec::new(),
+            pending_shard_lookups: Vec::new(),
         }
     }
 
@@ -1593,6 +1731,135 @@ where
         Ok(self.queue.len() - 1)
     }
 
+    /// Submits a giant grid as a **sharded tenant group**: the array is split along
+    /// its outermost axis into halo-padded tiles (geometry per the server plan's
+    /// [`Sharding`](crate::engine::Sharding) mode, window pinned to the server's
+    /// chunk height), and each tile becomes its own chain in the next
+    /// [`drain`](Self::drain)'s ready queue — a weighted tenant scheduled alongside
+    /// every ordinary submission.  Between rounds the tile chains synchronize at a
+    /// halo-exchange barrier; a tile chain that panics retires alone while its
+    /// siblings keep pipelining.
+    ///
+    /// Returns the group's **lead ticket**: in the drained results that index holds
+    /// the reassembled giant (bitwise identical to running it unsharded when no
+    /// member faulted), and the remaining `K - 1` member indices hold the tiles.
+    /// Panics on rejection; [`try_submit_sharded`](Self::try_submit_sharded) is the
+    /// non-panicking variant.
+    pub fn submit_sharded(
+        &mut self,
+        array: PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        opts: SubmitOptions,
+    ) -> usize {
+        self.try_submit_sharded(array, t0, t1, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`submit_sharded`](Self::submit_sharded) returning [`ServeError`] instead of
+    /// panicking: mismatched geometry, a [`Boundary::Custom`] array, a plan with
+    /// sharding off, or an unshardable geometry are [`ServeError::InvalidGeometry`];
+    /// tile compilation failures surface as their underlying error.  Admission
+    /// control charges the whole group (`K × windows` dispatch ticks).
+    pub fn try_submit_sharded(
+        &mut self,
+        array: PochoirArray<T, D>,
+        t0: i64,
+        t1: i64,
+        opts: SubmitOptions,
+    ) -> Result<usize, ServeError> {
+        if array.sizes_i64() != self.program.sizes() {
+            return Err(ServeError::InvalidGeometry {
+                detail: format!(
+                    "submitted array extents {:?} do not match the server's compiled extents {:?}",
+                    array.sizes_i64(),
+                    self.program.sizes()
+                ),
+            });
+        }
+        if matches!(array.boundary(), Boundary::Custom(_)) {
+            return Err(ServeError::InvalidGeometry {
+                detail: ShardError::UnsupportedBoundary.to_string(),
+            });
+        }
+        let spec = self.program.spec().clone();
+        let plan = *self.program.plan();
+        let chunk = self.program.window().max(1);
+        let workers = match &self.runtime {
+            Some(rt) => rt.num_workers(),
+            None => Runtime::global().num_workers(),
+        };
+        let shard_plan = ShardPlan::for_window(
+            self.program.sizes(),
+            spec.reach()[0],
+            &plan.coarsening,
+            chunk,
+            workers,
+            shard::wraps_axis0(array.boundary()),
+            plan.sharding,
+        )
+        .ok_or_else(|| ServeError::InvalidGeometry {
+            detail: format!(
+                "no tile geometry for a sharded submission under sharding mode {:?}",
+                plan.sharding
+            ),
+        })?;
+        let members = shard_plan.tiles().len() as u64;
+        let windows = self.windows_of(t0, t1);
+        // The group's chains advance in lockstep rounds, so its last window cannot
+        // dispatch before every member ran every round: charge K × windows ticks.
+        let group_windows = members * windows;
+        if self.policy.reject_unmeetable {
+            if let Some(deadline) = opts.deadline {
+                if deadline < group_windows {
+                    self.pending_sheds += 1;
+                    return Err(ServeError::DeadlineUnmeetable {
+                        deadline,
+                        windows: group_windows,
+                    });
+                }
+            }
+        }
+        if let Some(reason) = self.admission_shed(group_windows) {
+            self.pending_sheds += 1;
+            return Err(ServeError::Shed { reason });
+        }
+        let mut report = ShardReport::default();
+        let by_extent = shard_plan
+            .tile_programs(&spec, &plan, &mut report)
+            .map_err(|e| match e {
+                ShardError::Compile(inner) => inner,
+                other => ServeError::InvalidGeometry {
+                    detail: other.to_string(),
+                },
+            })?;
+        for (_, lookup) in by_extent.values() {
+            self.pending_shard_lookups.push(*lookup);
+        }
+        let programs: Vec<Arc<CompiledProgram<D>>> = shard_plan
+            .tiles()
+            .iter()
+            .map(|tile| Arc::clone(&by_extent[&tile.extent()].0))
+            .collect();
+        let first = self.queue.len();
+        for tile_array in shard_plan.scatter(&array, t0) {
+            self.queue.push(Submission {
+                array: tile_array,
+                t0,
+                t1,
+                opts,
+            });
+        }
+        self.shard_queue.push(QueuedShard {
+            plan: shard_plan,
+            first,
+            programs,
+            giant: array,
+            t1,
+        });
+        Ok(first)
+    }
+
     /// Dispatch ticks (per-window work items) a `[t0, t1)` submission costs.
     fn windows_of(&self, t0: i64, t1: i64) -> u64 {
         let chunk = self.program.window().max(1);
@@ -1717,13 +1984,30 @@ where
     ) -> (Vec<PochoirArray<T, D>>, Vec<Box<dyn Any + Send>>) {
         self.report_pending(par);
         let queue = std::mem::take(&mut self.queue);
+        let shards = std::mem::take(&mut self.shard_queue);
         let windows: Vec<(i64, i64, SubmitOptions)> =
             queue.iter().map(|s| (s.t0, s.t1, s.opts)).collect();
         let arrays: Vec<Mutex<PochoirArray<T, D>>> =
             queue.into_iter().map(|s| Mutex::new(s.array)).collect();
         let chunk = self.program.window().max(1);
         let drop_unmeetable = self.policy.drop_unmeetable;
-        let sched = Mutex::new(SchedulerState::new(&windows));
+        let groups: Vec<Range<usize>> = shards
+            .iter()
+            .map(|s| s.first..s.first + s.plan.tiles().len())
+            .collect();
+        // Tile chains run their own tile-geometry programs; every other ticket runs
+        // the server's shared program.
+        let overrides: HashMap<usize, &Arc<CompiledProgram<D>>> = shards
+            .iter()
+            .flat_map(|s| {
+                s.programs
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, p)| (s.first + i, p))
+            })
+            .collect();
+        let halo_cells = AtomicU64::new(0);
+        let sched = Mutex::new(SchedulerState::new(&windows, &groups));
         let payloads: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
         {
             let fault_plan = self.fault_plan.clone();
@@ -1736,8 +2020,9 @@ where
                 if let Some(plan) = &fault_plan {
                     plan.apply(ticket, index);
                 }
+                let program = overrides.get(&ticket).copied().unwrap_or(&self.program);
                 let array = &mut *lock_transient(&arrays[ticket]);
-                self.program.run(array, &self.kernel, t0, t1, par);
+                program.run(array, &self.kernel, t0, t1, par);
             };
             // One worker body serves both the serial and the crew drain.  A panicking
             // window must be caught *here*, per item: it retires only its own chain
@@ -1749,6 +2034,19 @@ where
             // execute pool work — typically the in-flight windows' own phase jobs —
             // via `help_one` rather than spinning.
             let worker = || loop {
+                // A completed shard barrier outranks new windows: its halo exchange
+                // unblocks a whole group of parked chains at once.  The members are
+                // all parked, so their array mutexes are uncontended.
+                let claim = lock_transient(&sched).take_exchange();
+                if let Some((gid, round_end)) = claim {
+                    let group = &shards[gid];
+                    let members = &arrays[group.first..group.first + group.plan.tiles().len()];
+                    let slices = group.giant.time_slices() as i64;
+                    let copied = group.plan.exchange(members, round_end, slices);
+                    halo_cells.fetch_add(copied, Ordering::Relaxed);
+                    lock_transient(&sched).release_group(gid);
+                    continue;
+                }
                 let next = lock_transient(&sched).pop(chunk, drop_unmeetable);
                 match next {
                     Some((ticket, index, t0, t1)) => {
@@ -1797,6 +2095,13 @@ where
         if recovered > 0 {
             par.note_registry_poison_recoveries(recovered);
         }
+        if !shards.is_empty() {
+            par.note_shard_tiles(shards.iter().map(|s| s.plan.tiles().len() as u64).sum());
+        }
+        let exchanged = halo_cells.into_inner();
+        if exchanged > 0 {
+            par.note_shard_halo_cells(exchanged);
+        }
         let panicked = state
             .outcomes
             .iter()
@@ -1820,8 +2125,25 @@ where
         });
         let mut payloads = into_inner_transient(payloads);
         payloads.sort_by_key(|&(ticket, _)| ticket);
+        let mut results: Vec<PochoirArray<T, D>> =
+            arrays.into_iter().map(into_inner_transient).collect();
+        // Reassemble each sharded giant at its lead ticket: the gather overwrites
+        // every interior row in every storage slot, so the stale giant is rebuilt
+        // completely from its tiles (as of each tile's last completed window).
+        for group in shards {
+            let members = group.first..group.first + group.plan.tiles().len();
+            let QueuedShard {
+                plan,
+                first,
+                mut giant,
+                t1,
+                ..
+            } = group;
+            plan.gather(&mut giant, &results[members], t1);
+            results[first] = giant;
+        }
         (
-            arrays.into_iter().map(into_inner_transient).collect(),
+            results,
             payloads.into_iter().map(|(_, payload)| payload).collect(),
         )
     }
@@ -1841,6 +2163,11 @@ where
 
     /// [`drain_barrier`](Self::drain_barrier) with an explicit parallelism provider.
     pub fn drain_barrier_with<P: Parallelism>(&mut self, par: &P) -> Vec<PochoirArray<T, D>> {
+        // Sharded submissions need the per-window barrier/exchange machinery that
+        // only the pipelined drain has; route through it (results are identical).
+        if !self.shard_queue.is_empty() {
+            return self.drain_with(par);
+        }
         self.report_pending(par);
         let mut queue = std::mem::take(&mut self.queue);
         let mut jobs: Vec<BatchRun<'_, T, D>> = queue
@@ -1866,6 +2193,9 @@ where
     /// sink (the registry itself has none).
     fn report_pending<P: Parallelism>(&mut self, par: &P) {
         if let Some(lookup) = self.pending_lookup.take() {
+            lookup.report_to(par);
+        }
+        for lookup in std::mem::take(&mut self.pending_shard_lookups) {
             lookup.report_to(par);
         }
     }

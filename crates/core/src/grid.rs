@@ -180,6 +180,16 @@ impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
 
     /// Creates an array with `depth + 1` time slices, filled with `T::default()`.
     pub fn with_depth(sizes: [usize; D], depth: usize) -> Self {
+        Self::with_layout(sizes, depth, T::default())
+    }
+}
+
+impl<T: Copy, const D: usize> PochoirArray<T, D> {
+    /// Creates an array with `depth + 1` time slices, filled with `fill` — the
+    /// `Default`-free constructor behind [`PochoirArray::with_depth`] and the shard
+    /// layer's tile arrays (whose fill is an arbitrary element of the parent array,
+    /// overwritten before any cell is read).
+    pub(crate) fn with_layout(sizes: [usize; D], depth: usize, fill: T) -> Self {
         assert!(
             D > 0,
             "PochoirArray requires at least one spatial dimension"
@@ -225,13 +235,11 @@ impl<T: Copy + Default, const D: usize> PochoirArray<T, D> {
             slice_len,
             time_slices,
             time_magic: time_magic(time_slices),
-            data: AlignedVec::filled(total, T::default()),
-            boundary: Boundary::Constant(T::default()),
+            data: AlignedVec::filled(total, fill),
+            boundary: Boundary::Constant(fill),
         }
     }
-}
 
-impl<T: Copy, const D: usize> PochoirArray<T, D> {
     /// The spatial extent along `dim`.
     pub fn size(&self, dim: usize) -> usize {
         self.sizes[dim]
@@ -308,6 +316,35 @@ impl<T: Copy, const D: usize> PochoirArray<T, D> {
     /// Linear offset of `(t, x)` within the backing storage.
     pub fn offset(&self, t: i64, x: [i64; D]) -> usize {
         self.slice_index(t) * self.slice_len + self.spatial_offset(x)
+    }
+
+    /// Storage elements spanned by one outermost-axis row of a time slice, padding
+    /// included (one element in 1D, where the outermost axis *is* the unit-stride
+    /// axis).  Arrays sharing the inner extents (and `T`) have identical slab
+    /// layouts, which is what makes the shard layer's seam copies plain `memcpy`s.
+    pub(crate) fn slab_elems(&self) -> usize {
+        if D == 1 {
+            1
+        } else {
+            self.strides[0]
+        }
+    }
+
+    /// The backing storage of outermost-axis row `row` of time slice `t`.
+    pub(crate) fn slab(&self, t: i64, row: i64) -> &[T] {
+        debug_assert!(row >= 0 && (row as usize) < self.sizes[0]);
+        let len = self.slab_elems();
+        let start = self.slice_index(t) * self.slice_len + row as usize * len;
+        &self.data[start..start + len]
+    }
+
+    /// Mutable view of the backing storage of outermost-axis row `row` of time
+    /// slice `t`.
+    pub(crate) fn slab_mut(&mut self, t: i64, row: i64) -> &mut [T] {
+        debug_assert!(row >= 0 && (row as usize) < self.sizes[0]);
+        let len = self.slab_elems();
+        let start = self.slice_index(t) * self.slice_len + row as usize * len;
+        &mut self.data[start..start + len]
     }
 
     /// Reads the value at `(t, x)`.  Out-of-domain coordinates are resolved through the

@@ -67,7 +67,8 @@ pub mod prelude {
         run, run_traced, run_with_global_runtime, AdmissionPolicy, BaseCase, BatchRun, CloneMode,
         Coarsening, CompiledProgram, CompiledStencil, DrainReport, EngineKind, ExecutionPlan,
         FaultPlan, GeometryError, IndexMode, QuarantinePolicy, RetryPolicy, Schedule, ScheduleMode,
-        ServeError, SessionStats, ShedReason, StencilServer, TicketOutcome,
+        ServeError, SessionStats, ShardError, ShardPlan, ShardReport, Sharding, ShedReason,
+        StencilServer, TicketOutcome,
     };
     pub use crate::grid::{AlignedVec, PochoirArray, RowWriter, SpaceIter, GRID_ALIGN};
     pub use crate::hyperspace::{hyperspace_cut, single_space_cut, HyperspaceCut};

@@ -1,0 +1,121 @@
+//! Sharded giants as serving tenants: `submit_sharded` splits a grid that fails
+//! `should_compile` into halo-exchanged tile chains, each a weighted tenant in the
+//! pipelined drain's ready queue, synchronized at a per-round exchange barrier.
+//! The reassembled giant is bitwise identical to the unsharded run, and a faulted
+//! tile chain retires alone while its siblings keep pipelining.
+
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::serving::{StencilServer, SubmitOptions};
+use pochoir_core::engine::{Coarsening, ExecutionPlan, FaultPlan, Sharding, TicketOutcome};
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::{StencilKernel, StencilSpec};
+use pochoir_core::shape::star_shape;
+use pochoir_core::view::GridAccess;
+use pochoir_runtime::Serial;
+
+struct Heat1D;
+impl StencilKernel<f64, 1> for Heat1D {
+    fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+        let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+        g.set(t + 1, x, v);
+    }
+}
+
+const N: usize = 600_000;
+const STEPS: i64 = 12;
+const CHUNK: i64 = 4;
+const TILES: usize = 4;
+
+fn make_giant() -> PochoirArray<f64, 1> {
+    let mut a = PochoirArray::<f64, 1>::new([N]);
+    a.register_boundary(Boundary::Periodic);
+    a.fill_time_slice(0, |x| ((x[0] * 17 + 3) % 101) as f64 * 0.25);
+    a
+}
+
+// Pinned tile count so the group's shape is machine-independent (auto mode sizes
+// the tile count off the runtime's worker count).
+fn giant_plan() -> ExecutionPlan<1> {
+    ExecutionPlan::trap()
+        .with_coarsening(Coarsening::none())
+        .with_sharding(Sharding::Tiles(TILES as u32))
+}
+
+fn reference() -> PochoirArray<f64, 1> {
+    let spec = StencilSpec::new(star_shape::<1>(1));
+    let mut a = make_giant();
+    pochoir_core::engine::run(
+        &mut a,
+        &spec,
+        &Heat1D,
+        0,
+        STEPS,
+        &giant_plan().with_sharding(Sharding::Off),
+        &Serial,
+    );
+    a
+}
+
+#[test]
+fn sharded_tenant_group_drains_bitwise() {
+    let spec = StencilSpec::new(star_shape::<1>(1));
+    assert!(
+        !pochoir_core::engine::schedule::should_compile([N as i64], &Coarsening::none(), CHUNK),
+        "the giant must fail should_compile at the server's chunk height"
+    );
+    let expected = reference();
+
+    let mut server = StencilServer::new(spec, Heat1D, giant_plan(), [N], CHUNK);
+    // The sharded group shares the drain with an ordinary tenant of the same
+    // geometry; tile chains and the whole-array chain interleave in the ready queue.
+    let plain = server.submit(make_giant(), 0, STEPS);
+    let lead = server.submit_sharded(make_giant(), 0, STEPS, SubmitOptions::weighted(2));
+    assert_eq!(lead, plain + 1, "member tickets follow the queue tail");
+
+    let results = server.try_drain_with(&Serial).expect("drain runs");
+    assert_eq!(results.len(), 1 + TILES);
+
+    let report = server.last_drain().expect("drain reports");
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| matches!(o, TicketOutcome::Completed)));
+    // 3 windows for the plain tenant, 3 rounds × TILES for the group.
+    let rounds = (STEPS / CHUNK) as u64;
+    assert_eq!(report.windows, rounds + rounds * TILES as u64);
+
+    assert_eq!(results[lead].snapshot(STEPS), expected.snapshot(STEPS));
+    assert_eq!(
+        results[lead].snapshot(STEPS - 1),
+        expected.snapshot(STEPS - 1)
+    );
+    assert_eq!(results[plain].snapshot(STEPS), expected.snapshot(STEPS));
+}
+
+#[test]
+fn faulted_tile_chain_retires_alone() {
+    let spec = StencilSpec::new(star_shape::<1>(1));
+    let mut server = StencilServer::new(spec, Heat1D, giant_plan(), [N], CHUNK)
+        // The second tile chain panics in its second window (round 1).
+        .with_fault_plan(FaultPlan::new().panic_at(1, 1));
+    let lead = server.submit_sharded(make_giant(), 0, STEPS, SubmitOptions::default());
+    assert_eq!(lead, 0);
+
+    let results = server
+        .try_drain_with(&Serial)
+        .expect("drain survives the panic");
+    assert_eq!(results.len(), TILES);
+
+    let report = server.last_drain().expect("drain reports");
+    assert!(matches!(report.outcomes[1], TicketOutcome::Panicked { .. }));
+    for ticket in [0, 2, 3] {
+        assert!(
+            matches!(report.outcomes[ticket], TicketOutcome::Completed),
+            "sibling tile chain {ticket} must keep pipelining"
+        );
+        assert!(report.completion_tick[ticket] > 0);
+    }
+    // The dead chain dispatched rounds 0 and 1; each sibling ran all rounds.
+    let rounds = (STEPS / CHUNK) as u64;
+    assert_eq!(report.windows, 2 + rounds * (TILES as u64 - 1));
+}

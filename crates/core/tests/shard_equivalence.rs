@@ -1,0 +1,303 @@
+//! The sharded route's bitwise guarantee: splitting a grid into halo-exchanged
+//! tiles and pipelining windows over them produces results *bitwise identical* to
+//! running the same plan unsharded — across engines (TRAP/STRAP), boundary kinds
+//! (periodic, constant, clamp, coordinate-dependent, mixed) and dimensions
+//! (1D/2D/3D) — and the executor automatically takes the sharded route for grids
+//! that fail `should_compile`.
+
+use pochoir_core::boundary::{AxisRule, Boundary};
+use pochoir_core::engine::shard::ShardPlan;
+use pochoir_core::engine::{Coarsening, CompiledStencil, ExecutionPlan, Sharding};
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::{StencilKernel, StencilSpec};
+use pochoir_core::shape::star_shape;
+use pochoir_core::view::GridAccess;
+use pochoir_runtime::Serial;
+
+struct Heat1D;
+impl StencilKernel<f64, 1> for Heat1D {
+    fn update<A: GridAccess<f64, 1>>(&self, g: &A, t: i64, x: [i64; 1]) {
+        let v = 0.25 * g.get(t, [x[0] - 1]) + 0.5 * g.get(t, [x[0]]) + 0.25 * g.get(t, [x[0] + 1]);
+        g.set(t + 1, x, v);
+    }
+}
+
+struct Heat2D;
+impl StencilKernel<f64, 2> for Heat2D {
+    fn update<A: GridAccess<f64, 2>>(&self, g: &A, t: i64, x: [i64; 2]) {
+        let c = g.get(t, x);
+        let v = c
+            + 0.1 * (g.get(t, [x[0] - 1, x[1]]) + g.get(t, [x[0] + 1, x[1]]) - 2.0 * c)
+            + 0.12 * (g.get(t, [x[0], x[1] - 1]) + g.get(t, [x[0], x[1] + 1]) - 2.0 * c);
+        g.set(t + 1, x, v);
+    }
+}
+
+struct Heat3D;
+impl StencilKernel<f64, 3> for Heat3D {
+    fn update<A: GridAccess<f64, 3>>(&self, g: &A, t: i64, x: [i64; 3]) {
+        let c = g.get(t, x);
+        let v = c
+            + 0.05
+                * (g.get(t, [x[0] - 1, x[1], x[2]]) + g.get(t, [x[0] + 1, x[1], x[2]]) - 2.0 * c)
+            + 0.06
+                * (g.get(t, [x[0], x[1] - 1, x[2]]) + g.get(t, [x[0], x[1] + 1, x[2]]) - 2.0 * c)
+            + 0.07
+                * (g.get(t, [x[0], x[1], x[2] - 1]) + g.get(t, [x[0], x[1], x[2] + 1]) - 2.0 * c);
+        g.set(t + 1, x, v);
+    }
+}
+
+/// Runs `steps` of `kernel` both unsharded and through `shard_plan`, asserting the
+/// final state is bitwise identical in *every* time slice.
+fn assert_sharded_matches<K, const D: usize>(
+    make_array: impl Fn() -> PochoirArray<f64, D>,
+    kernel: &K,
+    plan: &ExecutionPlan<D>,
+    steps: i64,
+    shard_plan: &ShardPlan<D>,
+) where
+    K: StencilKernel<f64, D>,
+{
+    let spec = StencilSpec::new(star_shape::<D>(1));
+
+    let mut reference = make_array();
+    pochoir_core::engine::run(&mut reference, &spec, kernel, 0, steps, plan, &Serial);
+
+    let mut sharded = make_array();
+    let report = shard_plan
+        .execute(&mut sharded, &spec, plan, kernel, 0, steps, &Serial)
+        .expect("sharded execution must succeed");
+    assert_eq!(report.tiles, shard_plan.tiles().len() as u64);
+
+    // Gather copies every storage slot, so both retained time slices must agree.
+    assert_eq!(sharded.snapshot(steps), reference.snapshot(steps));
+    assert_eq!(sharded.snapshot(steps - 1), reference.snapshot(steps - 1));
+}
+
+fn engines<const D: usize>() -> [ExecutionPlan<D>; 2] {
+    [ExecutionPlan::trap(), ExecutionPlan::strap()]
+}
+
+#[test]
+fn sharded_matches_unsharded_1d_all_boundaries() {
+    let boundaries: [(Boundary<f64, 1>, bool); 3] = [
+        (Boundary::Periodic, true),
+        (Boundary::Constant(1.25), false),
+        (Boundary::Clamp, false),
+    ];
+    for (boundary, periodic0) in boundaries {
+        for plan in engines::<1>() {
+            let plan = plan.with_coarsening(Coarsening::new(2, [4]));
+            let shard_plan = ShardPlan::new([64], 1, 4, &[20, 31, 13], periodic0);
+            let boundary = boundary.clone();
+            assert_sharded_matches(
+                move || {
+                    let mut a = PochoirArray::<f64, 1>::new([64]);
+                    a.register_boundary(boundary.clone());
+                    a.fill_time_slice(0, |x| ((x[0] * 13 + 7) % 23) as f64 * 0.5);
+                    a
+                },
+                &Heat1D,
+                &plan,
+                13,
+                &shard_plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_unsharded_2d_all_boundaries() {
+    let boundaries: [(Boundary<f64, 2>, bool); 3] = [
+        (Boundary::Periodic, true),
+        (Boundary::Constant(-2.5), false),
+        (Boundary::Clamp, false),
+    ];
+    for (boundary, periodic0) in boundaries {
+        for plan in engines::<2>() {
+            let plan = plan.with_coarsening(Coarsening::new(2, [5, 5]));
+            let shard_plan = ShardPlan::new([40, 28], 1, 3, &[13, 27], periodic0);
+            let boundary = boundary.clone();
+            assert_sharded_matches(
+                move || {
+                    let mut a = PochoirArray::<f64, 2>::new([40, 28]);
+                    a.register_boundary(boundary.clone());
+                    a.fill_time_slice(0, |x| ((x[0] * 7 + x[1] * 3) % 17) as f64);
+                    a
+                },
+                &Heat2D,
+                &plan,
+                10,
+                &shard_plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_unsharded_3d_all_boundaries() {
+    let boundaries: [(Boundary<f64, 3>, bool); 3] = [
+        (Boundary::Periodic, true),
+        (Boundary::Constant(0.75), false),
+        (Boundary::Clamp, false),
+    ];
+    for (boundary, periodic0) in boundaries {
+        for plan in engines::<3>() {
+            let plan = plan.with_coarsening(Coarsening::new(2, [4, 4, 4]));
+            let shard_plan = ShardPlan::new([16, 12, 10], 1, 2, &[5, 6, 5], periodic0);
+            let boundary = boundary.clone();
+            assert_sharded_matches(
+                move || {
+                    let mut a = PochoirArray::<f64, 3>::new([16, 12, 10]);
+                    a.register_boundary(boundary.clone());
+                    a.fill_time_slice(0, |x| ((x[0] * 5 + x[1] * 3 + x[2]) % 11) as f64);
+                    a
+                },
+                &Heat3D,
+                &plan,
+                6,
+                &shard_plan,
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_rebases_coordinate_dependent_boundaries() {
+    // A boundary whose value depends on the *global* coordinate: tiles must rebase
+    // local coordinates or the truncated-halo tiles resolve the wrong values.
+    for plan in engines::<2>() {
+        let plan = plan.with_coarsening(Coarsening::new(2, [5, 5]));
+        let shard_plan = ShardPlan::new([36, 20], 1, 3, &[9, 15, 12], false);
+        assert_sharded_matches(
+            move || {
+                let mut a = PochoirArray::<f64, 2>::new([36, 20]);
+                a.register_boundary(Boundary::constant_fn(|t, x: [i64; 2]| {
+                    (t * 3 + x[0] * 7 - x[1]) as f64 * 0.25
+                }));
+                a.fill_time_slice(0, |x| ((x[0] + x[1] * 5) % 13) as f64);
+                a
+            },
+            &Heat2D,
+            &plan,
+            9,
+            &shard_plan,
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_unsharded_mixed_boundary() {
+    // Axis 0 periodic (cyclic halos), axis 1 constant — the Mixed rules transfer to
+    // tiles verbatim because the inner extents are unchanged.
+    for plan in engines::<2>() {
+        let plan = plan.with_coarsening(Coarsening::new(2, [5, 5]));
+        let shard_plan = ShardPlan::new([30, 22], 1, 3, &[11, 19], true);
+        assert_sharded_matches(
+            move || {
+                let mut a = PochoirArray::<f64, 2>::new([30, 22]);
+                a.register_boundary(Boundary::Mixed([
+                    AxisRule::Periodic,
+                    AxisRule::Constant(3.5),
+                ]));
+                a.fill_time_slice(0, |x| ((x[0] * 11 + x[1]) % 19) as f64);
+                a
+            },
+            &Heat2D,
+            &plan,
+            9,
+            &shard_plan,
+        );
+    }
+}
+
+/// The acceptance scenario: a grid `should_compile` rejects runs through sharded
+/// compiled tiles — automatically, via the executor fallback — and stays bitwise
+/// equal to the recursive reference.
+#[test]
+fn executor_auto_shards_rejected_giants_bitwise() {
+    let n = 400_000usize;
+    let steps = 8i64;
+    let spec = StencilSpec::new(star_shape::<1>(1));
+    let coarsening = Coarsening::none();
+    assert!(
+        !pochoir_core::engine::schedule::should_compile([n as i64], &coarsening, steps),
+        "test geometry must be a genuine giant"
+    );
+
+    let make = || {
+        let mut a = PochoirArray::<f64, 1>::new([n]);
+        a.register_boundary(Boundary::Periodic);
+        a.fill_time_slice(0, |x| ((x[0] * 31 + 5) % 257) as f64 * 0.125);
+        a
+    };
+
+    // Reference: the recursive walker (sharding forced off).
+    let recursive_plan = ExecutionPlan::trap()
+        .with_coarsening(coarsening)
+        .with_sharding(Sharding::Off);
+    let mut reference = make();
+    pochoir_core::engine::run(
+        &mut reference,
+        &spec,
+        &Heat1D,
+        0,
+        steps,
+        &recursive_plan,
+        &Serial,
+    );
+
+    // The default plan auto-shards on rejection.
+    let auto_plan = ExecutionPlan::trap().with_coarsening(coarsening);
+    assert_eq!(auto_plan.sharding, Sharding::Auto);
+    let session = CompiledStencil::new(spec.clone(), Heat1D, auto_plan, [n], steps);
+    let mut sharded = make();
+    session.run_with(&mut sharded, 0, steps, &Serial);
+
+    let stats = session.stats();
+    assert_eq!(
+        stats.sharded_runs, 1,
+        "the giant must take the sharded route"
+    );
+    assert_eq!(stats.recursive_runs, 0);
+    assert!(stats.schedule_rejections >= 1);
+    assert_eq!(sharded.snapshot(steps), reference.snapshot(steps));
+    assert_eq!(sharded.snapshot(steps - 1), reference.snapshot(steps - 1));
+}
+
+/// `Sharding::Tiles(k)` forces the tile count on the fallback route.
+#[test]
+fn forced_tile_count_is_honoured_and_bitwise() {
+    let n = 4096usize;
+    let steps = 6i64;
+    let spec = StencilSpec::new(star_shape::<1>(1));
+    let make = || {
+        let mut a = PochoirArray::<f64, 1>::new([n]);
+        a.register_boundary(Boundary::Constant(0.0));
+        a.fill_time_slice(0, |x| ((x[0] * 3 + 1) % 97) as f64);
+        a
+    };
+    let plan = ExecutionPlan::trap()
+        .with_coarsening(Coarsening::new(2, [8]))
+        .with_sharding(Sharding::Tiles(5));
+
+    let mut reference = make();
+    pochoir_core::engine::run(
+        &mut reference,
+        &spec,
+        &Heat1D,
+        0,
+        steps,
+        &plan.with_sharding(Sharding::Off),
+        &Serial,
+    );
+
+    let session = CompiledStencil::new(spec, Heat1D, plan, [n], steps);
+    let mut sharded = make();
+    let report = session
+        .run_sharded_with(&mut sharded, 0, steps, &Serial)
+        .expect("forced tiling must shard");
+    assert_eq!(report.tiles, 5);
+    assert_eq!(sharded.snapshot(steps), reference.snapshot(steps));
+}

@@ -126,7 +126,7 @@ pub struct Pochoir<T, const D: usize> {
 
 impl<T, const D: usize> Pochoir<T, D>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
 {
     /// Creates a Pochoir object with the given stencil shape
     /// (`Pochoir_2D heat(2D_five_pt)` in Figure 6).
@@ -386,7 +386,7 @@ where
     }
 }
 
-impl<T: Copy + Send + Sync + Default, const D: usize> Pochoir<T, D> {
+impl<T: Copy + Send + Sync + Default + 'static, const D: usize> Pochoir<T, D> {
     /// Convenience constructor: creates the Pochoir object *and* a registered array of
     /// the given spatial extents with the shape-implied number of time slices.
     pub fn with_array(shape: Shape<D>, sizes: [usize; D]) -> Self {

@@ -31,6 +31,9 @@ pub struct Metrics {
     registry_poison_recoveries: AtomicU64,
     simd_rows_sse2: AtomicU64,
     simd_rows_avx2: AtomicU64,
+    schedule_compile_rejections: AtomicU64,
+    shard_tiles: AtomicU64,
+    shard_halo_cells: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -80,6 +83,15 @@ pub struct MetricsSnapshot {
     /// Grid rows executed by an AVX2-specialized row-kernel body during runs
     /// reported to this runtime.
     pub simd_rows_avx2: u64,
+    /// Window runs whose geometry failed `should_compile` and were demoted off the
+    /// compiled-arena path (onto sharded tiles or the recursive reference walker).
+    pub schedule_compile_rejections: u64,
+    /// Tile executions launched by sharded giant-grid runs (one count per tile per
+    /// window phase).
+    pub shard_tiles: u64,
+    /// Grid cells copied by shard halo-exchange syncs between tile neighbours
+    /// (seam strips only; the one-time scatter/gather is not counted).
+    pub shard_halo_cells: u64,
 }
 
 impl Metrics {
@@ -175,6 +187,22 @@ impl Metrics {
     }
 
     #[inline]
+    pub(crate) fn note_schedule_compile_rejections(&self, rejections: u64) {
+        self.schedule_compile_rejections
+            .fetch_add(rejections, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_shard_tiles(&self, tiles: u64) {
+        self.shard_tiles.fetch_add(tiles, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_shard_halo_cells(&self, cells: u64) {
+        self.shard_halo_cells.fetch_add(cells, Ordering::Relaxed);
+    }
+
+    #[inline]
     pub(crate) fn note_schedule_cache(&self, hit: bool) {
         if hit {
             self.schedule_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -225,6 +253,9 @@ impl Metrics {
             registry_poison_recoveries: self.registry_poison_recoveries.load(Ordering::Relaxed),
             simd_rows_sse2: self.simd_rows_sse2.load(Ordering::Relaxed),
             simd_rows_avx2: self.simd_rows_avx2.load(Ordering::Relaxed),
+            schedule_compile_rejections: self.schedule_compile_rejections.load(Ordering::Relaxed),
+            shard_tiles: self.shard_tiles.load(Ordering::Relaxed),
+            shard_halo_cells: self.shard_halo_cells.load(Ordering::Relaxed),
         }
     }
 }
@@ -270,6 +301,11 @@ impl MetricsSnapshot {
                 .saturating_sub(self.registry_poison_recoveries),
             simd_rows_sse2: later.simd_rows_sse2.saturating_sub(self.simd_rows_sse2),
             simd_rows_avx2: later.simd_rows_avx2.saturating_sub(self.simd_rows_avx2),
+            schedule_compile_rejections: later
+                .schedule_compile_rejections
+                .saturating_sub(self.schedule_compile_rejections),
+            shard_tiles: later.shard_tiles.saturating_sub(self.shard_tiles),
+            shard_halo_cells: later.shard_halo_cells.saturating_sub(self.shard_halo_cells),
         }
     }
 }
@@ -365,6 +401,22 @@ mod tests {
         let d = s.delta(&m.snapshot());
         assert_eq!(d.simd_rows_sse2, 1);
         assert_eq!(d.simd_rows_avx2, 1);
+    }
+
+    #[test]
+    fn shard_counters() {
+        let m = Metrics::new();
+        m.note_schedule_compile_rejections(1);
+        m.note_shard_tiles(8);
+        m.note_shard_halo_cells(1024);
+        let s = m.snapshot();
+        assert_eq!(s.schedule_compile_rejections, 1);
+        assert_eq!(s.shard_tiles, 8);
+        assert_eq!(s.shard_halo_cells, 1024);
+        m.note_shard_tiles(2);
+        let d = s.delta(&m.snapshot());
+        assert_eq!(d.shard_tiles, 2);
+        assert_eq!(d.shard_halo_cells, 0);
     }
 
     #[test]

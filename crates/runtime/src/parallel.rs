@@ -96,6 +96,20 @@ pub trait Parallelism: Sync {
     /// keeps scheduler metrics.  The default is a no-op.
     fn note_simd_rows(&self, _sse2: u64, _avx2: u64) {}
 
+    /// Records window runs whose geometry failed the compiled-path size gate and
+    /// were demoted (onto sharded tiles or the recursive reference walker), if this
+    /// provider keeps scheduler metrics.  The default is a no-op.
+    fn note_schedule_compile_rejections(&self, _rejections: u64) {}
+
+    /// Records tile executions launched by a sharded giant-grid run this provider
+    /// drove, if this provider keeps scheduler metrics.  The default is a no-op.
+    fn note_shard_tiles(&self, _tiles: u64) {}
+
+    /// Records grid cells copied by shard halo-exchange syncs between tile
+    /// neighbours, if this provider keeps scheduler metrics.  The default is a
+    /// no-op.
+    fn note_shard_halo_cells(&self, _cells: u64) {}
+
     /// Executes one pending unit of this provider's work on the calling thread, if
     /// the calling thread belongs to the provider and work is available; returns
     /// whether anything ran.  Wait loops call this so a waiting core keeps doing
@@ -210,6 +224,18 @@ impl Parallelism for Runtime {
         Runtime::note_simd_rows(self, sse2, avx2);
     }
 
+    fn note_schedule_compile_rejections(&self, rejections: u64) {
+        Runtime::note_schedule_compile_rejections(self, rejections);
+    }
+
+    fn note_shard_tiles(&self, tiles: u64) {
+        Runtime::note_shard_tiles(self, tiles);
+    }
+
+    fn note_shard_halo_cells(&self, cells: u64) {
+        Runtime::note_shard_halo_cells(self, cells);
+    }
+
     fn help_one(&self) -> bool {
         Runtime::help_one(self)
     }
@@ -283,6 +309,18 @@ impl<P: Parallelism> Parallelism for &P {
 
     fn note_simd_rows(&self, sse2: u64, avx2: u64) {
         (**self).note_simd_rows(sse2, avx2);
+    }
+
+    fn note_schedule_compile_rejections(&self, rejections: u64) {
+        (**self).note_schedule_compile_rejections(rejections);
+    }
+
+    fn note_shard_tiles(&self, tiles: u64) {
+        (**self).note_shard_tiles(tiles);
+    }
+
+    fn note_shard_halo_cells(&self, cells: u64) {
+        (**self).note_shard_halo_cells(cells);
     }
 
     fn help_one(&self) -> bool {

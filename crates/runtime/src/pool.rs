@@ -179,6 +179,24 @@ impl Runtime {
         self.registry.metrics().note_simd_rows(sse2, avx2);
     }
 
+    /// Records window runs demoted off the compiled-arena path because their
+    /// geometry failed `should_compile`.
+    pub fn note_schedule_compile_rejections(&self, rejections: u64) {
+        self.registry
+            .metrics()
+            .note_schedule_compile_rejections(rejections);
+    }
+
+    /// Records tile executions launched by sharded giant-grid runs this pool drove.
+    pub fn note_shard_tiles(&self, tiles: u64) {
+        self.registry.metrics().note_shard_tiles(tiles);
+    }
+
+    /// Records grid cells copied by shard halo-exchange syncs this pool drove.
+    pub fn note_shard_halo_cells(&self, cells: u64) {
+        self.registry.metrics().note_shard_halo_cells(cells);
+    }
+
     /// Jobs executed per worker since the pool started — the pool's work
     /// distribution.  One slot per worker thread; serving benchmarks report it to
     /// show batch- and window-level work actually spreading across the pool.

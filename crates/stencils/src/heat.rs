@@ -189,6 +189,36 @@ pub fn try_serve_2d(
     )
 }
 
+/// A serving preset for giant 1D heat grids — extents that fail `should_compile`
+/// uncoarsened and therefore take the sharded route (see `docs/sharding.md`): an
+/// intentionally uncoarsened TRAP plan with `Sharding::Auto`, so
+/// [`submit_sharded`](StencilServer::submit_sharded) scatters each submission into
+/// halo-exchanged compiled tile chains that the drain schedules as one tenant group.
+///
+/// ```
+/// use pochoir_core::boundary::Boundary;
+/// use pochoir_core::engine::TicketOutcome;
+/// use pochoir_stencils::heat;
+///
+/// let mut server = heat::serve_giant_1d(600_000, 4);
+/// let mut grid = heat::build([600_000], Boundary::Periodic);
+/// grid.set(0, [300_000], 100.0);
+/// let lead = server.submit_sharded(grid, 0, 8, Default::default());
+/// let results = server.drain(); // tile chains + exchange barriers, pipelined
+/// let report = server.last_drain().unwrap();
+/// assert!(report.outcomes.iter().all(|o| matches!(o, TicketOutcome::Completed)));
+/// assert_eq!(results[lead].snapshot(8).len(), 600_000); // the reassembled giant
+/// ```
+pub fn serve_giant_1d(n: usize, window: i64) -> StencilServer<f64, HeatKernel<1>, 1> {
+    StencilServer::new(
+        StencilSpec::new(shape::<1>()),
+        HeatKernel::<1>::default(),
+        ExecutionPlan::trap().with_coarsening(Coarsening::none()),
+        [n],
+        window,
+    )
+}
+
 /// Builds an initialized heat array: a smooth bump plus deterministic pseudo-random
 /// noise, with the requested boundary condition.
 pub fn build<const D: usize>(
