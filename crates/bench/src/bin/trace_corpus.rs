@@ -1,0 +1,64 @@
+//! Materializes the built-in trace corpus under `traces/` (one JSON file per
+//! trace, file stem = trace name).  The output is byte-deterministic — pinned
+//! seeds, integer-only generators — so regenerating on any machine reproduces
+//! the committed files exactly; `crates/bench/tests/corpus.rs` enforces that.
+//!
+//! Usage: `trace_corpus [--dir DIR] [--check]`
+//!
+//! `--check` verifies the files on disk against the built-in definition instead
+//! of writing (exit 1 on drift) — the same comparison the test suite pins,
+//! available without a test harness.
+
+use pochoir_trace::corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "trace_corpus: write the built-in trace corpus as traces/*.json\n\
+             usage: trace_corpus [--dir DIR] [--check]"
+        );
+        return;
+    }
+    let dir = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "traces".to_string());
+    let check = args.iter().any(|a| a == "--check");
+
+    let corpus = corpus::standard();
+    if check {
+        let mut drifted = false;
+        for trace in &corpus {
+            let path = format!("{dir}/{}.json", trace.name);
+            match std::fs::read_to_string(&path) {
+                Ok(text) if text == trace.emit() => println!("{path}: ok"),
+                Ok(_) => {
+                    eprintln!("{path}: differs from the built-in corpus definition");
+                    drifted = true;
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    drifted = true;
+                }
+            }
+        }
+        if drifted {
+            eprintln!("corpus drift: run `cargo run -p pochoir-bench --bin trace_corpus`");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    for trace in &corpus {
+        let path = format!("{dir}/{}.json", trace.name);
+        std::fs::write(&path, trace.emit()).expect("write trace");
+        println!(
+            "wrote {path} ({} records, seed {:#x})",
+            trace.records.len(),
+            trace.seed
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Emits `BENCH_traffic.json`: the trace-driven traffic replay harness.
+//!
+//! Replays every trace of the committed corpus (`traces/*.json` — or the built-in
+//! [`pochoir_trace::corpus`] definition when the directory is absent) through
+//! [`StencilServer`](pochoir_core::engine::StencilServer) under the three drain
+//! disciplines, and reports per trace:
+//!
+//! * advisory throughput (Mpts/s per discipline — wall-clock, machine-dependent);
+//! * deterministic scheduler outcomes: windows dispatched, epoch drains,
+//!   drain-local completion-tick percentiles, deadline misses;
+//! * deterministic session totals (schedule compiles / reuses / rejections /
+//!   sharded runs) and session-registry deltas (hits / misses / evictions);
+//! * the fault-isolation counters (shed / retries / quarantined / poison);
+//! * two bitwise flags pinning pipelined and barrier drains to the per-array
+//!   sequential baseline, digest-for-digest.
+//!
+//! A final **pressure** cell replays the diurnal trace under a tight
+//! `max_pending` admission quota, so the shed path appears with deterministic
+//! nonzero counts in the same artifact.
+//!
+//! Every non-timing field is deterministic at `POCHOIR_NUM_THREADS=1` (see
+//! `docs/traffic.md`); the CI gate (`bench_check`) compares those fields strictly
+//! against `baselines/BENCH_traffic.json`.
+//!
+//! Usage: `traffic_replay_json [--traces DIR] [--out PATH]`
+
+use pochoir_bench::apps::observe_serving_traffic;
+use pochoir_bench::replay::{
+    digests_agree, percentile, replay, replay_with_sessions, Discipline, ReplayOptions,
+};
+use pochoir_bench::{out_path_from_args, provenance_json_fields};
+use pochoir_core::engine::serving::{registry_stats, set_registry_capacity, RegistryStats};
+use pochoir_core::engine::AdmissionPolicy;
+use pochoir_trace::{corpus, Trace};
+
+/// Registry capacity the replay pins: below the churn trace's distinct-geometry
+/// count, so registry evictions are exercised (and counted) deterministically.
+const REGISTRY_CAPACITY: usize = 16;
+
+/// Pending-queue quota for the pressure cell: far below the diurnal trace's peak
+/// epoch, so admission sheds a deterministic, nonzero slice of the burst.
+const PRESSURE_MAX_PENDING: usize = 4;
+
+fn delta(before: &RegistryStats, after: &RegistryStats) -> RegistryStats {
+    RegistryStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        evictions: after.evictions - before.evictions,
+        quarantined: after.quarantined - before.quarantined,
+    }
+}
+
+/// Loads the corpus from `dir` (every committed trace by its corpus name), or
+/// falls back to the built-in definition — byte-identical by the corpus pin test.
+fn load_traces(dir: &str) -> Vec<Trace> {
+    let builtin = corpus::standard();
+    if !std::path::Path::new(dir).is_dir() {
+        eprintln!("traffic_replay_json: no {dir}/ directory; using the built-in corpus");
+        return builtin;
+    }
+    builtin
+        .into_iter()
+        .map(|t| {
+            let path = format!("{dir}/{}.json", t.name);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with trace_corpus)"));
+            Trace::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "traffic_replay_json: replay the committed trace corpus through the serving \
+             layer and write BENCH_traffic.json\n\
+             usage: traffic_replay_json [--traces DIR] [--out PATH]"
+        );
+        return;
+    }
+    let traces_dir = args
+        .iter()
+        .position(|a| a == "--traces")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "traces".to_string());
+    let out_path = out_path_from_args("BENCH_traffic.json");
+
+    set_registry_capacity(REGISTRY_CAPACITY);
+    let traces = load_traces(&traces_dir);
+    let workers = pochoir_runtime::Runtime::global().num_threads();
+    let no_admission = ReplayOptions::default();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"traffic_replay\",\n");
+    json.push_str("  \"format\": \"pochoir-bench-traffic\",\n");
+    json.push_str("  \"version\": 1,\n");
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"registry_capacity\": {REGISTRY_CAPACITY},\n"));
+    json.push_str(&provenance_json_fields("  "));
+    json.push_str("  \"traces\": [\n");
+
+    for (ti, trace) in traces.iter().enumerate() {
+        eprintln!(
+            "replaying {} ({} records, {} servers)...",
+            trace.name,
+            trace.records.len(),
+            trace.distinct_servers()
+        );
+        let registry_before = registry_stats();
+        let ((pipelined, sessions), traffic) = observe_serving_traffic(|| {
+            replay_with_sessions(trace, Discipline::Pipelined, &no_admission)
+        });
+        let registry = delta(&registry_before, &registry_stats());
+        let barrier = replay(trace, Discipline::Barrier, &no_admission);
+        let sequential = replay(trace, Discipline::Sequential, &no_admission);
+
+        let mpts = |points: f64, elapsed: f64| {
+            if elapsed > 0.0 {
+                points / elapsed / 1e6
+            } else {
+                0.0
+            }
+        };
+        let deadline_total = trace
+            .records
+            .iter()
+            .filter(|r| r.deadline.is_some())
+            .count();
+        let sharded_submissions = trace
+            .records
+            .iter()
+            .filter(|r| r.app == pochoir_trace::TraceApp::HeatGiant1d)
+            .count();
+        let p50 = percentile(&pipelined.completion_ticks, 50);
+        let p99 = percentile(&pipelined.completion_ticks, 99);
+
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"trace\": \"{}\",\n", trace.name));
+        json.push_str(&format!("      \"seed\": {},\n", trace.seed));
+        json.push_str(&format!("      \"records\": {},\n", trace.records.len()));
+        json.push_str(&format!(
+            "      \"accepted\": {},\n",
+            trace.records.len() as u64 - pipelined.shed
+        ));
+        json.push_str(&format!("      \"shed\": {},\n", pipelined.shed));
+        json.push_str(&format!("      \"servers\": {},\n", sessions.servers));
+        json.push_str(&format!(
+            "      \"sharded_submissions\": {sharded_submissions},\n"
+        ));
+        json.push_str(&format!("      \"points\": {},\n", pipelined.points as u64));
+        json.push_str(&format!(
+            "      \"pipelined_mpoints_per_s\": {:.3},\n",
+            mpts(pipelined.points, pipelined.elapsed)
+        ));
+        json.push_str(&format!(
+            "      \"barrier_mpoints_per_s\": {:.3},\n",
+            mpts(barrier.points, barrier.elapsed)
+        ));
+        json.push_str(&format!(
+            "      \"sequential_mpoints_per_s\": {:.3},\n",
+            mpts(sequential.points, sequential.elapsed)
+        ));
+        json.push_str(&format!("      \"windows\": {},\n", pipelined.windows));
+        json.push_str(&format!("      \"drains\": {},\n", pipelined.drains));
+        json.push_str(&format!(
+            "      \"peak_ready\": {},\n",
+            pipelined.peak_ready
+        ));
+        json.push_str(&format!("      \"deadline_total\": {deadline_total},\n"));
+        json.push_str(&format!(
+            "      \"deadline_misses\": {},\n",
+            pipelined.deadline_misses
+        ));
+        json.push_str(&format!("      \"completion_p50\": {p50},\n"));
+        json.push_str(&format!("      \"completion_p99\": {p99},\n"));
+        json.push_str("      \"session\": {\n");
+        json.push_str(&format!("        \"runs\": {},\n", sessions.runs));
+        json.push_str(&format!(
+            "        \"schedule_reuses\": {},\n",
+            sessions.schedule_reuses
+        ));
+        json.push_str(&format!(
+            "        \"schedule_fetches\": {},\n",
+            sessions.schedule_fetches
+        ));
+        json.push_str(&format!(
+            "        \"schedule_compiles\": {},\n",
+            sessions.schedule_compiles
+        ));
+        json.push_str(&format!(
+            "        \"schedule_rejections\": {},\n",
+            sessions.schedule_rejections
+        ));
+        json.push_str(&format!(
+            "        \"sharded_runs\": {}\n",
+            sessions.sharded_runs
+        ));
+        json.push_str("      },\n");
+        json.push_str("      \"registry\": {\n");
+        json.push_str(&format!("        \"hits\": {},\n", registry.hits));
+        json.push_str(&format!("        \"misses\": {},\n", registry.misses));
+        json.push_str(&format!("        \"evictions\": {},\n", registry.evictions));
+        json.push_str(&format!(
+            "        \"quarantined\": {}\n",
+            registry.quarantined
+        ));
+        json.push_str("      },\n");
+        json.push_str("      \"traffic\": {\n");
+        json.push_str(&format!("        \"shed\": {},\n", traffic.shed));
+        json.push_str(&format!("        \"retries\": {},\n", traffic.retries));
+        json.push_str(&format!(
+            "        \"quarantined\": {},\n",
+            traffic.quarantined
+        ));
+        json.push_str(&format!(
+            "        \"poison_recoveries\": {},\n",
+            traffic.poison_recoveries
+        ));
+        json.push_str(&format!(
+            "        \"queue_depth_peak\": {}\n",
+            traffic.queue_depth_peak
+        ));
+        json.push_str("      },\n");
+        json.push_str(&format!(
+            "      \"bitwise_pipelined_vs_sequential\": {},\n",
+            digests_agree(&pipelined, &sequential)
+        ));
+        json.push_str(&format!(
+            "      \"bitwise_barrier_vs_sequential\": {}\n",
+            digests_agree(&barrier, &sequential)
+        ));
+        json.push_str("    }");
+        json.push_str(if ti + 1 < traces.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    // Pressure cell: the diurnal burst under a tight pending quota — admission
+    // sheds deterministically at submit time, and the records that do run stay
+    // bitwise-pinned to the sequential baseline.
+    let diurnal = traces
+        .iter()
+        .find(|t| t.name == "diurnal")
+        .unwrap_or(&traces[0]);
+    let pressured = replay(
+        diurnal,
+        Discipline::Pipelined,
+        &ReplayOptions {
+            admission: Some(AdmissionPolicy {
+                max_pending: Some(PRESSURE_MAX_PENDING),
+                ..AdmissionPolicy::default()
+            }),
+        },
+    );
+    let sequential = replay(diurnal, Discipline::Sequential, &no_admission);
+    json.push_str("  \"pressure\": {\n");
+    json.push_str(&format!("    \"trace\": \"{}\",\n", diurnal.name));
+    json.push_str(&format!("    \"max_pending\": {PRESSURE_MAX_PENDING},\n"));
+    json.push_str(&format!("    \"records\": {},\n", diurnal.records.len()));
+    json.push_str(&format!(
+        "    \"accepted\": {},\n",
+        diurnal.records.len() as u64 - pressured.shed
+    ));
+    json.push_str(&format!("    \"shed\": {},\n", pressured.shed));
+    json.push_str(&format!("    \"windows\": {},\n", pressured.windows));
+    json.push_str(&format!(
+        "    \"deadline_misses\": {},\n",
+        pressured.deadline_misses
+    ));
+    json.push_str(&format!(
+        "    \"bitwise_accepted_vs_sequential\": {}\n",
+        digests_agree(&pressured, &sequential)
+    ));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_traffic.json");
+    println!("wrote {out_path}");
+}

@@ -24,6 +24,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod check;
+pub mod replay;
 
 pub use apps::{Fig3Config, Fig3Row, FIG3_ROWS};
 

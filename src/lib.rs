@@ -18,6 +18,8 @@
 //! * [`analysis`] (`pochoir-analysis`) — the Cilkview-style work/span analyzer.
 //! * [`cachesim`] (`pochoir-cachesim`) — the ideal-cache and set-associative simulators.
 //! * [`autotune`] (`pochoir-autotune`) — ISAT-style coarsening/block tuning.
+//! * [`trace`] (`pochoir-trace`) — the traffic-trace format, generators and corpus
+//!   behind the trace-replay benchmark harness.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use pochoir_core as core;
 pub use pochoir_dsl as dsl;
 pub use pochoir_runtime as runtime;
 pub use pochoir_stencils as stencils;
+pub use pochoir_trace as trace;
 
 /// The most commonly used types, re-exported from `pochoir-core` and friends.
 pub mod prelude {
