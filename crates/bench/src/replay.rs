@@ -22,7 +22,6 @@
 
 use std::collections::BTreeMap;
 
-use pochoir_core::boundary::Boundary;
 use pochoir_core::engine::{
     run_batch, AdmissionPolicy, BatchRun, Coarsening, DrainReport, ExecutionPlan, ServeError,
     Sharding, StencilServer, SubmitOptions,
@@ -32,6 +31,7 @@ use pochoir_core::kernel::{StencilKernel, StencilSpec};
 use pochoir_runtime::Runtime;
 use pochoir_stencils::heat::HeatKernel;
 use pochoir_stencils::life::LifeKernel;
+use pochoir_stencils::traffic::{digest_grid, heat_grid, life_grid, usizes, wave_grid, DigestBits};
 use pochoir_stencils::wave::WaveKernel;
 use pochoir_stencils::{heat, life, wave};
 use pochoir_trace::corpus::GIANT_TILES;
@@ -122,48 +122,6 @@ macro_rules! with_server {
     };
 }
 
-/// Element types the digest can see through.  Floats hash their IEEE bit
-/// patterns, so "equal digest" means bitwise-equal grids, not approximately-equal.
-trait DigestBits: Copy {
-    fn digest_bits(self) -> u64;
-}
-
-impl DigestBits for f64 {
-    fn digest_bits(self) -> u64 {
-        self.to_bits()
-    }
-}
-
-impl DigestBits for u8 {
-    fn digest_bits(self) -> u64 {
-        u64::from(self)
-    }
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv_fold(mut hash: u64, value: u64) -> u64 {
-    for byte in value.to_le_bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
-/// FNV-1a over the final two time slices of a drained grid (`t1 - 1` then `t1`) —
-/// both slices of the cyclic buffer are live results for depth-2 stencils like
-/// wave, and hashing both makes the bitwise claim cover the full final state.
-fn digest_grid<T: DigestBits, const D: usize>(grid: &PochoirArray<T, D>, t1: i64) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for t in [(t1 - 1).max(0), t1] {
-        for v in grid.snapshot(t) {
-            hash = fnv_fold(hash, v.digest_bits());
-        }
-    }
-    hash
-}
-
 /// Bookkeeping for one queue ticket: which trace record it belongs to, the time
 /// horizon to digest at, and whether this ticket holds the record's result (the
 /// member tiles of a sharded group are scaffolding, not results).
@@ -177,45 +135,6 @@ struct QueuedTicket {
 struct ReplayServer {
     inner: AnyServer,
     queued: Vec<QueuedTicket>,
-}
-
-/// Deterministic tenant grid for a heat geometry: the shared smooth-bump initial
-/// condition plus a per-tenant hot spot.
-fn heat_grid<const D: usize>(sizes: [usize; D], tenant: u32) -> PochoirArray<f64, D> {
-    let mut a = heat::build(sizes, Boundary::Periodic);
-    let mut spot = [0i64; D];
-    for d in 0..D {
-        spot[d] = i64::from(tenant) % sizes[d] as i64;
-    }
-    a.set(0, spot, 100.0 + f64::from(tenant));
-    a
-}
-
-fn life_grid(sizes: [usize; 2], tenant: u32) -> PochoirArray<u8, 2> {
-    life::build(sizes, 300 + u64::from(tenant))
-}
-
-/// Deterministic wave grid: the shared centred pulse plus a per-tenant bump on
-/// both time slices (the pulse starts at rest, so both slices carry it).
-fn wave_grid(sizes: [usize; 3], tenant: u32) -> PochoirArray<f64, 3> {
-    let mut a = wave::build(sizes);
-    let spot = [
-        i64::from(tenant) % sizes[0] as i64,
-        i64::from(tenant) % sizes[1] as i64,
-        i64::from(tenant) % sizes[2] as i64,
-    ];
-    let v = 1.5 + f64::from(tenant) * 0.25;
-    a.set(0, spot, v);
-    a.set(1, spot, v);
-    a
-}
-
-fn usizes<const D: usize>(geometry: &[u64]) -> [usize; D] {
-    let mut sizes = [0usize; D];
-    for (d, &g) in geometry.iter().enumerate() {
-        sizes[d] = g as usize;
-    }
-    sizes
 }
 
 impl ReplayServer {

@@ -34,6 +34,12 @@ pub struct Metrics {
     schedule_compile_rejections: AtomicU64,
     shard_tiles: AtomicU64,
     shard_halo_cells: AtomicU64,
+    net_connections: AtomicU64,
+    net_frames_in: AtomicU64,
+    net_frames_out: AtomicU64,
+    net_bytes_in: AtomicU64,
+    net_bytes_out: AtomicU64,
+    net_protocol_errors: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -92,6 +98,19 @@ pub struct MetricsSnapshot {
     /// Grid cells copied by shard halo-exchange syncs between tile neighbours
     /// (seam strips only; the one-time scatter/gather is not counted).
     pub shard_halo_cells: u64,
+    /// TCP connections accepted by a network stencil service in this process.
+    pub net_connections: u64,
+    /// Protocol frames decoded off client connections.
+    pub net_frames_in: u64,
+    /// Protocol frames written back to clients.
+    pub net_frames_out: u64,
+    /// Wire bytes read off client connections (length prefixes included).
+    pub net_bytes_in: u64,
+    /// Wire bytes written back to clients (length prefixes included).
+    pub net_bytes_out: u64,
+    /// Frames rejected as malformed (truncated, oversized, unknown opcode,
+    /// version mismatch, or a server-to-client opcode sent by a client).
+    pub net_protocol_errors: u64,
 }
 
 impl Metrics {
@@ -203,6 +222,30 @@ impl Metrics {
     }
 
     #[inline]
+    pub(crate) fn note_net_connections(&self, connections: u64) {
+        self.net_connections
+            .fetch_add(connections, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_net_frames_in(&self, frames: u64, bytes: u64) {
+        self.net_frames_in.fetch_add(frames, Ordering::Relaxed);
+        self.net_bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_net_frames_out(&self, frames: u64, bytes: u64) {
+        self.net_frames_out.fetch_add(frames, Ordering::Relaxed);
+        self.net_bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_net_protocol_errors(&self, errors: u64) {
+        self.net_protocol_errors
+            .fetch_add(errors, Ordering::Relaxed);
+    }
+
+    #[inline]
     pub(crate) fn note_schedule_cache(&self, hit: bool) {
         if hit {
             self.schedule_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -256,6 +299,12 @@ impl Metrics {
             schedule_compile_rejections: self.schedule_compile_rejections.load(Ordering::Relaxed),
             shard_tiles: self.shard_tiles.load(Ordering::Relaxed),
             shard_halo_cells: self.shard_halo_cells.load(Ordering::Relaxed),
+            net_connections: self.net_connections.load(Ordering::Relaxed),
+            net_frames_in: self.net_frames_in.load(Ordering::Relaxed),
+            net_frames_out: self.net_frames_out.load(Ordering::Relaxed),
+            net_bytes_in: self.net_bytes_in.load(Ordering::Relaxed),
+            net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
+            net_protocol_errors: self.net_protocol_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -306,6 +355,14 @@ impl MetricsSnapshot {
                 .saturating_sub(self.schedule_compile_rejections),
             shard_tiles: later.shard_tiles.saturating_sub(self.shard_tiles),
             shard_halo_cells: later.shard_halo_cells.saturating_sub(self.shard_halo_cells),
+            net_connections: later.net_connections.saturating_sub(self.net_connections),
+            net_frames_in: later.net_frames_in.saturating_sub(self.net_frames_in),
+            net_frames_out: later.net_frames_out.saturating_sub(self.net_frames_out),
+            net_bytes_in: later.net_bytes_in.saturating_sub(self.net_bytes_in),
+            net_bytes_out: later.net_bytes_out.saturating_sub(self.net_bytes_out),
+            net_protocol_errors: later
+                .net_protocol_errors
+                .saturating_sub(self.net_protocol_errors),
         }
     }
 }
@@ -417,6 +474,28 @@ mod tests {
         let d = s.delta(&m.snapshot());
         assert_eq!(d.shard_tiles, 2);
         assert_eq!(d.shard_halo_cells, 0);
+    }
+
+    #[test]
+    fn net_counters() {
+        let m = Metrics::new();
+        m.note_net_connections(2);
+        m.note_net_frames_in(1, 64);
+        m.note_net_frames_in(1, 16);
+        m.note_net_frames_out(3, 300);
+        m.note_net_protocol_errors(1);
+        let s = m.snapshot();
+        assert_eq!(s.net_connections, 2);
+        assert_eq!(s.net_frames_in, 2);
+        assert_eq!(s.net_bytes_in, 80);
+        assert_eq!(s.net_frames_out, 3);
+        assert_eq!(s.net_bytes_out, 300);
+        assert_eq!(s.net_protocol_errors, 1);
+        m.note_net_frames_in(1, 8);
+        let d = s.delta(&m.snapshot());
+        assert_eq!(d.net_frames_in, 1);
+        assert_eq!(d.net_bytes_in, 8);
+        assert_eq!(d.net_connections, 0);
     }
 
     #[test]

@@ -197,6 +197,29 @@ impl Runtime {
         self.registry.metrics().note_shard_halo_cells(cells);
     }
 
+    /// Records TCP connections accepted by a network stencil service feeding
+    /// this pool.
+    pub fn note_net_connections(&self, connections: u64) {
+        self.registry.metrics().note_net_connections(connections);
+    }
+
+    /// Records protocol frames (and their wire bytes, length prefix included)
+    /// decoded off client connections.
+    pub fn note_net_frames_in(&self, frames: u64, bytes: u64) {
+        self.registry.metrics().note_net_frames_in(frames, bytes);
+    }
+
+    /// Records protocol frames (and their wire bytes, length prefix included)
+    /// written back to clients.
+    pub fn note_net_frames_out(&self, frames: u64, bytes: u64) {
+        self.registry.metrics().note_net_frames_out(frames, bytes);
+    }
+
+    /// Records frames rejected as malformed by a network stencil service.
+    pub fn note_net_protocol_errors(&self, errors: u64) {
+        self.registry.metrics().note_net_protocol_errors(errors);
+    }
+
     /// Jobs executed per worker since the pool started — the pool's work
     /// distribution.  One slot per worker thread; serving benchmarks report it to
     /// show batch- and window-level work actually spreading across the pool.

@@ -1,0 +1,376 @@
+//! A small blocking client for the `pochoir-serve` wire protocol, plus the
+//! trace-driven load generator used by the e2e tests and the bench smoke step.
+//!
+//! The client is deliberately dumb: one [`TcpStream`], strictly
+//! request/response (every frame it sends is answered by exactly one frame),
+//! no internal threads.  Anything fancier — concurrency, retries, timeouts —
+//! is the caller's business, which keeps the tests honest about what crossed
+//! the wire.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use pochoir_core::grid::PochoirArray;
+use pochoir_stencils::traffic::{
+    digest_values, heat_grid, life_grid, usizes, wave_grid, DigestBits,
+};
+use pochoir_trace::{Trace, TraceApp};
+
+use crate::protocol::{
+    grid_to_bytes, read_frame, write_frame, Deadline, ElemType, ErrorCode, Frame, FrameError,
+    ReadError, RequestStatus, WireElem, PROTOCOL_VERSION,
+};
+
+/// Client-side failures, separating transport problems from typed server
+/// rejections.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed mid-exchange.
+    Io(io::Error),
+    /// The server's bytes did not decode as a frame.
+    Frame(FrameError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The server answered with a frame the protocol does not allow here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "undecodable server frame: {e}"),
+            ClientError::Server { code, detail } => {
+                write!(f, "server rejected request ({code:?}): {detail}")
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Eof => ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            ReadError::Io(e) => ClientError::Io(e),
+            ReadError::Frame(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+/// A negotiated session: the server-assigned handle plus the geometry it is
+/// bound to.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Server-assigned session id, echoed on every submit.
+    pub id: u32,
+    /// The served application.
+    pub app: TraceApp,
+    /// Grid extents, slowest dimension first.
+    pub geometry: Vec<u64>,
+    /// The session's dispatch window (trace `chunk`), confirmed by the server.
+    pub window: i64,
+}
+
+/// A fetched result: the raw payload slices plus enough shape to digest them.
+#[derive(Clone, Debug)]
+pub struct FetchedResult {
+    /// Element type of the payload.
+    pub elem: ElemType,
+    /// The kernel-invocation horizon the result was taken at.
+    pub t1: i64,
+    /// Cells per time slice.
+    pub slice_len: u64,
+    /// `2 * slice_len * elem.size()` bytes: slices `t1-1` and `t1`.
+    pub bytes: Vec<u8>,
+}
+
+impl FetchedResult {
+    /// The FNV-1a digest of the payload, bit-identical to
+    /// [`digest_grid`](pochoir_stencils::traffic::digest_grid) of the array
+    /// the server drained.
+    pub fn digest(&self) -> u64 {
+        match self.elem {
+            ElemType::F64 => digest_values(&decode_slices::<f64>(self)),
+            ElemType::U8 => digest_values(&decode_slices::<u8>(self)),
+        }
+    }
+}
+
+fn decode_slices<T: WireElem + DigestBits>(r: &FetchedResult) -> Vec<Vec<T>> {
+    let elem = T::ELEM.size();
+    let per_slice = r.slice_len as usize * elem;
+    r.bytes
+        .chunks(per_slice.max(1))
+        .map(|chunk| chunk.chunks(elem).map(T::take).collect())
+        .collect()
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and completes the `Hello`/`HelloAck` version handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Client { stream };
+        match client.roundtrip(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Frame::HelloAck { .. } => Ok(client),
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Keeps connecting until the server answers the handshake or the timeout
+    /// elapses — for scripts that race the client against server startup.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let started = Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if started.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Negotiates (or re-joins) the session for `(app, geometry, window)`.
+    pub fn negotiate(
+        &mut self,
+        app: TraceApp,
+        geometry: &[u64],
+        window: i64,
+    ) -> Result<Session, ClientError> {
+        match self.roundtrip(&Frame::Negotiate {
+            app,
+            geometry: geometry.to_vec(),
+            chunk: window,
+        })? {
+            Frame::SessionAck { session, window } => Ok(Session {
+                id: session,
+                app,
+                geometry: geometry.to_vec(),
+                window,
+            }),
+            other => Err(unexpected("SessionAck", &other)),
+        }
+    }
+
+    /// Serializes `grid` and submits `[t0, t1)` on it; returns the request id.
+    ///
+    /// The arity mirrors the wire frame field-for-field on purpose.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_grid<T: WireElem, const D: usize>(
+        &mut self,
+        session: &Session,
+        grid: &PochoirArray<T, D>,
+        tenant: u32,
+        t0: i64,
+        t1: i64,
+        weight: u32,
+        deadline: Deadline,
+    ) -> Result<u64, ClientError> {
+        let frame = Frame::Submit {
+            session: session.id,
+            tenant,
+            t0,
+            t1,
+            weight,
+            deadline,
+            elem: T::ELEM,
+            grid: grid_to_bytes(grid),
+        };
+        match self.roundtrip(&frame)? {
+            Frame::Submitted { request } => Ok(request),
+            other => Err(unexpected("Submitted", &other)),
+        }
+    }
+
+    /// Builds the deterministic tenant grid for `(app, geometry, tenant)` —
+    /// the same construction the replay harness uses — and submits it over
+    /// `[0, t1)`.
+    pub fn submit_tenant(
+        &mut self,
+        session: &Session,
+        tenant: u32,
+        t1: i64,
+        weight: u32,
+        deadline: Deadline,
+    ) -> Result<u64, ClientError> {
+        match session.app {
+            TraceApp::Heat2d => {
+                let g = heat_grid(usizes::<2>(&session.geometry), tenant);
+                self.submit_grid(session, &g, tenant, 0, t1, weight, deadline)
+            }
+            TraceApp::Life => {
+                let g = life_grid(usizes::<2>(&session.geometry), tenant);
+                self.submit_grid(session, &g, tenant, 0, t1, weight, deadline)
+            }
+            TraceApp::Wave3d => {
+                let g = wave_grid(usizes::<3>(&session.geometry), tenant);
+                self.submit_grid(session, &g, tenant, 0, t1, weight, deadline)
+            }
+            TraceApp::HeatGiant1d => {
+                let g = heat_grid(usizes::<1>(&session.geometry), tenant);
+                self.submit_grid(session, &g, tenant, 0, t1, weight, deadline)
+            }
+        }
+    }
+
+    /// One status probe.
+    pub fn poll(&mut self, request: u64) -> Result<RequestStatus, ClientError> {
+        match self.roundtrip(&Frame::Poll { request })? {
+            Frame::Status { status } => Ok(status),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Polls until the request leaves `Pending` or `timeout` elapses.
+    pub fn wait(&mut self, request: u64, timeout: Duration) -> Result<RequestStatus, ClientError> {
+        let started = Instant::now();
+        loop {
+            match self.poll(request)? {
+                RequestStatus::Pending if started.elapsed() < timeout => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                status => return Ok(status),
+            }
+        }
+    }
+
+    /// Fetches a finished result (consuming it server-side).  A request that
+    /// failed comes back as [`ClientError::Server`] with the typed code.
+    pub fn fetch(&mut self, request: u64) -> Result<FetchedResult, ClientError> {
+        match self.roundtrip(&Frame::Fetch { request })? {
+            Frame::Result {
+                elem,
+                t1,
+                slice_len,
+                payload,
+            } => Ok(FetchedResult {
+                elem,
+                t1,
+                slice_len,
+                bytes: payload,
+            }),
+            other => Err(unexpected("Result", &other)),
+        }
+    }
+
+    /// Waits for completion, then fetches; the common case.
+    pub fn wait_fetch(
+        &mut self,
+        request: u64,
+        timeout: Duration,
+    ) -> Result<FetchedResult, ClientError> {
+        match self.wait(request, timeout)? {
+            RequestStatus::Failed { code, detail } => Err(ClientError::Server { code, detail }),
+            RequestStatus::Pending => Err(ClientError::Protocol(format!(
+                "request {request} still pending after {timeout:?}"
+            ))),
+            RequestStatus::Done => self.fetch(request),
+        }
+    }
+
+    /// Asks a recording server to write its trace now; returns the record
+    /// count.
+    pub fn flush_record(&mut self) -> Result<u64, ClientError> {
+        match self.roundtrip(&Frame::Flush)? {
+            Frame::Flushed { records } => Ok(records),
+            other => Err(unexpected("Flushed", &other)),
+        }
+    }
+
+    /// Polite goodbye (half of the pair; dropping the stream works too).
+    pub fn close(mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::Close)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, frame)?;
+        let (reply, _) = read_frame(&mut self.stream)?;
+        if let Frame::Error { code, detail } = reply {
+            return Err(ClientError::Server { code, detail });
+        }
+        Ok(reply)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Frame) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, server sent {got:?}"))
+}
+
+/// Replays a trace against a live server over one connection: negotiates each
+/// distinct `(app, geometry)`, submits every record's deterministic tenant
+/// grid in arrival order, then polls and fetches all results.
+///
+/// Returns one entry per record, in trace order: `Some(digest)` for completed
+/// requests, `None` for records the server shed or failed (admission control
+/// at work, not a transport error).  Transport and protocol violations are
+/// `Err`.
+pub fn replay_trace(addr: &str, trace: &Trace) -> Result<Vec<Option<u64>>, ClientError> {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10))?;
+    let mut sessions: Vec<(TraceApp, Vec<u64>, Session)> = Vec::new();
+    let mut submitted: Vec<Option<u64>> = Vec::with_capacity(trace.records.len());
+    for rec in &trace.records {
+        let session = match sessions
+            .iter()
+            .find(|(app, geom, _)| *app == rec.app && *geom == rec.geometry)
+        {
+            Some((_, _, s)) => s.clone(),
+            None => {
+                let s = client.negotiate(rec.app, &rec.geometry, trace.chunk)?;
+                sessions.push((rec.app, rec.geometry.clone(), s.clone()));
+                s
+            }
+        };
+        let deadline = match rec.deadline {
+            Some(ticks) => Deadline::Logical(ticks),
+            None => Deadline::None,
+        };
+        match client.submit_tenant(&session, rec.tenant, rec.window, rec.weight, deadline) {
+            Ok(request) => submitted.push(Some(request)),
+            // Typed rejections (shed, unmeetable deadline) are data, not
+            // failures: the trace replays the admitted subset.
+            Err(ClientError::Server { .. }) => submitted.push(None),
+            Err(e) => return Err(e),
+        }
+    }
+    let mut digests = Vec::with_capacity(submitted.len());
+    for request in submitted {
+        match request {
+            None => digests.push(None),
+            Some(request) => match client.wait_fetch(request, Duration::from_secs(60)) {
+                Ok(result) => digests.push(Some(result.digest())),
+                Err(ClientError::Server { .. }) => digests.push(None),
+                Err(e) => return Err(e),
+            },
+        }
+    }
+    let _ = client.close();
+    Ok(digests)
+}

@@ -1,0 +1,918 @@
+//! The blocking reactor: accept loop + one worker thread per connection + one
+//! shared drain thread, all over [`std::net::TcpListener`].
+//!
+//! The vendored-dependency constraint rules out an async runtime, and the
+//! serving layer underneath is synchronous anyway (a drain is a blocking call
+//! into the pipelined scheduler), so the server is an honest thread-per-
+//! connection design:
+//!
+//! * the **accept thread** turns each connection into a worker thread;
+//! * each **connection worker** speaks the frame protocol: it decodes requests,
+//!   builds arrays from wire bytes, and submits into the shared session table;
+//! * the **drain thread** wakes whenever work is queued (condvar, with a
+//!   timeout so a lost notification cannot stall the queue) and drains every
+//!   session with pending work through
+//!   [`StencilServer::try_drain`] — per-tenant panics retire only their own
+//!   chain, exactly as in-process.
+//!
+//! Sessions are keyed `(app, geometry, chunk)` and backed by the process-global
+//! session registry, so two connections negotiating the same geometry share one
+//! compiled program — compile-once is preserved across the network boundary and
+//! asserted by the end-to-end test.  Wall-clock deadlines are converted to the
+//! scheduler's logical ticks using a per-session cost model calibrated from
+//! [`SessionStats`](pochoir_core::engine::SessionStats) window counts and
+//! measured drain times.
+//!
+//! With [`ServeConfig::record`] set, every admitted epoch-zero submission
+//! appends a [`TraceRecord`]; the trace is written in the canonical emission
+//! (byte-stable under parse → emit) on `Flush` frames and at shutdown, and
+//! replays through the `pochoir-bench` harness to the same grid digests the
+//! live clients fetched.  See `docs/protocol.md` for the full wire contract.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pochoir_core::boundary::Boundary;
+use pochoir_core::engine::{
+    AdmissionPolicy, Coarsening, ExecutionPlan, ServeError, Sharding, StencilServer, SubmitOptions,
+    TicketOutcome,
+};
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::{StencilKernel, StencilSpec};
+use pochoir_runtime::Runtime;
+use pochoir_stencils::heat::HeatKernel;
+use pochoir_stencils::life::LifeKernel;
+use pochoir_stencils::wave::WaveKernel;
+use pochoir_stencils::{heat, life, traffic, wave};
+use pochoir_trace::corpus::GIANT_TILES;
+use pochoir_trace::{Trace, TraceApp, TraceRecord};
+
+use crate::protocol::{
+    grid_from_bytes, read_frame, result_payload, wire_error, write_frame, Deadline, ElemType,
+    ErrorCode, Frame, ReadError, RequestStatus, WireElem, PROTOCOL_VERSION,
+};
+
+/// Record-mode settings: where and how to write the trace of admitted traffic.
+#[derive(Clone, Debug)]
+pub struct RecordConfig {
+    /// Output path for the canonical JSON trace.
+    pub path: PathBuf,
+    /// The trace's `name` header field.
+    pub name: String,
+    /// The trace's `seed` header field (provenance only; replay never draws
+    /// randomness from it).
+    pub seed: u64,
+    /// Arrival ticks per replay epoch (`Trace::epoch`); the live server drains
+    /// on demand, so this only shapes how the replay harness buckets drains.
+    pub epoch: u64,
+}
+
+impl Default for RecordConfig {
+    fn default() -> Self {
+        RecordConfig {
+            path: PathBuf::from("recorded-trace.json"),
+            name: "recorded".to_string(),
+            seed: 1,
+            epoch: 8,
+        }
+    }
+}
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Per-tenant quotas and watermarks installed on every session's server;
+    /// `None` admits everything.
+    pub admission: Option<AdmissionPolicy>,
+    /// How long the drain thread sleeps when no work is queued (also the upper
+    /// bound on submit→drain latency if a wakeup is lost).
+    pub drain_interval: Duration,
+    /// Record admitted traffic as a replayable trace.
+    pub record: Option<RecordConfig>,
+    /// Per-window cost assumed for wall-clock deadline conversion until the
+    /// first drain calibrates the session (microseconds per window).
+    pub assumed_window_micros: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admission: None,
+            drain_interval: Duration::from_millis(2),
+            record: None,
+            assumed_window_micros: 50.0,
+        }
+    }
+}
+
+/// A served `(app, geometry)` pair — one compiled session, one drain queue.
+/// Mirrors the replay harness's dispatch so live serving and trace replay
+/// route through identical presets (and therefore identical registry keys).
+enum AnyServer {
+    Heat2d(StencilServer<f64, HeatKernel<2>, 2>),
+    Life(StencilServer<u8, LifeKernel, 2>),
+    Wave3d(StencilServer<f64, WaveKernel, 3>),
+    HeatGiant1d(StencilServer<f64, HeatKernel<1>, 1>),
+}
+
+macro_rules! with_server {
+    ($any:expr, $srv:ident => $body:expr) => {
+        match $any {
+            AnyServer::Heat2d($srv) => $body,
+            AnyServer::Life($srv) => $body,
+            AnyServer::Wave3d($srv) => $body,
+            AnyServer::HeatGiant1d($srv) => $body,
+        }
+    };
+}
+
+/// One queued ticket's bookkeeping (giant groups occupy one entry per member
+/// tile, sharing the lead's request id).
+struct QueuedTicket {
+    request: u64,
+    t1: i64,
+    lead: bool,
+}
+
+struct Session {
+    app: TraceApp,
+    geometry: Vec<u64>,
+    chunk: i64,
+    server: AnyServer,
+    queued: Vec<QueuedTicket>,
+    /// Calibrated cost of one dispatch window in microseconds (EWMA over
+    /// measured drains, seeded by `ServeConfig::assumed_window_micros`).
+    cost_ewma_micros: f64,
+    /// `SessionStats::runs` at the last calibration, so each drain's window
+    /// delta comes from the session's own counters.
+    calibrated_runs: u64,
+}
+
+/// Sentinel owner for a request whose client disconnected: the drain completes
+/// the work (it is already in the scheduler's queue) but the result is
+/// discarded instead of stored.
+const ORPHANED: u64 = u64::MAX;
+
+struct ResultPayload {
+    elem: ElemType,
+    t1: i64,
+    slice_len: u64,
+    bytes: Vec<u8>,
+}
+
+enum ReqState {
+    Queued,
+    Done(ResultPayload),
+    Failed { code: ErrorCode, detail: String },
+}
+
+struct Request {
+    conn: u64,
+    state: ReqState,
+}
+
+#[derive(Default)]
+struct State {
+    sessions: Vec<Session>,
+    session_ids: HashMap<(TraceApp, Vec<u64>, i64), u32>,
+    requests: HashMap<u64, Request>,
+    next_request: u64,
+    next_conn: u64,
+    /// Logical arrival clock for record mode: one tick per admitted submission.
+    arrival_clock: u64,
+    record: Vec<TraceRecord>,
+    record_chunk: Option<i64>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`shutdown`](Server::shutdown).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    drain: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept and drain threads, and returns immediately.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pochoir-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        let drain = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pochoir-serve-drain".into())
+                .spawn(move || drain_loop(shared))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            drain: Some(drain),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, finishes the current drain, writes the record trace
+    /// (if recording), and joins both service threads.  In-flight connections
+    /// see their sockets fail and retire their own chains.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.drain.take() {
+            let _ = h.join();
+        }
+        if self.shared.config.record.is_some() {
+            let mut state = lock(&self.shared.state);
+            write_record(&self.shared, &mut state);
+        }
+    }
+}
+
+fn lock(m: &Mutex<State>) -> std::sync::MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        Runtime::global().note_net_connections(1);
+        let shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("pochoir-serve-conn".into())
+            .spawn(move || {
+                let conn = {
+                    let mut state = lock(&shared.state);
+                    let id = state.next_conn;
+                    state.next_conn += 1;
+                    id
+                };
+                connection_loop(stream, conn, &shared);
+                orphan_connection(&shared, conn);
+            });
+    }
+}
+
+/// Retires a disconnected client's chain: finished results are dropped,
+/// still-queued requests are marked orphaned so the drain discards theirs.
+/// No other tenant's state is touched.
+fn orphan_connection(shared: &Shared, conn: u64) {
+    let mut state = lock(&shared.state);
+    let mine: Vec<u64> = state
+        .requests
+        .iter()
+        .filter(|(_, r)| r.conn == conn)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in mine {
+        let finished = matches!(
+            state.requests[&id].state,
+            ReqState::Done(_) | ReqState::Failed { .. }
+        );
+        if finished {
+            state.requests.remove(&id);
+        } else if let Some(r) = state.requests.get_mut(&id) {
+            r.conn = ORPHANED;
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, conn: u64, shared: &Shared) {
+    let rt = Runtime::global();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok((frame, bytes)) => {
+                rt.note_net_frames_in(1, bytes);
+                frame
+            }
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Frame(e)) => {
+                // The stream may be unframed past this point (e.g. an
+                // oversized prefix) — answer the typed error, then close.
+                rt.note_net_protocol_errors(1);
+                let _ = send(
+                    &mut stream,
+                    &Frame::Error {
+                        code: e.code(),
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let response = match frame {
+            Frame::Hello { version } => {
+                if version == PROTOCOL_VERSION {
+                    Frame::HelloAck {
+                        version: PROTOCOL_VERSION,
+                    }
+                } else {
+                    rt.note_net_protocol_errors(1);
+                    let _ = send(
+                        &mut stream,
+                        &Frame::Error {
+                            code: ErrorCode::VersionMismatch,
+                            detail: format!(
+                                "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                            ),
+                        },
+                    );
+                    return;
+                }
+            }
+            Frame::Negotiate {
+                app,
+                geometry,
+                chunk,
+            } => handle_negotiate(shared, app, geometry, chunk),
+            Frame::Submit {
+                session,
+                tenant,
+                t0,
+                t1,
+                weight,
+                deadline,
+                elem,
+                grid,
+            } => handle_submit(
+                shared, conn, session, tenant, t0, t1, weight, deadline, elem, &grid,
+            ),
+            Frame::Poll { request } => handle_poll(shared, conn, request),
+            Frame::Fetch { request } => handle_fetch(shared, conn, request),
+            Frame::Flush => {
+                let mut state = lock(&shared.state);
+                let records = write_record(shared, &mut state);
+                Frame::Flushed { records }
+            }
+            Frame::Close => return,
+            // Server-to-client opcodes arriving at the server are a protocol
+            // violation from a confused peer.
+            other => {
+                rt.note_net_protocol_errors(1);
+                Frame::Error {
+                    code: ErrorCode::BadFrame,
+                    detail: format!("unexpected client frame: {other:?}"),
+                }
+            }
+        };
+        if !send(&mut stream, &response) {
+            return;
+        }
+    }
+}
+
+/// Writes one frame, folding the byte count into the runtime metrics; `false`
+/// means the peer is gone.
+fn send(stream: &mut TcpStream, frame: &Frame) -> bool {
+    match write_frame(stream, frame) {
+        Ok(bytes) => {
+            Runtime::global().note_net_frames_out(1, bytes);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn handle_negotiate(shared: &Shared, app: TraceApp, geometry: Vec<u64>, chunk: i64) -> Frame {
+    if chunk <= 0 {
+        return Frame::Error {
+            code: ErrorCode::BadPayload,
+            detail: format!("chunk must be positive, got {chunk}"),
+        };
+    }
+    if geometry.iter().any(|&g| g == 0 || g > (1 << 32)) {
+        return Frame::Error {
+            code: ErrorCode::BadPayload,
+            detail: format!("geometry extents must be in 1..=2^32, got {geometry:?}"),
+        };
+    }
+    let mut state = lock(&shared.state);
+    let key = (app, geometry.clone(), chunk);
+    if let Some(&id) = state.session_ids.get(&key) {
+        return Frame::SessionAck {
+            session: id,
+            window: chunk,
+        };
+    }
+    let server = build_server(app, &geometry, chunk, shared.config.admission);
+    let id = state.sessions.len() as u32;
+    state.sessions.push(Session {
+        app,
+        geometry,
+        chunk,
+        server,
+        queued: Vec::new(),
+        cost_ewma_micros: shared.config.assumed_window_micros,
+        calibrated_runs: 0,
+    });
+    state.session_ids.insert(key, id);
+    Frame::SessionAck {
+        session: id,
+        window: chunk,
+    }
+}
+
+/// Builds the session's server through the same presets the replay harness
+/// uses, so live serving and trace replay share registry keys (compile-once
+/// across both worlds) and the giant route pins its tile count.
+fn build_server(
+    app: TraceApp,
+    geometry: &[u64],
+    chunk: i64,
+    admission: Option<AdmissionPolicy>,
+) -> AnyServer {
+    let server = match app {
+        TraceApp::Heat2d => {
+            AnyServer::Heat2d(heat::serve_2d(traffic::usizes::<2>(geometry), chunk))
+        }
+        TraceApp::Life => AnyServer::Life(life::serve(traffic::usizes::<2>(geometry), chunk)),
+        TraceApp::Wave3d => AnyServer::Wave3d(wave::serve(traffic::usizes::<3>(geometry), chunk)),
+        TraceApp::HeatGiant1d => AnyServer::HeatGiant1d(StencilServer::new(
+            StencilSpec::new(heat::shape::<1>()),
+            HeatKernel::<1>::default(),
+            ExecutionPlan::trap()
+                .with_coarsening(Coarsening::none())
+                .with_sharding(Sharding::Tiles(GIANT_TILES)),
+            traffic::usizes::<1>(geometry),
+            chunk,
+        )),
+    };
+    match (server, admission) {
+        (server, None) => server,
+        (AnyServer::Heat2d(s), Some(p)) => AnyServer::Heat2d(s.with_admission_policy(p)),
+        (AnyServer::Life(s), Some(p)) => AnyServer::Life(s.with_admission_policy(p)),
+        (AnyServer::Wave3d(s), Some(p)) => AnyServer::Wave3d(s.with_admission_policy(p)),
+        (AnyServer::HeatGiant1d(s), Some(p)) => AnyServer::HeatGiant1d(s.with_admission_policy(p)),
+    }
+}
+
+/// Session facts a submit needs, copied out so the array is rebuilt from wire
+/// bytes without holding the state lock.
+struct SessionMeta {
+    app: TraceApp,
+    geometry: Vec<u64>,
+    chunk: i64,
+}
+
+/// Deserialized grid, one arm per served array shape.
+enum Built {
+    F64x2(PochoirArray<f64, 2>),
+    U8x2(PochoirArray<u8, 2>),
+    F64x3(PochoirArray<f64, 3>),
+    F64x1(PochoirArray<f64, 1>),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_submit(
+    shared: &Shared,
+    conn: u64,
+    session: u32,
+    tenant: u32,
+    t0: i64,
+    t1: i64,
+    weight: u32,
+    deadline: Deadline,
+    elem: ElemType,
+    grid: &[u8],
+) -> Frame {
+    let meta = {
+        let state = lock(&shared.state);
+        match state.sessions.get(session as usize) {
+            Some(s) => SessionMeta {
+                app: s.app,
+                geometry: s.geometry.clone(),
+                chunk: s.chunk,
+            },
+            None => {
+                return Frame::Error {
+                    code: ErrorCode::UnknownSession,
+                    detail: format!("session {session} was never negotiated"),
+                }
+            }
+        }
+    };
+    if elem != ElemType::for_app(meta.app) {
+        return Frame::Error {
+            code: ErrorCode::BadPayload,
+            detail: format!(
+                "app {} takes {:?} grids, frame carries {:?}",
+                meta.app.as_str(),
+                ElemType::for_app(meta.app),
+                elem
+            ),
+        };
+    }
+    if t1 < t0 {
+        return Frame::Error {
+            code: ErrorCode::BadPayload,
+            detail: format!("t1 {t1} precedes t0 {t0}"),
+        };
+    }
+
+    // Rebuild the array outside the lock (a cell-by-cell fill of a large grid
+    // must not stall the drain thread), then take the lock to queue it.
+    let built = match meta.app {
+        TraceApp::Heat2d => grid_from_bytes::<f64, 2>(
+            traffic::usizes::<2>(&meta.geometry),
+            2,
+            Boundary::Periodic,
+            grid,
+        )
+        .map(Built::F64x2),
+        TraceApp::Life => grid_from_bytes::<u8, 2>(
+            traffic::usizes::<2>(&meta.geometry),
+            2,
+            Boundary::Periodic,
+            grid,
+        )
+        .map(Built::U8x2),
+        TraceApp::Wave3d => grid_from_bytes::<f64, 3>(
+            traffic::usizes::<3>(&meta.geometry),
+            3,
+            Boundary::Constant(0.0),
+            grid,
+        )
+        .map(Built::F64x3),
+        TraceApp::HeatGiant1d => grid_from_bytes::<f64, 1>(
+            traffic::usizes::<1>(&meta.geometry),
+            2,
+            Boundary::Periodic,
+            grid,
+        )
+        .map(Built::F64x1),
+    };
+    let built = match built {
+        Ok(b) => b,
+        Err(detail) => {
+            return Frame::Error {
+                code: ErrorCode::BadPayload,
+                detail,
+            }
+        }
+    };
+
+    let mut guard = lock(&shared.state);
+    let state = &mut *guard;
+    let Some(sess) = state.sessions.get_mut(session as usize) else {
+        return Frame::Error {
+            code: ErrorCode::UnknownSession,
+            detail: format!("session {session} was never negotiated"),
+        };
+    };
+    let windows_needed = windows_of(t0, t1, meta.chunk);
+    let logical_deadline = match deadline {
+        Deadline::None => None,
+        Deadline::Logical(ticks) => Some(ticks),
+        Deadline::WallMicros(us) => Some(wall_to_ticks(us, sess.cost_ewma_micros, windows_needed)),
+    };
+    let opts = SubmitOptions {
+        weight,
+        deadline: logical_deadline,
+    };
+    let submitted: Result<bool, ServeError> = match (&mut sess.server, built) {
+        (AnyServer::Heat2d(s), Built::F64x2(a)) => {
+            s.try_submit_with(a, t0, t1, opts).map(|_| false)
+        }
+        (AnyServer::Life(s), Built::U8x2(a)) => s.try_submit_with(a, t0, t1, opts).map(|_| false),
+        (AnyServer::Wave3d(s), Built::F64x3(a)) => {
+            s.try_submit_with(a, t0, t1, opts).map(|_| false)
+        }
+        (AnyServer::HeatGiant1d(s), Built::F64x1(a)) => {
+            s.try_submit_sharded(a, t0, t1, opts).map(|_| true)
+        }
+        // Unreachable in practice: `built` was derived from the session's own
+        // app a few lines up.
+        _ => {
+            return Frame::Error {
+                code: ErrorCode::BadPayload,
+                detail: "grid/session element type mismatch".to_string(),
+            }
+        }
+    };
+    let sharded = match submitted {
+        Ok(sharded) => sharded,
+        Err(e) => {
+            let (code, detail) = wire_error(&e);
+            return Frame::Error { code, detail };
+        }
+    };
+
+    let request = state.next_request;
+    state.next_request += 1;
+    let sess = state
+        .sessions
+        .get_mut(session as usize)
+        .expect("session existed above");
+    sess.queued.push(QueuedTicket {
+        request,
+        t1,
+        lead: true,
+    });
+    if sharded {
+        for _ in 1..GIANT_TILES {
+            sess.queued.push(QueuedTicket {
+                request,
+                t1,
+                lead: false,
+            });
+        }
+    }
+    state.requests.insert(
+        request,
+        Request {
+            conn,
+            state: ReqState::Queued,
+        },
+    );
+    if shared.config.record.is_some() {
+        // The canonical trace format normalizes t0 to 0 and carries one chunk
+        // per trace; submissions that fit are recorded, others pass through
+        // unlogged (they still execute).
+        let chunk_ok = match state.record_chunk {
+            None => true,
+            Some(c) => c == meta.chunk,
+        };
+        if t0 == 0 && chunk_ok {
+            state.record_chunk = Some(meta.chunk);
+            state.arrival_clock += 1;
+            let arrival_tick = state.arrival_clock;
+            state.record.push(TraceRecord {
+                tenant,
+                app: meta.app,
+                geometry: meta.geometry.clone(),
+                window: t1,
+                weight: weight.max(1),
+                deadline: logical_deadline,
+                arrival_tick,
+            });
+        }
+    }
+    shared.work.notify_all();
+    Frame::Submitted { request }
+}
+
+fn windows_of(t0: i64, t1: i64, chunk: i64) -> u64 {
+    let span = (t1 - t0).max(0) as u64;
+    span.div_ceil(chunk.max(1) as u64).max(1)
+}
+
+/// Converts a wall-clock budget to drain ticks via the calibrated per-window
+/// cost; never below the ticks the submission itself needs (a budget that
+/// cannot even cover its own work is clamped, and the scheduler's unmeetable-
+/// deadline policy decides whether to shed it).
+fn wall_to_ticks(wall_micros: u64, cost_micros: f64, windows_needed: u64) -> u64 {
+    let ticks = (wall_micros as f64 / cost_micros.max(1e-3)).floor() as u64;
+    ticks.max(windows_needed)
+}
+
+fn handle_poll(shared: &Shared, conn: u64, request: u64) -> Frame {
+    let state = lock(&shared.state);
+    match state.requests.get(&request) {
+        None => Frame::Error {
+            code: ErrorCode::UnknownRequest,
+            detail: format!("request {request} is unknown (never submitted, fetched, or retired)"),
+        },
+        Some(r) if r.conn != conn => Frame::Error {
+            code: ErrorCode::UnknownRequest,
+            detail: format!("request {request} belongs to another connection"),
+        },
+        Some(r) => Frame::Status {
+            status: match &r.state {
+                ReqState::Queued => RequestStatus::Pending,
+                ReqState::Done(_) => RequestStatus::Done,
+                ReqState::Failed { code, detail } => RequestStatus::Failed {
+                    code: *code,
+                    detail: detail.clone(),
+                },
+            },
+        },
+    }
+}
+
+fn handle_fetch(shared: &Shared, conn: u64, request: u64) -> Frame {
+    let mut state = lock(&shared.state);
+    match state.requests.get(&request) {
+        None => {
+            return Frame::Error {
+                code: ErrorCode::UnknownRequest,
+                detail: format!("request {request} is unknown"),
+            }
+        }
+        Some(r) if r.conn != conn => {
+            return Frame::Error {
+                code: ErrorCode::UnknownRequest,
+                detail: format!("request {request} belongs to another connection"),
+            }
+        }
+        Some(r) if matches!(r.state, ReqState::Queued) => {
+            return Frame::Error {
+                code: ErrorCode::NotReady,
+                detail: format!("request {request} has not finished draining"),
+            }
+        }
+        Some(_) => {}
+    }
+    // A finished fetch consumes the request either way.
+    let r = state.requests.remove(&request).expect("checked above");
+    match r.state {
+        ReqState::Done(p) => Frame::Result {
+            elem: p.elem,
+            t1: p.t1,
+            slice_len: p.slice_len,
+            payload: p.bytes,
+        },
+        ReqState::Failed { code, detail } => Frame::Error { code, detail },
+        ReqState::Queued => unreachable!("queued requests returned NotReady above"),
+    }
+}
+
+/// Writes the recorded trace in canonical form; returns total records recorded.
+fn write_record(shared: &Shared, state: &mut State) -> u64 {
+    let Some(record) = &shared.config.record else {
+        return 0;
+    };
+    if state.record.is_empty() {
+        return 0;
+    }
+    let trace = Trace {
+        name: record.name.clone(),
+        seed: record.seed,
+        chunk: state.record_chunk.unwrap_or(1),
+        epoch: record.epoch.max(1),
+        records: state.record.clone(),
+    };
+    if let Err(e) = std::fs::write(&record.path, trace.emit()) {
+        eprintln!("pochoir-serve: cannot write {}: {e}", record.path.display());
+    }
+    state.record.len() as u64
+}
+
+fn drain_loop(shared: Arc<Shared>) {
+    let mut state = lock(&shared.state);
+    loop {
+        let has_work = state.sessions.iter().any(|s| !s.queued.is_empty());
+        if !has_work {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let (next, _) = shared
+                .work
+                .wait_timeout(state, shared.config.drain_interval)
+                .unwrap_or_else(|p| p.into_inner());
+            state = next;
+            continue;
+        }
+        for i in 0..state.sessions.len() {
+            if state.sessions[i].queued.is_empty() {
+                continue;
+            }
+            drain_session(&mut state, i);
+        }
+    }
+}
+
+/// Drains one session through the pipelined scheduler: one payload (or `None`
+/// if the drain itself failed) per queued ticket, plus the per-ticket
+/// outcomes from the drain report.
+fn drain_tickets<T, K, const D: usize>(
+    s: &mut StencilServer<T, K, D>,
+    queued: &[QueuedTicket],
+) -> (Vec<Option<ResultPayload>>, Vec<TicketOutcome>)
+where
+    T: WireElem + Copy + Send + Sync + 'static,
+    K: StencilKernel<T, D>,
+{
+    let results = s.try_drain().unwrap_or_default();
+    let outcomes = s
+        .last_drain()
+        .map(|r| r.outcomes.clone())
+        .unwrap_or_default();
+    let payloads = queued
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            results.get(i).map(|grid| ResultPayload {
+                elem: T::ELEM,
+                t1: q.t1,
+                // Dense cells per slice (snapshot order), not the padded
+                // layout length.
+                slice_len: grid.sizes().iter().product::<usize>() as u64,
+                bytes: result_payload(grid, q.t1),
+            })
+        })
+        .collect();
+    (payloads, outcomes)
+}
+
+/// Drains one session's queue and stores each lead ticket's result (or typed
+/// failure) on its request; orphaned requests are dropped.  Also recalibrates
+/// the session's per-window cost from the measured drain time over the
+/// [`SessionStats`](pochoir_core::engine::SessionStats) `runs` delta.
+fn drain_session(state: &mut State, index: usize) {
+    let sess = &mut state.sessions[index];
+    let queued = std::mem::take(&mut sess.queued);
+    let started = Instant::now();
+    let (mut payloads, outcomes) = with_server!(&mut sess.server, s => drain_tickets(s, &queued));
+    let elapsed_micros = started.elapsed().as_secs_f64() * 1e6;
+    let runs = with_server!(&sess.server, s => s.stats().runs);
+    let windows = runs.saturating_sub(sess.calibrated_runs);
+    sess.calibrated_runs = runs;
+    if windows > 0 {
+        let measured = elapsed_micros / windows as f64;
+        sess.cost_ewma_micros = 0.7 * sess.cost_ewma_micros + 0.3 * measured;
+    }
+
+    for (i, q) in queued.iter().enumerate() {
+        if !q.lead {
+            continue;
+        }
+        // A giant group fails if any member ticket failed; member tickets sit
+        // directly behind their lead and share its request id.
+        let group_failure = queued
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.request == q.request)
+            .find_map(|(j, _)| match outcomes.get(j) {
+                Some(TicketOutcome::Panicked { message }) => Some((
+                    ErrorCode::TenantPanicked,
+                    format!("tenant ticket {j} panicked: {message}"),
+                )),
+                Some(TicketOutcome::Shed { reason }) => {
+                    Some((ErrorCode::Shed, format!("dropped at dispatch: {reason}")))
+                }
+                _ => None,
+            });
+        if state.requests.get(&q.request).map(|r| r.conn) == Some(ORPHANED) {
+            state.requests.remove(&q.request);
+            continue;
+        }
+        if let Some(req) = state.requests.get_mut(&q.request) {
+            req.state = match (group_failure, payloads.get_mut(i).and_then(Option::take)) {
+                (Some((code, detail)), _) => ReqState::Failed { code, detail },
+                (None, Some(payload)) => ReqState::Done(payload),
+                (None, None) => ReqState::Failed {
+                    code: ErrorCode::RegistryPoisoned,
+                    detail: "drain failed before producing a result".to_string(),
+                },
+            };
+        }
+    }
+}
+
+/// Prints the resolved listen address on stdout (`listening on <addr>`), for
+/// scripts that started the binary on an ephemeral port.
+pub fn announce(addr: SocketAddr) {
+    println!("listening on {addr}");
+    let _ = io::stdout().flush();
+}

@@ -1,0 +1,148 @@
+//! End-to-end pin: a live `pochoir-serve` instance answers 8 concurrent
+//! clients across three geometries with results **bitwise-identical** to
+//! running the same batches in-process, while compiling each geometry exactly
+//! once (the process-global session registry is shared across the network
+//! boundary).
+//!
+//! One `#[test]` on purpose: the registry-miss accounting needs the whole
+//! scenario in one deterministic scope.
+
+use std::time::Duration;
+
+use pochoir_core::engine::serving::registry_stats;
+use pochoir_core::engine::{run_batch, BatchRun, StencilServer};
+use pochoir_core::grid::PochoirArray;
+use pochoir_core::kernel::StencilKernel;
+use pochoir_runtime::Runtime;
+use pochoir_serve::protocol::Deadline;
+use pochoir_serve::server::{ServeConfig, Server};
+use pochoir_serve::Client;
+use pochoir_stencils::traffic::{digest_grid, heat_grid, life_grid, usizes, wave_grid, DigestBits};
+use pochoir_stencils::{heat, life, wave};
+use pochoir_trace::TraceApp;
+
+const WINDOW: i64 = 4;
+const T1: i64 = 12;
+
+fn geometry_of(app: TraceApp) -> Vec<u64> {
+    match app {
+        TraceApp::Heat2d => vec![24, 24],
+        TraceApp::Life => vec![20, 20],
+        TraceApp::Wave3d => vec![12, 12, 12],
+        TraceApp::HeatGiant1d => unreachable!("not served in this test"),
+    }
+}
+
+/// The in-process baseline: run the tenant's batch directly on the shared
+/// compiled program (the same construction the live server drains through).
+fn local_digest<T, K, const D: usize>(
+    server: &StencilServer<T, K, D>,
+    mut grid: PochoirArray<T, D>,
+) -> u64
+where
+    T: DigestBits + Copy + Send + Sync + 'static,
+    K: StencilKernel<T, D>,
+{
+    let mut jobs = [BatchRun {
+        array: &mut grid,
+        t0: 0,
+        t1: T1,
+    }];
+    run_batch(
+        server.program(),
+        server.kernel(),
+        &mut jobs,
+        1,
+        Runtime::global(),
+    );
+    digest_grid(&grid, T1)
+}
+
+#[test]
+fn live_server_matches_in_process_bitwise_with_one_compile_per_geometry() {
+    let server = Server::start(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let registry_before = registry_stats();
+
+    // 8 concurrent clients, one connection each, spread over three geometries.
+    let handles: Vec<_> = (0..8u32)
+        .map(|tenant| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let app = match tenant % 3 {
+                    0 => TraceApp::Heat2d,
+                    1 => TraceApp::Life,
+                    _ => TraceApp::Wave3d,
+                };
+                let geometry = geometry_of(app);
+                let mut client = Client::connect(&addr).expect("connect");
+                let session = client.negotiate(app, &geometry, WINDOW).expect("negotiate");
+                assert_eq!(session.window, WINDOW);
+                let request = client
+                    .submit_tenant(&session, tenant, T1, 1 + tenant % 3, Deadline::None)
+                    .expect("submit");
+                let result = client
+                    .wait_fetch(request, Duration::from_secs(120))
+                    .expect("wait+fetch");
+                assert_eq!(result.t1, T1);
+                let cells: u64 = geometry.iter().product();
+                assert_eq!(result.slice_len, cells);
+                let digest = result.digest();
+                client.close().expect("close");
+                (tenant, app, digest)
+            })
+        })
+        .collect();
+    let live: Vec<(u32, TraceApp, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    // The server compiled each geometry exactly once: 3 sessions, 3 registry
+    // misses, regardless of 8 concurrent negotiations racing for them.
+    let after_serving = registry_stats();
+    assert_eq!(
+        after_serving.misses - registry_before.misses,
+        3,
+        "live serving must compile each of the 3 geometries exactly once"
+    );
+
+    // In-process comparison servers for the same keys: all hits, no new
+    // compiles — and their direct batch runs must match the wire results
+    // bitwise (the digest folds every result bit).
+    let heat_server = heat::serve_2d(usizes::<2>(&geometry_of(TraceApp::Heat2d)), WINDOW);
+    let life_server = life::serve(usizes::<2>(&geometry_of(TraceApp::Life)), WINDOW);
+    let wave_server = wave::serve(usizes::<3>(&geometry_of(TraceApp::Wave3d)), WINDOW);
+    let after_local = registry_stats();
+    assert_eq!(
+        after_local.misses - after_serving.misses,
+        0,
+        "in-process servers over the same keys must reuse the served programs"
+    );
+    assert_eq!(after_local.hits - after_serving.hits, 3);
+
+    for (tenant, app, live_digest) in live {
+        let expected = match app {
+            TraceApp::Heat2d => local_digest(
+                &heat_server,
+                heat_grid(usizes::<2>(&geometry_of(app)), tenant),
+            ),
+            TraceApp::Life => local_digest(
+                &life_server,
+                life_grid(usizes::<2>(&geometry_of(app)), tenant),
+            ),
+            TraceApp::Wave3d => local_digest(
+                &wave_server,
+                wave_grid(usizes::<3>(&geometry_of(app)), tenant),
+            ),
+            TraceApp::HeatGiant1d => unreachable!(),
+        };
+        assert_eq!(
+            live_digest, expected,
+            "tenant {tenant} ({app:?}): wire result differs from in-process run_batch"
+        );
+    }
+
+    server.shutdown();
+}

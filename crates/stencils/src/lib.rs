@@ -32,6 +32,7 @@ pub mod points;
 pub mod psa;
 pub mod rna;
 pub mod simd;
+pub mod traffic;
 pub mod wave;
 
 pub use common::ProblemScale;

@@ -239,3 +239,80 @@ fn rna_end_to_end() {
     let got = rna::run_rna(&seq, &ExecutionPlan::trap(), Runtime::global());
     assert_eq!(got, expected);
 }
+
+/// Record → replay roundtrip across the service and bench crates: live traffic
+/// served over the wire is captured in the canonical trace format, the file is
+/// byte-stable, and replaying it through `pochoir-bench` reproduces the live
+/// digests exactly.
+#[test]
+fn serve_record_replays_to_live_digests() {
+    use std::time::Duration;
+
+    use pochoir_bench::replay::{replay, Discipline, ReplayOptions};
+    use pochoir_serve::protocol::Deadline;
+    use pochoir_serve::server::{RecordConfig, ServeConfig, Server};
+    use pochoir_serve::Client;
+    use pochoir_trace::{Trace, TraceApp};
+
+    let path = std::env::temp_dir().join(format!(
+        "pochoir-record-roundtrip-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let server = Server::start(ServeConfig {
+        record: Some(RecordConfig {
+            path: path.clone(),
+            name: "live-capture".to_string(),
+            seed: 7,
+            epoch: 8,
+        }),
+        ..ServeConfig::default()
+    })
+    .expect("start recording server");
+
+    // One sequential client so the recorded arrival order is the submission
+    // order; two geometries exercise per-app grid synthesis on replay.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let heat = client
+        .negotiate(TraceApp::Heat2d, &[20, 20], 4)
+        .expect("negotiate heat");
+    let life = client
+        .negotiate(TraceApp::Life, &[16, 16], 4)
+        .expect("negotiate life");
+    let mut live = Vec::new();
+    for tenant in 0..3u32 {
+        for (session, t1) in [(&heat, 8i64), (&life, 12i64)] {
+            let request = client
+                .submit_tenant(session, tenant, t1, 1 + tenant, Deadline::None)
+                .expect("submit");
+            let result = client
+                .wait_fetch(request, Duration::from_secs(120))
+                .expect("fetch");
+            live.push(result.digest());
+        }
+    }
+    let recorded = client.flush_record().expect("flush");
+    assert_eq!(recorded as usize, live.len());
+    client.close().expect("close");
+    server.shutdown();
+
+    // The file on disk is the canonical byte-stable emission.
+    let text = std::fs::read_to_string(&path).expect("read recorded trace");
+    let trace = Trace::parse(&text).expect("parse recorded trace");
+    assert_eq!(trace.emit(), text, "recorded trace must be canonical");
+    assert_eq!(trace.name, "live-capture");
+    assert_eq!(trace.chunk, 4);
+    assert_eq!(trace.records.len(), live.len());
+
+    // Replaying the capture in-process reproduces the live digests bit for bit.
+    let run = replay(&trace, Discipline::Sequential, &ReplayOptions::default());
+    let replayed: Vec<u64> = run
+        .digests
+        .iter()
+        .map(|d| d.expect("sequential replay never sheds"))
+        .collect();
+    assert_eq!(replayed, live, "replay digests must match live serving");
+
+    let _ = std::fs::remove_file(&path);
+}
