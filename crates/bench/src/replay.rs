@@ -172,7 +172,8 @@ impl ReplayServer {
     }
 
     /// Queues one record (its grid built deterministically from the tenant id).
-    /// Giants scatter into `GIANT_TILES` member tickets behind the lead.
+    /// Giants scatter into member tickets behind the lead — as many as the
+    /// shard plan actually produced, measured from the queue depth.
     fn submit(&mut self, index: usize, rec: &TraceRecord) -> Result<(), ServeError> {
         let opts = SubmitOptions {
             weight: rec.weight,
@@ -205,18 +206,23 @@ impl ReplayServer {
                 )?;
             }
             AnyServer::HeatGiant1d(s) => {
+                let before = s.pending();
                 s.try_submit_sharded(
                     heat_grid(usizes::<1>(&rec.geometry), rec.tenant),
                     0,
                     t1,
                     opts,
                 )?;
+                // One bookkeeping entry per scheduler ticket actually queued:
+                // the shard plan clamps the tile count to the grid extent, so
+                // small giants create fewer than `GIANT_TILES` members.
+                let members = s.pending().saturating_sub(before);
                 self.queued.push(QueuedTicket {
                     record: index,
                     t1,
                     lead: true,
                 });
-                for _ in 1..GIANT_TILES {
+                for _ in 1..members {
                     self.queued.push(QueuedTicket {
                         record: index,
                         t1,

@@ -4,6 +4,7 @@
 //! pochoir_serve [--addr HOST:PORT] [--record PATH [--record-name NAME]
 //!               [--record-seed N] [--epoch N]] [--max-pending N]
 //!               [--max-queued-windows N] [--max-session-leaves N]
+//!               [--max-sessions N] [--max-steps N]
 //!               [--drain-interval-ms N] [--assumed-window-micros X]
 //! ```
 //!
@@ -22,6 +23,7 @@ fn usage() -> ! {
         "usage: pochoir_serve [--addr HOST:PORT] [--record PATH] [--record-name NAME]\n\
          \x20                    [--record-seed N] [--epoch N] [--max-pending N]\n\
          \x20                    [--max-queued-windows N] [--max-session-leaves N]\n\
+         \x20                    [--max-sessions N] [--max-steps N]\n\
          \x20                    [--drain-interval-ms N] [--assumed-window-micros X]"
     );
     std::process::exit(2);
@@ -81,6 +83,12 @@ fn main() {
                     &value("--max-session-leaves"),
                     "--max-session-leaves",
                 ));
+            }
+            "--max-sessions" => {
+                config.max_sessions = parse(&value("--max-sessions"), "--max-sessions");
+            }
+            "--max-steps" => {
+                config.max_steps_per_submit = parse(&value("--max-steps"), "--max-steps");
             }
             "--drain-interval-ms" => {
                 config.drain_interval = Duration::from_millis(parse(

@@ -6,7 +6,9 @@
 //! into the pipelined scheduler), so the server is an honest thread-per-
 //! connection design:
 //!
-//! * the **accept thread** turns each connection into a worker thread;
+//! * the **accept thread** turns each connection into a worker thread
+//!   (registered in a connection table so shutdown can close its socket and
+//!   join it);
 //! * each **connection worker** speaks the frame protocol: it decodes requests,
 //!   builds arrays from wire bytes, and submits into the shared session table;
 //! * the **drain thread** wakes whenever work is queued (condvar, with a
@@ -15,11 +17,25 @@
 //!   [`StencilServer::try_drain`] — per-tenant panics retire only their own
 //!   chain, exactly as in-process.
 //!
+//! **Locking model.**  There are two lock tiers and they are never nested:
+//! a global [`State`] mutex guards the request table, the session index, and
+//! record-mode bookkeeping — all cheap map operations — while each session's
+//! compiled server and drain queue live behind that session's own mutex.  The
+//! drain thread computes entirely under the session lock, so submits, polls,
+//! and fetches on every connection keep flowing while a session drains; only
+//! the brief result hand-off touches the global lock.
+//!
 //! Sessions are keyed `(app, geometry, chunk)` and backed by the process-global
 //! session registry, so two connections negotiating the same geometry share one
 //! compiled program — compile-once is preserved across the network boundary and
-//! asserted by the end-to-end test.  Wall-clock deadlines are converted to the
-//! scheduler's logical ticks using a per-session cost model calibrated from
+//! asserted by the end-to-end test.  Because negotiation compiles and the
+//! service is unauthenticated, the session table is bounded
+//! ([`ServeConfig::max_sessions`], answered with a typed `Shed` error when
+//! full), geometries whose submit payload could never fit in [`MAX_FRAME`] are
+//! refused at negotiation, and each submission's step span is capped
+//! ([`ServeConfig::max_steps_per_submit`]) so one cheap frame cannot buy an
+//! unbounded drain.  Wall-clock deadlines are converted to the scheduler's
+//! logical ticks using a per-session cost model calibrated from
 //! [`SessionStats`](pochoir_core::engine::SessionStats) window counts and
 //! measured drain times.
 //!
@@ -31,10 +47,10 @@
 
 use std::collections::HashMap;
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -55,7 +71,7 @@ use pochoir_trace::{Trace, TraceApp, TraceRecord};
 
 use crate::protocol::{
     grid_from_bytes, read_frame, result_payload, wire_error, write_frame, Deadline, ElemType,
-    ErrorCode, Frame, ReadError, RequestStatus, WireElem, PROTOCOL_VERSION,
+    ErrorCode, Frame, ReadError, RequestStatus, WireElem, MAX_FRAME, PROTOCOL_VERSION,
 };
 
 /// Record-mode settings: where and how to write the trace of admitted traffic.
@@ -100,6 +116,17 @@ pub struct ServeConfig {
     /// Per-window cost assumed for wall-clock deadline conversion until the
     /// first drain calibrates the session (microseconds per window).
     pub assumed_window_micros: f64,
+    /// Ceiling on live sessions.  Every negotiated session holds a compiled
+    /// program for the life of the server, so an unauthenticated peer could
+    /// otherwise grow the table (and the compile registry) without bound; a
+    /// `Negotiate` for a new key beyond the cap is refused with a typed
+    /// `Shed` error while existing keys keep re-joining.
+    pub max_sessions: usize,
+    /// Ceiling on `t1 - t0` for a single submission.  Drain work scales with
+    /// the step span, so without a cap one cheap `Submit` frame (`t1` near
+    /// `i64::MAX`) buys an effectively unbounded drain; spans over the cap are
+    /// refused with a typed `BadPayload` error.
+    pub max_steps_per_submit: i64,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +137,8 @@ impl Default for ServeConfig {
             drain_interval: Duration::from_millis(2),
             record: None,
             assumed_window_micros: 50.0,
+            max_sessions: 64,
+            max_steps_per_submit: 1 << 20,
         }
     }
 }
@@ -135,18 +164,27 @@ macro_rules! with_server {
     };
 }
 
-/// One queued ticket's bookkeeping (giant groups occupy one entry per member
-/// tile, sharing the lead's request id).
+/// One queued ticket's bookkeeping.  A sharded group occupies one entry per
+/// scheduler ticket it actually created (the lead plus however many member
+/// tiles the shard plan produced — which core clamps to the grid extent, so
+/// the count is measured from the queue, never assumed), all sharing the
+/// lead's request id.
 struct QueuedTicket {
     request: u64,
     t1: i64,
     lead: bool,
 }
 
-struct Session {
+/// The immutable identity of a negotiated session, readable without any lock,
+/// plus its mutable serving state behind the session's own mutex.
+struct SessionSlot {
     app: TraceApp,
     geometry: Vec<u64>,
     chunk: i64,
+    inner: Mutex<SessionInner>,
+}
+
+struct SessionInner {
     server: AnyServer,
     queued: Vec<QueuedTicket>,
     /// Calibrated cost of one dispatch window in microseconds (EWMA over
@@ -182,22 +220,30 @@ struct Request {
 
 #[derive(Default)]
 struct State {
-    sessions: Vec<Session>,
+    sessions: Vec<Arc<SessionSlot>>,
     session_ids: HashMap<(TraceApp, Vec<u64>, i64), u32>,
     requests: HashMap<u64, Request>,
     next_request: u64,
-    next_conn: u64,
     /// Logical arrival clock for record mode: one tick per admitted submission.
     arrival_clock: u64,
     record: Vec<TraceRecord>,
     record_chunk: Option<i64>,
 }
 
+/// Live connections, so shutdown can fail their sockets and join the workers.
+#[derive(Default)]
+struct ConnTable {
+    streams: HashMap<u64, TcpStream>,
+    workers: Vec<JoinHandle<()>>,
+}
+
 struct Shared {
     config: ServeConfig,
     state: Mutex<State>,
+    conns: Mutex<ConnTable>,
     work: Condvar,
     shutdown: AtomicBool,
+    next_conn: AtomicU64,
 }
 
 /// A running server; dropping it does **not** stop the threads — call
@@ -217,8 +263,10 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State::default()),
+            conns: Mutex::new(ConnTable::default()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -245,17 +293,34 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, finishes the current drain, writes the record trace
-    /// (if recording), and joins both service threads.  In-flight connections
-    /// see their sockets fail and retire their own chains.
+    /// Stops the service and joins every thread it owns: the shutdown flag is
+    /// raised, every live connection socket is shut down so workers blocked in
+    /// a read or write fail out and retire their own chains, the workers and
+    /// the accept thread are joined, the drain thread finishes whatever is
+    /// still queued and is joined, and only then — with no writer left — is
+    /// the record trace written (if recording).
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work.notify_all();
+        let (streams, workers) = {
+            let mut conns = lock(&self.shared.conns);
+            (
+                std::mem::take(&mut conns.streams),
+                std::mem::take(&mut conns.workers),
+            )
+        };
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        self.shared.work.notify_all();
         if let Some(h) = self.drain.take() {
             let _ = h.join();
         }
@@ -266,7 +331,7 @@ impl Server {
     }
 }
 
-fn lock(m: &Mutex<State>) -> std::sync::MutexGuard<'_, State> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -278,6 +343,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // Persistent accept errors (EMFILE under a connection flood
+                // is the canonical one) must not busy-spin this thread.
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -285,19 +353,32 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             return;
         }
         Runtime::global().note_net_connections(1);
-        let shared = Arc::clone(&shared);
-        let _ = std::thread::Builder::new()
+        let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        let worker_shared = Arc::clone(&shared);
+        let hook = stream.try_clone().ok();
+        // Register under the connection-table lock: shutdown takes that lock
+        // after raising the flag, so it either sees this connection's socket
+        // and handle, or this re-check sees the flag — never neither.
+        let mut conns = lock(&shared.conns);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let spawned = std::thread::Builder::new()
             .name("pochoir-serve-conn".into())
             .spawn(move || {
-                let conn = {
-                    let mut state = lock(&shared.state);
-                    let id = state.next_conn;
-                    state.next_conn += 1;
-                    id
-                };
-                connection_loop(stream, conn, &shared);
-                orphan_connection(&shared, conn);
+                connection_loop(stream, conn, &worker_shared);
+                orphan_connection(&worker_shared, conn);
+                lock(&worker_shared.conns).streams.remove(&conn);
             });
+        if let Ok(handle) = spawned {
+            if let Some(stream) = hook {
+                conns.streams.insert(conn, stream);
+            }
+            // Reap handles of workers that already exited so the table tracks
+            // live connections, not connection history.
+            conns.workers.retain(|h| !h.is_finished());
+            conns.workers.push(handle);
+        }
     }
 }
 
@@ -424,6 +505,15 @@ fn send(stream: &mut TcpStream, frame: &Frame) -> bool {
     }
 }
 
+/// Dense time slices a `Submit` grid payload carries for `app` (the wave
+/// stencil is second-order in time and needs three).
+fn submit_slices(app: TraceApp) -> u64 {
+    match app {
+        TraceApp::Wave3d => 3,
+        TraceApp::Heat2d | TraceApp::Life | TraceApp::HeatGiant1d => 2,
+    }
+}
+
 fn handle_negotiate(shared: &Shared, app: TraceApp, geometry: Vec<u64>, chunk: i64) -> Frame {
     if chunk <= 0 {
         return Frame::Error {
@@ -437,6 +527,20 @@ fn handle_negotiate(shared: &Shared, app: TraceApp, geometry: Vec<u64>, chunk: i
             detail: format!("geometry extents must be in 1..=2^32, got {geometry:?}"),
         };
     }
+    // A geometry whose submit payload cannot fit in one frame can never be
+    // legally used, so refuse it before compiling anything for it.
+    let payload_bytes = geometry.iter().map(|&g| g as u128).product::<u128>()
+        * submit_slices(app) as u128
+        * ElemType::for_app(app).size() as u128;
+    if payload_bytes > MAX_FRAME as u128 {
+        return Frame::Error {
+            code: ErrorCode::BadPayload,
+            detail: format!(
+                "geometry {geometry:?} needs {payload_bytes}-byte submit payloads, \
+                 over the {MAX_FRAME}-byte frame ceiling"
+            ),
+        };
+    }
     let mut state = lock(&shared.state);
     let key = (app, geometry.clone(), chunk);
     if let Some(&id) = state.session_ids.get(&key) {
@@ -445,17 +549,29 @@ fn handle_negotiate(shared: &Shared, app: TraceApp, geometry: Vec<u64>, chunk: i
             window: chunk,
         };
     }
+    if state.sessions.len() >= shared.config.max_sessions {
+        return Frame::Error {
+            code: ErrorCode::Shed,
+            detail: format!(
+                "session table is full ({} live sessions); re-join an existing \
+                 geometry or raise --max-sessions",
+                state.sessions.len()
+            ),
+        };
+    }
     let server = build_server(app, &geometry, chunk, shared.config.admission);
     let id = state.sessions.len() as u32;
-    state.sessions.push(Session {
+    state.sessions.push(Arc::new(SessionSlot {
         app,
         geometry,
         chunk,
-        server,
-        queued: Vec::new(),
-        cost_ewma_micros: shared.config.assumed_window_micros,
-        calibrated_runs: 0,
-    });
+        inner: Mutex::new(SessionInner {
+            server,
+            queued: Vec::new(),
+            cost_ewma_micros: shared.config.assumed_window_micros,
+            calibrated_runs: 0,
+        }),
+    }));
     state.session_ids.insert(key, id);
     Frame::SessionAck {
         session: id,
@@ -497,14 +613,6 @@ fn build_server(
     }
 }
 
-/// Session facts a submit needs, copied out so the array is rebuilt from wire
-/// bytes without holding the state lock.
-struct SessionMeta {
-    app: TraceApp,
-    geometry: Vec<u64>,
-    chunk: i64,
-}
-
 /// Deserialized grid, one arm per served array shape.
 enum Built {
     F64x2(PochoirArray<f64, 2>),
@@ -526,14 +634,10 @@ fn handle_submit(
     elem: ElemType,
     grid: &[u8],
 ) -> Frame {
-    let meta = {
+    let slot = {
         let state = lock(&shared.state);
         match state.sessions.get(session as usize) {
-            Some(s) => SessionMeta {
-                app: s.app,
-                geometry: s.geometry.clone(),
-                chunk: s.chunk,
-            },
+            Some(slot) => Arc::clone(slot),
             None => {
                 return Frame::Error {
                     code: ErrorCode::UnknownSession,
@@ -542,50 +646,63 @@ fn handle_submit(
             }
         }
     };
-    if elem != ElemType::for_app(meta.app) {
+    if elem != ElemType::for_app(slot.app) {
         return Frame::Error {
             code: ErrorCode::BadPayload,
             detail: format!(
                 "app {} takes {:?} grids, frame carries {:?}",
-                meta.app.as_str(),
-                ElemType::for_app(meta.app),
+                slot.app.as_str(),
+                ElemType::for_app(slot.app),
                 elem
             ),
         };
     }
-    if t1 < t0 {
+    let span = match t1.checked_sub(t0) {
+        Some(span) if span >= 0 => span,
+        _ => {
+            return Frame::Error {
+                code: ErrorCode::BadPayload,
+                detail: format!("t1 {t1} precedes t0 {t0}"),
+            }
+        }
+    };
+    if span > shared.config.max_steps_per_submit {
         return Frame::Error {
             code: ErrorCode::BadPayload,
-            detail: format!("t1 {t1} precedes t0 {t0}"),
+            detail: format!(
+                "span {span} steps exceeds the per-submission ceiling of {} \
+                 (split the request or raise --max-steps)",
+                shared.config.max_steps_per_submit
+            ),
         };
     }
 
-    // Rebuild the array outside the lock (a cell-by-cell fill of a large grid
-    // must not stall the drain thread), then take the lock to queue it.
-    let built = match meta.app {
+    // Rebuild the array without any lock held (a cell-by-cell fill of a large
+    // grid must stall neither the drain thread nor other connections).
+    let built = match slot.app {
         TraceApp::Heat2d => grid_from_bytes::<f64, 2>(
-            traffic::usizes::<2>(&meta.geometry),
+            traffic::usizes::<2>(&slot.geometry),
             2,
             Boundary::Periodic,
             grid,
         )
         .map(Built::F64x2),
         TraceApp::Life => grid_from_bytes::<u8, 2>(
-            traffic::usizes::<2>(&meta.geometry),
+            traffic::usizes::<2>(&slot.geometry),
             2,
             Boundary::Periodic,
             grid,
         )
         .map(Built::U8x2),
         TraceApp::Wave3d => grid_from_bytes::<f64, 3>(
-            traffic::usizes::<3>(&meta.geometry),
+            traffic::usizes::<3>(&slot.geometry),
             3,
             Boundary::Constant(0.0),
             grid,
         )
         .map(Built::F64x3),
         TraceApp::HeatGiant1d => grid_from_bytes::<f64, 1>(
-            traffic::usizes::<1>(&meta.geometry),
+            traffic::usizes::<1>(&slot.geometry),
             2,
             Boundary::Periodic,
             grid,
@@ -602,95 +719,107 @@ fn handle_submit(
         }
     };
 
-    let mut guard = lock(&shared.state);
-    let state = &mut *guard;
-    let Some(sess) = state.sessions.get_mut(session as usize) else {
-        return Frame::Error {
-            code: ErrorCode::UnknownSession,
-            detail: format!("session {session} was never negotiated"),
-        };
+    // Register the request before the tickets exist: the drain thread only
+    // pairs results with requests it can find in the table, so the entry must
+    // be visible the moment the session queue is.
+    let request = {
+        let mut state = lock(&shared.state);
+        let id = state.next_request;
+        state.next_request += 1;
+        state.requests.insert(
+            id,
+            Request {
+                conn,
+                state: ReqState::Queued,
+            },
+        );
+        id
     };
-    let windows_needed = windows_of(t0, t1, meta.chunk);
-    let logical_deadline = match deadline {
-        Deadline::None => None,
-        Deadline::Logical(ticks) => Some(ticks),
-        Deadline::WallMicros(us) => Some(wall_to_ticks(us, sess.cost_ewma_micros, windows_needed)),
-    };
-    let opts = SubmitOptions {
-        weight,
-        deadline: logical_deadline,
-    };
-    let submitted: Result<bool, ServeError> = match (&mut sess.server, built) {
-        (AnyServer::Heat2d(s), Built::F64x2(a)) => {
-            s.try_submit_with(a, t0, t1, opts).map(|_| false)
-        }
-        (AnyServer::Life(s), Built::U8x2(a)) => s.try_submit_with(a, t0, t1, opts).map(|_| false),
-        (AnyServer::Wave3d(s), Built::F64x3(a)) => {
-            s.try_submit_with(a, t0, t1, opts).map(|_| false)
-        }
-        (AnyServer::HeatGiant1d(s), Built::F64x1(a)) => {
-            s.try_submit_sharded(a, t0, t1, opts).map(|_| true)
-        }
-        // Unreachable in practice: `built` was derived from the session's own
-        // app a few lines up.
-        _ => {
-            return Frame::Error {
-                code: ErrorCode::BadPayload,
-                detail: "grid/session element type mismatch".to_string(),
+
+    let windows_needed = windows_of(t0, t1, slot.chunk);
+    let submitted: Result<Option<u64>, ServeError> = {
+        let mut inner = lock(&slot.inner);
+        let logical_deadline = match deadline {
+            Deadline::None => None,
+            Deadline::Logical(ticks) => Some(ticks),
+            Deadline::WallMicros(us) => {
+                Some(wall_to_ticks(us, inner.cost_ewma_micros, windows_needed))
             }
-        }
+        };
+        let opts = SubmitOptions {
+            weight,
+            deadline: logical_deadline,
+        };
+        let before = with_server!(&inner.server, s => s.pending());
+        let outcome = match (&mut inner.server, built) {
+            (AnyServer::Heat2d(s), Built::F64x2(a)) => {
+                s.try_submit_with(a, t0, t1, opts).map(|_| ())
+            }
+            (AnyServer::Life(s), Built::U8x2(a)) => s.try_submit_with(a, t0, t1, opts).map(|_| ()),
+            (AnyServer::Wave3d(s), Built::F64x3(a)) => {
+                s.try_submit_with(a, t0, t1, opts).map(|_| ())
+            }
+            (AnyServer::HeatGiant1d(s), Built::F64x1(a)) => {
+                s.try_submit_sharded(a, t0, t1, opts).map(|_| ())
+            }
+            // Unreachable in practice: `built` was derived from the session's
+            // own app a few lines up.
+            _ => {
+                drop(inner);
+                lock(&shared.state).requests.remove(&request);
+                return Frame::Error {
+                    code: ErrorCode::BadPayload,
+                    detail: "grid/session element type mismatch".to_string(),
+                };
+            }
+        };
+        outcome.map(|()| {
+            // One bookkeeping entry per scheduler ticket the submission
+            // actually created — measured, because the shard plan may clamp
+            // the giant tile count below its configured K for small extents.
+            let members = with_server!(&inner.server, s => s.pending()).saturating_sub(before);
+            debug_assert!(members >= 1, "an admitted submission queues a ticket");
+            inner.queued.push(QueuedTicket {
+                request,
+                t1,
+                lead: true,
+            });
+            for _ in 1..members {
+                inner.queued.push(QueuedTicket {
+                    request,
+                    t1,
+                    lead: false,
+                });
+            }
+            logical_deadline
+        })
     };
-    let sharded = match submitted {
-        Ok(sharded) => sharded,
+    let logical_deadline = match submitted {
+        Ok(deadline) => deadline,
         Err(e) => {
+            lock(&shared.state).requests.remove(&request);
             let (code, detail) = wire_error(&e);
             return Frame::Error { code, detail };
         }
     };
 
-    let request = state.next_request;
-    state.next_request += 1;
-    let sess = state
-        .sessions
-        .get_mut(session as usize)
-        .expect("session existed above");
-    sess.queued.push(QueuedTicket {
-        request,
-        t1,
-        lead: true,
-    });
-    if sharded {
-        for _ in 1..GIANT_TILES {
-            sess.queued.push(QueuedTicket {
-                request,
-                t1,
-                lead: false,
-            });
-        }
-    }
-    state.requests.insert(
-        request,
-        Request {
-            conn,
-            state: ReqState::Queued,
-        },
-    );
+    let mut state = lock(&shared.state);
     if shared.config.record.is_some() {
         // The canonical trace format normalizes t0 to 0 and carries one chunk
         // per trace; submissions that fit are recorded, others pass through
         // unlogged (they still execute).
         let chunk_ok = match state.record_chunk {
             None => true,
-            Some(c) => c == meta.chunk,
+            Some(c) => c == slot.chunk,
         };
         if t0 == 0 && chunk_ok {
-            state.record_chunk = Some(meta.chunk);
+            state.record_chunk = Some(slot.chunk);
             state.arrival_clock += 1;
             let arrival_tick = state.arrival_clock;
             state.record.push(TraceRecord {
                 tenant,
-                app: meta.app,
-                geometry: meta.geometry.clone(),
+                app: slot.app,
+                geometry: slot.geometry.clone(),
                 window: t1,
                 weight: weight.max(1),
                 deadline: logical_deadline,
@@ -799,26 +928,36 @@ fn write_record(shared: &Shared, state: &mut State) -> u64 {
 }
 
 fn drain_loop(shared: Arc<Shared>) {
-    let mut state = lock(&shared.state);
     loop {
-        let has_work = state.sessions.iter().any(|s| !s.queued.is_empty());
-        if !has_work {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            let (next, _) = shared
-                .work
-                .wait_timeout(state, shared.config.drain_interval)
-                .unwrap_or_else(|p| p.into_inner());
-            state = next;
+        // Snapshot the session list (cheap Arc clones), then drain each busy
+        // session under its own lock only: submits, polls, and fetches on the
+        // global state lock keep flowing while a session computes.
+        let sessions: Vec<Arc<SessionSlot>> = lock(&shared.state).sessions.clone();
+        let mut drained_any = false;
+        for slot in &sessions {
+            let completions = {
+                let mut inner = lock(&slot.inner);
+                if inner.queued.is_empty() {
+                    continue;
+                }
+                drain_session(&mut inner)
+            };
+            drained_any = true;
+            store_completions(&mut lock(&shared.state), completions);
+        }
+        if drained_any {
             continue;
         }
-        for i in 0..state.sessions.len() {
-            if state.sessions[i].queued.is_empty() {
-                continue;
-            }
-            drain_session(&mut state, i);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
         }
+        let state = lock(&shared.state);
+        drop(
+            shared
+                .work
+                .wait_timeout(state, shared.config.drain_interval)
+                .unwrap_or_else(|p| p.into_inner()),
+        );
     }
 }
 
@@ -855,24 +994,25 @@ where
     (payloads, outcomes)
 }
 
-/// Drains one session's queue and stores each lead ticket's result (or typed
-/// failure) on its request; orphaned requests are dropped.  Also recalibrates
-/// the session's per-window cost from the measured drain time over the
+/// Drains one session's queue under its own lock and returns each lead
+/// ticket's completion (result or typed failure) for the caller to store
+/// under the global lock.  Also recalibrates the session's per-window cost
+/// from the measured drain time over the
 /// [`SessionStats`](pochoir_core::engine::SessionStats) `runs` delta.
-fn drain_session(state: &mut State, index: usize) {
-    let sess = &mut state.sessions[index];
-    let queued = std::mem::take(&mut sess.queued);
+fn drain_session(inner: &mut SessionInner) -> Vec<(u64, ReqState)> {
+    let queued = std::mem::take(&mut inner.queued);
     let started = Instant::now();
-    let (mut payloads, outcomes) = with_server!(&mut sess.server, s => drain_tickets(s, &queued));
+    let (mut payloads, outcomes) = with_server!(&mut inner.server, s => drain_tickets(s, &queued));
     let elapsed_micros = started.elapsed().as_secs_f64() * 1e6;
-    let runs = with_server!(&sess.server, s => s.stats().runs);
-    let windows = runs.saturating_sub(sess.calibrated_runs);
-    sess.calibrated_runs = runs;
+    let runs = with_server!(&inner.server, s => s.stats().runs);
+    let windows = runs.saturating_sub(inner.calibrated_runs);
+    inner.calibrated_runs = runs;
     if windows > 0 {
         let measured = elapsed_micros / windows as f64;
-        sess.cost_ewma_micros = 0.7 * sess.cost_ewma_micros + 0.3 * measured;
+        inner.cost_ewma_micros = 0.7 * inner.cost_ewma_micros + 0.3 * measured;
     }
 
+    let mut completions = Vec::new();
     for (i, q) in queued.iter().enumerate() {
         if !q.lead {
             continue;
@@ -893,19 +1033,29 @@ fn drain_session(state: &mut State, index: usize) {
                 }
                 _ => None,
             });
-        if state.requests.get(&q.request).map(|r| r.conn) == Some(ORPHANED) {
-            state.requests.remove(&q.request);
-            continue;
-        }
-        if let Some(req) = state.requests.get_mut(&q.request) {
-            req.state = match (group_failure, payloads.get_mut(i).and_then(Option::take)) {
-                (Some((code, detail)), _) => ReqState::Failed { code, detail },
-                (None, Some(payload)) => ReqState::Done(payload),
-                (None, None) => ReqState::Failed {
-                    code: ErrorCode::RegistryPoisoned,
-                    detail: "drain failed before producing a result".to_string(),
-                },
-            };
+        let state = match (group_failure, payloads.get_mut(i).and_then(Option::take)) {
+            (Some((code, detail)), _) => ReqState::Failed { code, detail },
+            (None, Some(payload)) => ReqState::Done(payload),
+            (None, None) => ReqState::Failed {
+                code: ErrorCode::RegistryPoisoned,
+                detail: "drain failed before producing a result".to_string(),
+            },
+        };
+        completions.push((q.request, state));
+    }
+    completions
+}
+
+/// Stores drained completions on their requests; orphaned requests (client
+/// gone) are dropped instead.
+fn store_completions(state: &mut State, completions: Vec<(u64, ReqState)>) {
+    for (request, new_state) in completions {
+        match state.requests.get_mut(&request) {
+            Some(r) if r.conn == ORPHANED => {
+                state.requests.remove(&request);
+            }
+            Some(r) => r.state = new_state,
+            None => {}
         }
     }
 }
